@@ -1,0 +1,19 @@
+//! Comparison baselines used in the SunFloor 3D evaluation.
+//!
+//! * [`synthesize_2d`] — the 2-D custom-topology synthesis flow of Murali et
+//!   al. (paper reference [16]) that §VIII-C compares against: the same
+//!   partition → route → place pipeline restricted to a single die, which
+//!   is exactly what the original 2-D SunFloor was.
+//! * [`optimized_mesh`] — the standard-topology baseline of §VIII-E: cores
+//!   mapped onto a (2-D or 3-D) mesh minimizing bandwidth-weighted hop
+//!   count under the latency constraints, dimension-ordered routing, and
+//!   unused switch-to-switch links removed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow2d;
+mod mesh;
+
+pub use flow2d::synthesize_2d;
+pub use mesh::{optimized_mesh, MeshConfig, MeshResult};

@@ -1,0 +1,321 @@
+//! The optimized-mesh baseline (paper §VIII-E, Fig. 23).
+//!
+//! "We generate best mapping (optimizing for power, meeting the latency
+//! constraints) of the cores on to a mesh topology, and remove any unused
+//! switch-to-switch links."
+//!
+//! Cores are mapped to mesh tiles (a 2-D grid per layer, with vertical links
+//! between vertically adjacent tiles) by simulated annealing over tile
+//! swaps, minimizing bandwidth-weighted hop count with a penalty for latency
+//! violations — the classic NMAP-style objective. Flows are then routed with
+//! deterministic dimension-order (Z → X → Y) routing, which is deadlock-free
+//! on meshes, and only the links that actually carry traffic materialize.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sunfloor_benchmarks::Benchmark;
+use sunfloor_core::eval::{evaluate, DesignMetrics};
+use sunfloor_core::graph::CommGraph;
+use sunfloor_core::spec::MessageType;
+use sunfloor_core::topology::{FlowPath, Link, Topology};
+use sunfloor_models::NocLibrary;
+
+/// Mesh-baseline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshConfig {
+    /// Operating frequency, MHz.
+    pub frequency_mhz: f64,
+    /// Mapping-annealer iterations.
+    pub sa_iterations: u32,
+    /// RNG seed for the mapping annealer.
+    pub rng_seed: u64,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        Self { frequency_mhz: 400.0, sa_iterations: 30_000, rng_seed: 0x3E5 }
+    }
+}
+
+/// Result of the mesh mapping baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshResult {
+    /// The mesh topology with routed flows and trimmed links.
+    pub topology: Topology,
+    /// Metrics under the same models as the custom flow.
+    pub metrics: DesignMetrics,
+    /// Mesh dimensions `(cols, rows)` per layer.
+    pub dims: (usize, usize),
+}
+
+/// Maps `bench` onto an optimized mesh and evaluates it with the shared
+/// component models.
+///
+/// # Panics
+///
+/// Panics if the benchmark has no cores (generators never produce one).
+#[must_use]
+pub fn optimized_mesh(bench: &Benchmark, lib: &NocLibrary, cfg: &MeshConfig) -> MeshResult {
+    let soc = &bench.soc;
+    let layers = soc.layers as usize;
+    let per_layer_max =
+        (0..soc.layers).map(|l| soc.cores_in_layer(l).len()).max().expect("cores exist");
+    assert!(per_layer_max > 0, "benchmark has no cores");
+    let cols = (per_layer_max as f64).sqrt().ceil() as usize;
+    let rows = per_layer_max.div_ceil(cols);
+    let tiles_per_layer = cols * rows;
+    let nsw = tiles_per_layer * layers;
+
+    // Tile pitch from the existing die extent, so mesh wire lengths live on
+    // the same die the custom topology uses.
+    let die_w = soc.cores.iter().map(|c| c.x + c.width).fold(1.0f64, f64::max);
+    let die_h = soc.cores.iter().map(|c| c.y + c.height).fold(1.0f64, f64::max);
+    let pitch = ((die_w / cols as f64).max(die_h / rows as f64)).max(0.5);
+
+    // --- initial mapping: row-major per layer ---------------------------
+    // tile_of[core] = tile index within its own layer.
+    let mut tile_of = vec![usize::MAX; soc.core_count()];
+    let mut tile_used: Vec<Vec<Option<usize>>> = vec![vec![None; tiles_per_layer]; layers];
+    for l in 0..layers {
+        for (k, core) in soc.cores_in_layer(l as u32).into_iter().enumerate() {
+            tile_of[core] = k;
+            tile_used[l][k] = Some(core);
+        }
+    }
+
+    let graph = CommGraph::new(soc, &bench.comm);
+    let hops = |tile_a: usize, la: u32, tile_b: usize, lb: u32| -> f64 {
+        let (ax, ay) = ((tile_a % cols) as i64, (tile_a / cols) as i64);
+        let (bx, by) = ((tile_b % cols) as i64, (tile_b / cols) as i64);
+        ((ax - bx).abs() + (ay - by).abs()) as f64 + f64::from(la.abs_diff(lb))
+    };
+    let cost = |tile_of: &[usize]| -> f64 {
+        let mut c = 0.0;
+        for e in graph.edge_list() {
+            let h = hops(
+                tile_of[e.src],
+                soc.cores[e.src].layer,
+                tile_of[e.dst],
+                soc.cores[e.dst].layer,
+            );
+            c += e.bandwidth_mbs * h;
+            // Latency: h+1 switches on a dimension-ordered route.
+            let zero_load = h + 1.0;
+            if zero_load > e.latency_cycles {
+                c += 1e5 * (zero_load - e.latency_cycles);
+            }
+        }
+        c
+    };
+
+    // --- SA over same-layer tile swaps -----------------------------------
+    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+    let mut cur = cost(&tile_of);
+    let mut best = tile_of.clone();
+    let mut best_cost = cur;
+    let mut temp = (cur * 0.05).max(1.0);
+    let alpha = (1e-4f64).powf(1.0 / f64::from(cfg.sa_iterations.max(2)));
+    for _ in 0..cfg.sa_iterations {
+        let l = rng.gen_range(0..layers);
+        let a = rng.gen_range(0..tiles_per_layer);
+        let b = rng.gen_range(0..tiles_per_layer);
+        if a == b {
+            continue;
+        }
+        let (ca, cb) = (tile_used[l][a], tile_used[l][b]);
+        if ca.is_none() && cb.is_none() {
+            continue;
+        }
+        // Swap occupants (either may be an empty tile).
+        if let Some(c) = ca {
+            tile_of[c] = b;
+        }
+        if let Some(c) = cb {
+            tile_of[c] = a;
+        }
+        tile_used[l][a] = cb;
+        tile_used[l][b] = ca;
+        let cand = cost(&tile_of);
+        let delta = cand - cur;
+        if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
+            cur = cand;
+            if cur < best_cost {
+                best_cost = cur;
+                best = tile_of.clone();
+            }
+        } else {
+            // Undo.
+            if let Some(c) = ca {
+                tile_of[c] = a;
+            }
+            if let Some(c) = cb {
+                tile_of[c] = b;
+            }
+            tile_used[l][a] = ca;
+            tile_used[l][b] = cb;
+        }
+        temp *= alpha;
+    }
+    let tile_of = best;
+
+    // --- build the mesh topology with ZXY routing -------------------------
+    let sw_index = |tile: usize, layer: usize| layer * tiles_per_layer + tile;
+    let mut topo = Topology {
+        switch_layer: (0..nsw).map(|s| (s / tiles_per_layer) as u32).collect(),
+        switch_pos: (0..nsw)
+            .map(|s| {
+                let t = s % tiles_per_layer;
+                (
+                    (t % cols) as f64 * pitch + pitch / 2.0,
+                    (t / cols) as f64 * pitch + pitch / 2.0,
+                )
+            })
+            .collect(),
+        core_attach: (0..soc.core_count())
+            .map(|c| sw_index(tile_of[c], soc.cores[c].layer as usize))
+            .collect(),
+        links: Vec::new(),
+        flow_paths: vec![FlowPath::default(); graph.edge_list().len()],
+        indirect_switches: Vec::new(),
+    };
+
+    let mut link_index: std::collections::HashMap<(usize, usize, MessageType), usize> =
+        std::collections::HashMap::new();
+    for e in graph.edge_list() {
+        let mut path = Vec::new();
+        let (mut x, mut y, mut z) = (
+            (tile_of[e.src] % cols) as i64,
+            (tile_of[e.src] / cols) as i64,
+            soc.cores[e.src].layer as i64,
+        );
+        let (tx, ty, tz) = (
+            (tile_of[e.dst] % cols) as i64,
+            (tile_of[e.dst] / cols) as i64,
+            soc.cores[e.dst].layer as i64,
+        );
+        path.push(sw_index((y * cols as i64 + x) as usize, z as usize));
+        // Z first (cheap vertical hops), then X, then Y — dimension order.
+        while z != tz {
+            z += (tz - z).signum();
+            path.push(sw_index((y * cols as i64 + x) as usize, z as usize));
+        }
+        while x != tx {
+            x += (tx - x).signum();
+            path.push(sw_index((y * cols as i64 + x) as usize, z as usize));
+        }
+        while y != ty {
+            y += (ty - y).signum();
+            path.push(sw_index((y * cols as i64 + x) as usize, z as usize));
+        }
+        for w in path.windows(2) {
+            let key = (w[0], w[1], e.class);
+            let li = *link_index.entry(key).or_insert_with(|| {
+                topo.links.push(Link {
+                    from: w[0],
+                    to: w[1],
+                    bandwidth_gbps: 0.0,
+                    flows: Vec::new(),
+                    class: e.class,
+                });
+                topo.links.len() - 1
+            });
+            topo.links[li].bandwidth_gbps += e.bandwidth_mbs * 8.0 / 1000.0;
+            topo.links[li].flows.push(e.flow);
+        }
+        topo.flow_paths[e.flow] = FlowPath { switches: path };
+    }
+
+    let metrics = evaluate(&topo, soc, &graph, lib, cfg.frequency_mhz);
+    MeshResult { topology: topo, metrics, dims: (cols, rows) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunfloor_benchmarks::distributed;
+
+    fn quick() -> MeshConfig {
+        MeshConfig { sa_iterations: 4000, ..MeshConfig::default() }
+    }
+
+    #[test]
+    fn mesh_routes_every_flow() {
+        let b = distributed(4);
+        let r = optimized_mesh(&b, &NocLibrary::lp65(), &quick());
+        assert_eq!(r.topology.flow_paths.len(), b.comm.flow_count());
+        for p in &r.topology.flow_paths {
+            assert!(!p.switches.is_empty());
+        }
+        // 18 cores per layer -> 5x4 grid.
+        assert_eq!(r.dims, (5, 4));
+    }
+
+    #[test]
+    fn dimension_order_routes_are_minimal() {
+        let b = distributed(4);
+        let r = optimized_mesh(&b, &NocLibrary::lp65(), &quick());
+        let cols = r.dims.0;
+        let tiles = r.dims.0 * r.dims.1;
+        for (fi, path) in r.topology.flow_paths.iter().enumerate() {
+            let f = &b.comm.flows[fi];
+            let s = r.topology.core_attach[f.src];
+            let d = r.topology.core_attach[f.dst];
+            let (sx, sy, sz) = (s % tiles % cols, s % tiles / cols, s / tiles);
+            let (dx, dy, dz) = (d % tiles % cols, d % tiles / cols, d / tiles);
+            let manhattan = sx.abs_diff(dx) + sy.abs_diff(dy) + sz.abs_diff(dz);
+            assert_eq!(
+                path.switches.len(),
+                manhattan + 1,
+                "flow {fi} route is not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn unused_links_are_not_materialized() {
+        let b = distributed(4);
+        let r = optimized_mesh(&b, &NocLibrary::lp65(), &quick());
+        for l in &r.topology.links {
+            assert!(!l.flows.is_empty());
+            assert!(l.bandwidth_gbps > 0.0);
+        }
+        // A full 5x4x2 mesh would have 2*(4*4+3*5)*2 + 20*2 directed links;
+        // trimming must leave fewer than that.
+        let full = 2 * (4 * 4 + 3 * 5) * 2 + 20 * 2;
+        assert!(
+            r.topology.links.len() < full,
+            "expected trimming below {full}, got {}",
+            r.topology.links.len()
+        );
+    }
+
+    #[test]
+    fn mapping_beats_identity_on_cost() {
+        // The SA mapping should not be worse than the trivial row-major
+        // mapping in weighted hops.
+        let b = distributed(8);
+        let lib = NocLibrary::lp65();
+        let sa = optimized_mesh(&b, &lib, &quick());
+        let trivial = optimized_mesh(&b, &lib, &MeshConfig { sa_iterations: 0, ..quick() });
+        let weighted = |r: &MeshResult| -> f64 {
+            r.topology
+                .flow_paths
+                .iter()
+                .enumerate()
+                .map(|(fi, p)| {
+                    b.comm.flows[fi].bandwidth_mbs * (p.switches.len() - 1) as f64
+                })
+                .sum()
+        };
+        assert!(weighted(&sa) <= weighted(&trivial) + 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = distributed(4);
+        let lib = NocLibrary::lp65();
+        let a = optimized_mesh(&b, &lib, &quick());
+        let c = optimized_mesh(&b, &lib, &quick());
+        assert_eq!(a.topology, c.topology);
+    }
+}

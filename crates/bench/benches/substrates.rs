@@ -1,0 +1,106 @@
+//! Criterion benchmarks for the substrate algorithms: min-cut partitioning,
+//! the placement LP, floorplan insertion and the mesh-mapping baseline.
+//! These are the inner loops whose cost the paper's runtime claim ("a few
+//! seconds per topology") rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sunfloor_baselines::{optimized_mesh, MeshConfig};
+use sunfloor_benchmarks::{distributed, media26};
+use sunfloor_core::graph::CommGraph;
+use sunfloor_core::phase1;
+use sunfloor_floorplan::{insert_components, Block, InsertRequest, PlacedBlock};
+use sunfloor_lp::PlacementProblem;
+use sunfloor_models::NocLibrary;
+use sunfloor_partition::PartitionConfig;
+
+fn bench_partition(c: &mut Criterion) {
+    let bench = media26();
+    let graph = CommGraph::new(&bench.soc, &bench.comm);
+    let pg = graph.partitioning_graph(1.0);
+    let mut group = c.benchmark_group("partition_media26");
+    for parts in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &parts| {
+            b.iter(|| pg.partition(black_box(&PartitionConfig::k_way(parts))).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement_lp(c: &mut Criterion) {
+    // A placement problem at the scale of the 65-core design: 12 switches,
+    // 65 core pins, a ring plus chords of switch-switch attractions.
+    let mut p = PlacementProblem::new(12);
+    for k in 0..65usize {
+        p.attract_to_fixed(
+            k % 12,
+            ((k % 8) as f64 * 2.0, (k / 8) as f64 * 2.0),
+            1.0 + (k % 5) as f64,
+        );
+    }
+    for s in 0..12usize {
+        p.attract_pair(s, (s + 1) % 12, 2.0);
+        if s % 3 == 0 {
+            p.attract_pair(s, (s + 5) % 12, 1.0);
+        }
+    }
+    c.bench_function("placement_lp_65core_scale", |b| {
+        b.iter(|| black_box(&p).solve().unwrap());
+    });
+    c.bench_function("placement_median_65core_scale", |b| {
+        b.iter(|| black_box(&p).solve_weighted_median(30));
+    });
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    // Tightly packed 5x5 core grid plus 8 switches to shove in.
+    let cores: Vec<PlacedBlock> = (0..25)
+        .map(|i| {
+            PlacedBlock::new(
+                Block::new(format!("c{i}"), 2.0, 2.0),
+                f64::from(i % 5) * 2.0,
+                f64::from(i / 5) * 2.0,
+            )
+        })
+        .collect();
+    let requests: Vec<InsertRequest> = (0..8)
+        .map(|i| {
+            InsertRequest::new(
+                Block::new(format!("sw{i}"), 0.6, 0.6),
+                (f64::from(i) * 1.2 + 0.5, 9.0 - f64::from(i)),
+            )
+        })
+        .collect();
+    c.bench_function("floorplan_insertion_25cores_8switches", |b| {
+        b.iter(|| insert_components(black_box(&cores), black_box(&requests), 3.0));
+    });
+}
+
+fn bench_phase1_connectivity(c: &mut Criterion) {
+    let bench = distributed(6);
+    let graph = CommGraph::new(&bench.soc, &bench.comm);
+    c.bench_function("phase1_connectivity_d36_6", |b| {
+        b.iter(|| {
+            phase1::connectivity(black_box(&graph), &bench.soc, 6, 1.0, None, 15.0, 1).unwrap()
+        });
+    });
+}
+
+fn bench_mesh_mapping(c: &mut Criterion) {
+    let bench = distributed(4);
+    let lib = NocLibrary::lp65();
+    let cfg = MeshConfig { sa_iterations: 5_000, ..MeshConfig::default() };
+    c.bench_function("mesh_mapping_d36_4", |b| {
+        b.iter(|| optimized_mesh(black_box(&bench), &lib, &cfg));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_partition,
+    bench_placement_lp,
+    bench_insertion,
+    bench_phase1_connectivity,
+    bench_mesh_mapping
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the full synthesis flow — the paper's runtime
+//! claims (§VIII-E): seconds for few-switch topologies, growing with the
+//! switch count, once per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sunfloor_benchmarks::{bottleneck, distributed, media26};
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+
+fn single_point_cfg(k: usize) -> SynthesisConfig {
+    SynthesisConfig {
+        switch_count_range: Some((k, k)),
+        run_layout: true,
+        ..SynthesisConfig::default()
+    }
+}
+
+fn bench_single_design_point(c: &mut Criterion) {
+    let bench = media26();
+    let mut group = c.benchmark_group("synthesis_single_point_media26");
+    group.sample_size(10);
+    for k in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = single_point_cfg(k);
+            b.iter(|| synthesize(black_box(&bench.soc), &bench.comm, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_benchmark_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_point_per_benchmark");
+    group.sample_size(10);
+    for bench in [distributed(4), bottleneck()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name.clone()),
+            &bench,
+            |b, bench| {
+                let cfg = single_point_cfg(6);
+                b.iter(|| synthesize(black_box(&bench.soc), &bench.comm, &cfg).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_phase2_flow(c: &mut Criterion) {
+    let bench = distributed(4);
+    let cfg = SynthesisConfig {
+        mode: SynthesisMode::Phase2Only,
+        run_layout: false,
+        switch_count_range: Some((1, 4)),
+        ..SynthesisConfig::default()
+    };
+    let mut group = c.benchmark_group("synthesis_phase2_d36_4");
+    group.sample_size(10);
+    group.bench_function("increments_0_to_4", |b| {
+        b.iter(|| synthesize(black_box(&bench.soc), &bench.comm, &cfg).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_design_point, bench_benchmark_suite, bench_phase2_flow);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Experiment output containers and rendering.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// How much of the design space an experiment explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Effort {
+    /// Thinned sweeps for smoke tests and CI.
+    Quick,
+    /// The full sweeps used to regenerate the paper's artifacts.
+    #[default]
+    Full,
+}
+
+/// One regenerated artifact: a table (most figures/tables) or a text block
+/// (topology and floorplan dumps).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// A column-aligned data table.
+    Table {
+        /// Artifact id, e.g. `"fig11"`.
+        id: String,
+        /// Human-readable title (what the paper's caption says).
+        title: String,
+        /// Column headers.
+        headers: Vec<String>,
+        /// Data rows (stringified).
+        rows: Vec<Vec<String>>,
+    },
+    /// A free-form text block.
+    Text {
+        /// Artifact id, e.g. `"fig13"`.
+        id: String,
+        /// Human-readable title.
+        title: String,
+        /// The content.
+        body: String,
+    },
+}
+
+impl Artifact {
+    /// Convenience table constructor.
+    #[must_use]
+    pub fn table(
+        id: &str,
+        title: &str,
+        headers: &[&str],
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        Self::Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows,
+        }
+    }
+
+    /// The artifact id (`fig11`, `tab1`, …).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        match self {
+            Self::Table { id, .. } | Self::Text { id, .. } => id,
+        }
+    }
+
+    /// Renders the artifact for terminal output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Self::Text { id, title, body } => {
+                format!("== {id}: {title} ==\n{body}\n")
+            }
+            Self::Table { id, title, headers, rows } => {
+                let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+                for row in rows {
+                    for (i, cell) in row.iter().enumerate() {
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(cell.len());
+                        }
+                    }
+                }
+                let mut out = format!("== {id}: {title} ==\n");
+                let fmt_row = |cells: &[String], widths: &[usize]| {
+                    let mut line = String::new();
+                    for (i, c) in cells.iter().enumerate() {
+                        let w = widths.get(i).copied().unwrap_or(c.len());
+                        let _ = write!(line, "{c:>w$}  ");
+                    }
+                    line.trim_end().to_string()
+                };
+                out.push_str(&fmt_row(headers, &widths));
+                out.push('\n');
+                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+                out.push('\n');
+                for row in rows {
+                    out.push_str(&fmt_row(row, &widths));
+                    out.push('\n');
+                }
+                out
+            }
+        }
+    }
+
+    /// Writes the artifact as CSV (tables) or plain text under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        match self {
+            Self::Text { id, body, .. } => fs::write(dir.join(format!("{id}.txt")), body),
+            Self::Table { id, headers, rows, .. } => {
+                let mut csv = headers.join(",");
+                csv.push('\n');
+                for row in rows {
+                    csv.push_str(&row.join(","));
+                    csv.push('\n');
+                }
+                fs::write(dir.join(format!("{id}.csv")), csv)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let a = Artifact::table(
+            "t",
+            "demo",
+            &["col", "value"],
+            vec![vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+        );
+        let r = a.render();
+        assert!(r.contains("== t: demo =="));
+        assert!(r.contains("col"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_written_to_disk() {
+        let dir = std::env::temp_dir().join("sunfloor_artifact_test");
+        let a = Artifact::table("x", "t", &["a"], vec![vec!["1".into()]]);
+        a.write_to(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("x.csv")).unwrap();
+        assert_eq!(text, "a\n1\n");
+    }
+}

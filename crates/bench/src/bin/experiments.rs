@@ -1,0 +1,62 @@
+//! Regenerates the tables and figures of the SunFloor 3D evaluation.
+//!
+//! ```text
+//! experiments <id>... [--quick]
+//! experiments all
+//! experiments list
+//! ```
+//!
+//! Output: aligned tables on stdout plus CSV/text files under
+//! `target/experiments/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use sunfloor_bench::{experiments, Effort};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if ids.is_empty() || ids.contains(&"list") {
+        eprintln!("usage: experiments <id>... [--quick]");
+        eprintln!("ids: all {}", experiments::ALL_IDS.join(" "));
+        return if ids.contains(&"list") { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+    let out_dir = PathBuf::from("target/experiments");
+    let mut failures = 0;
+
+    // Expand `all` into one pass per experiment family so artifacts stream
+    // out as each family completes (the media figures share one sweep).
+    let ids: Vec<&str> = if ids.contains(&"all") {
+        vec!["fig1", "media", "tab1", "fig17", "ill", "fig23", "fig18", "floorplans", "runtime"]
+    } else {
+        ids
+    };
+
+    for id in ids {
+        let artifacts = experiments::run(id, effort);
+        if artifacts.is_empty() {
+            eprintln!("unknown experiment id `{id}` (try `experiments list`)");
+            failures += 1;
+            continue;
+        }
+        for artifact in artifacts {
+            println!("{}", artifact.render());
+            if let Err(e) = artifact.write_to(&out_dir) {
+                eprintln!("warning: could not write {}: {e}", artifact.id());
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

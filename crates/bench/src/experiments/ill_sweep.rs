@@ -1,0 +1,66 @@
+//! Figs. 21–22: impact of the `max_ill` constraint on power and latency
+//! (paper §VIII-E, `D_36_4`).
+
+use crate::experiments::{cfg_3d, cyc, mw};
+use crate::{Artifact, Effort};
+use sunfloor_benchmarks::distributed;
+use sunfloor_core::synthesis::{synthesize, SynthesisMode};
+
+/// Sweeps `max_ill` for `D_36_4` and reports best-power and latency per
+/// constraint value. The paper finds: infeasible below ~10 vertical links,
+/// saturation above ~24.
+#[must_use]
+pub fn fig21_fig22(effort: Effort) -> Vec<Artifact> {
+    let bench = distributed(4);
+    let values: Vec<u32> = match effort {
+        Effort::Quick => vec![6, 12, 24],
+        Effort::Full => vec![4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32],
+    };
+
+    let mut power_rows = Vec::new();
+    let mut lat_rows = Vec::new();
+    for &max_ill in &values {
+        let cfg = sunfloor_core::synthesis::SynthesisConfig {
+            max_ill,
+            ..cfg_3d(&bench, SynthesisMode::Auto, effort)
+        };
+        let out = synthesize(&bench.soc, &bench.comm, &cfg).expect("valid benchmark");
+        match out.best_power() {
+            Some(p) => {
+                power_rows.push(vec![
+                    max_ill.to_string(),
+                    mw(p.metrics.power.total_mw()),
+                    p.metrics.switch_count.to_string(),
+                    p.metrics.max_inter_layer_links().to_string(),
+                ]);
+                lat_rows.push(vec![
+                    max_ill.to_string(),
+                    cyc(p.metrics.avg_latency_cycles),
+                ]);
+            }
+            None => {
+                power_rows.push(vec![
+                    max_ill.to_string(),
+                    "infeasible".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                lat_rows.push(vec![max_ill.to_string(), "infeasible".into()]);
+            }
+        }
+    }
+    vec![
+        Artifact::table(
+            "fig21",
+            "Impact of max_ill on best power (D_36_4)",
+            &["max_ill", "total_mw", "switches", "ill_used"],
+            power_rows,
+        ),
+        Artifact::table(
+            "fig22",
+            "Impact of max_ill on latency (D_36_4)",
+            &["max_ill", "avg_latency_cyc"],
+            lat_rows,
+        ),
+    ]
+}

@@ -1,0 +1,182 @@
+//! The `D_26_media` case study: Figs. 10–16 and the Fig. 18 floorplanner
+//! comparison (paper §VIII-A and §VIII-D).
+
+use crate::experiments::{cfg_2d, cfg_3d, mw, standard_floorplan};
+use crate::{Artifact, Effort};
+use sunfloor_baselines::synthesize_2d;
+use sunfloor_benchmarks::{flatten_to_2d, media26};
+use sunfloor_core::eval::wire_length_histogram;
+use sunfloor_core::synthesis::{synthesize, DesignPoint, SynthesisMode, SynthesisOutcome};
+
+/// Runs the 2-D and 3-D `D_26_media` sweeps once and derives Figs. 10–16.
+#[must_use]
+pub fn fig10_to_16(effort: Effort) -> Vec<Artifact> {
+    let bench3d = media26();
+    let bench2d = flatten_to_2d(&bench3d);
+
+    let out2d = synthesize_2d(&bench2d, &cfg_2d(&bench2d, effort)).expect("valid 2-D benchmark");
+    let out3d = synthesize(&bench3d.soc, &bench3d.comm, &cfg_3d(&bench3d, SynthesisMode::Phase1Only, effort))
+        .expect("valid 3-D benchmark");
+    let out_p2 = synthesize(
+        &bench3d.soc,
+        &bench3d.comm,
+        &cfg_3d(&bench3d, SynthesisMode::Phase2Only, effort),
+    )
+    .expect("valid 3-D benchmark");
+
+    let mut artifacts = Vec::new();
+    artifacts.push(power_sweep_table("fig10", "2-D NoC power vs switch count (D_26_media)", &out2d));
+    artifacts.push(power_sweep_table("fig11", "3-D NoC power vs switch count (D_26_media)", &out3d));
+
+    // Fig. 12: wire-length distributions at the best power points.
+    let best2d = out2d.best_power().expect("2-D feasible point");
+    let best3d = out3d.best_power().expect("3-D feasible point");
+    artifacts.push(wirelength_table(best2d, best3d));
+
+    // Fig. 13: most power-efficient Phase-1 topology.
+    let names: Vec<String> = bench3d.soc.cores.iter().map(|c| c.name.clone()).collect();
+    artifacts.push(Artifact::Text {
+        id: "fig13".into(),
+        title: "Most power-efficient topology (Phase 1)".into(),
+        body: format!(
+            "{}\ninter-layer links per boundary: {:?}\n",
+            best3d.topology.describe(&names),
+            best3d.metrics.inter_layer_links
+        ),
+    });
+
+    // Fig. 14: best Phase-2 (layer-by-layer) topology.
+    if let Some(best_p2) = out_p2.best_power() {
+        artifacts.push(Artifact::Text {
+            id: "fig14".into(),
+            title: "Most power-efficient topology layer-by-layer (Phase 2)".into(),
+            body: format!(
+                "{}\ninter-layer links per boundary: {:?} (Phase 1 used {:?})\n",
+                best_p2.topology.describe(&names),
+                best_p2.metrics.inter_layer_links,
+                best3d.metrics.inter_layer_links
+            ),
+        });
+    }
+
+    // Fig. 15: resulting 3-D floorplan with switches inserted.
+    if let Some(layout) = &best3d.layout {
+        let mut body = String::new();
+        for (l, plan) in layout.layers.iter().enumerate() {
+            body.push_str(&format!("layer {l} (area {:.2} mm2):\n", plan.area()));
+            for b in &plan.blocks {
+                body.push_str(&format!(
+                    "  {:<12} at ({:6.2}, {:6.2}) size {:4.2} x {:4.2}\n",
+                    b.block.name,
+                    b.x,
+                    b.y,
+                    b.width(),
+                    b.height()
+                ));
+            }
+        }
+        artifacts.push(Artifact::Text {
+            id: "fig15".into(),
+            title: "Resulting 3-D floorplan with switches (best Phase-1 point)".into(),
+            body,
+        });
+    }
+
+    // Fig. 16: initial core positions.
+    let mut body = String::new();
+    for l in 0..bench3d.soc.layers {
+        body.push_str(&format!("layer {l}:\n"));
+        for &c in &bench3d.soc.cores_in_layer(l) {
+            let core = &bench3d.soc.cores[c];
+            body.push_str(&format!(
+                "  {:<12} at ({:6.2}, {:6.2}) size {:4.2} x {:4.2}\n",
+                core.name, core.x, core.y, core.width, core.height
+            ));
+        }
+    }
+    artifacts.push(Artifact::Text {
+        id: "fig16".into(),
+        title: "Initial positions for D_26_media".into(),
+        body,
+    });
+
+    artifacts
+}
+
+fn power_sweep_table(id: &str, title: &str, out: &SynthesisOutcome) -> Artifact {
+    let mut points: Vec<&DesignPoint> = out.points.iter().collect();
+    points.sort_by_key(|p| p.requested_switches);
+    let rows = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.requested_switches.to_string(),
+                mw(p.metrics.power.switch_mw),
+                mw(p.metrics.power.switch_link_mw),
+                mw(p.metrics.power.core_link_mw),
+                mw(p.metrics.power.total_mw()),
+            ]
+        })
+        .collect();
+    Artifact::table(
+        id,
+        title,
+        &["switches", "switch_mw", "sw_link_mw", "core_link_mw", "total_mw"],
+        rows,
+    )
+}
+
+fn wirelength_table(best2d: &DesignPoint, best3d: &DesignPoint) -> Artifact {
+    const BUCKET_MM: f64 = 1.0;
+    let h2 = wire_length_histogram(&best2d.metrics.wire_lengths_mm, BUCKET_MM);
+    let h3 = wire_length_histogram(&best3d.metrics.wire_lengths_mm, BUCKET_MM);
+    let buckets = h2.len().max(h3.len());
+    let rows = (0..buckets)
+        .map(|i| {
+            vec![
+                format!("{:.0}-{:.0}", i as f64 * BUCKET_MM, (i + 1) as f64 * BUCKET_MM),
+                h2.get(i).map_or(0, |x| x.1).to_string(),
+                h3.get(i).map_or(0, |x| x.1).to_string(),
+            ]
+        })
+        .collect();
+    Artifact::table(
+        "fig12",
+        "Wire-length distributions (best 2-D vs best 3-D point)",
+        &["length_mm", "links_2d", "links_3d"],
+        rows,
+    )
+}
+
+/// Fig. 18: floorplan area vs switch count — custom insertion routine vs
+/// the constrained standard floorplanner.
+#[must_use]
+pub fn fig18(effort: Effort) -> Artifact {
+    let bench = media26();
+    let out = synthesize(
+        &bench.soc,
+        &bench.comm,
+        &cfg_3d(&bench, SynthesisMode::Phase1Only, effort),
+    )
+    .expect("valid benchmark");
+    let mut points: Vec<&DesignPoint> = out.points.iter().collect();
+    points.sort_by_key(|p| p.requested_switches);
+    let rows = points
+        .iter()
+        .filter_map(|p| {
+            let custom = p.layout.as_ref()?.die_area_mm2();
+            let (std_area, _) = standard_floorplan(p, &bench, effort);
+            Some(vec![
+                p.requested_switches.to_string(),
+                format!("{custom:.2}"),
+                format!("{std_area:.2}"),
+            ])
+        })
+        .collect();
+    Artifact::table(
+        "fig18",
+        "Die area vs switch count: custom insertion vs constrained standard floorplanner (D_26_media)",
+        &["switches", "custom_mm2", "standard_mm2"],
+        rows,
+    )
+}

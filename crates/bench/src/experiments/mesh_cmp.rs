@@ -1,0 +1,65 @@
+//! Fig. 23: custom topologies vs the optimized mesh (paper §VIII-E).
+
+use crate::experiments::{cfg_3d, cyc, mw};
+use crate::{Artifact, Effort};
+use sunfloor_baselines::{optimized_mesh, MeshConfig};
+use sunfloor_benchmarks::all_table1_benchmarks;
+use sunfloor_core::synthesis::{synthesize, SynthesisMode};
+use sunfloor_models::NocLibrary;
+
+/// Regenerates the mesh comparison: per benchmark, custom best-power
+/// topology vs the best bandwidth-aware mapping onto a mesh with unused
+/// links removed. The paper reports ~51% average power and ~21% latency
+/// savings for the custom topologies.
+#[must_use]
+pub fn fig23(effort: Effort) -> Artifact {
+    let mut benches = all_table1_benchmarks();
+    if effort == Effort::Quick {
+        benches.truncate(2);
+    }
+    let lib = NocLibrary::lp65();
+    let mesh_cfg = MeshConfig {
+        sa_iterations: match effort {
+            Effort::Quick => 5_000,
+            Effort::Full => 40_000,
+        },
+        ..MeshConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for bench in &benches {
+        let custom = synthesize(
+            &bench.soc,
+            &bench.comm,
+            &cfg_3d(bench, SynthesisMode::Auto, effort),
+        )
+        .expect("valid benchmark");
+        let mesh = optimized_mesh(bench, &lib, &mesh_cfg);
+        let Some(best) = custom.best_power() else {
+            rows.push(vec![bench.name.clone(), "infeasible".into()]);
+            continue;
+        };
+        let ratio = best.metrics.power.total_mw() / mesh.metrics.power.total_mw();
+        rows.push(vec![
+            bench.name.clone(),
+            mw(best.metrics.power.total_mw()),
+            mw(mesh.metrics.power.total_mw()),
+            format!("{ratio:.2}"),
+            cyc(best.metrics.avg_latency_cycles),
+            cyc(mesh.metrics.avg_latency_cycles),
+        ]);
+    }
+    Artifact::table(
+        "fig23",
+        "Custom topology vs optimized mesh (best power points)",
+        &[
+            "benchmark",
+            "custom_mw",
+            "mesh_mw",
+            "custom_over_mesh",
+            "custom_lat_cyc",
+            "mesh_lat_cyc",
+        ],
+        rows,
+    )
+}

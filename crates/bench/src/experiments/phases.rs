@@ -1,0 +1,52 @@
+//! Fig. 17: Phase 2 power relative to Phase 1 across benchmarks
+//! (paper §VIII-B).
+
+use crate::experiments::{cfg_3d, mw};
+use crate::{Artifact, Effort};
+use sunfloor_benchmarks::all_table1_benchmarks;
+use sunfloor_core::synthesis::{synthesize, SynthesisMode};
+
+/// Regenerates Fig. 17: best-power topologies from Phase 2 (layer-by-layer)
+/// normalized to Phase 1, alongside the inter-layer link usage of each.
+#[must_use]
+pub fn fig17(effort: Effort) -> Artifact {
+    let mut benches = all_table1_benchmarks();
+    if effort == Effort::Quick {
+        benches.truncate(2);
+    }
+
+    let mut rows = Vec::new();
+    for bench in &benches {
+        let out1 = synthesize(
+            &bench.soc,
+            &bench.comm,
+            &cfg_3d(bench, SynthesisMode::Phase1Only, effort),
+        )
+        .expect("valid benchmark");
+        let out2 = synthesize(
+            &bench.soc,
+            &bench.comm,
+            &cfg_3d(bench, SynthesisMode::Phase2Only, effort),
+        )
+        .expect("valid benchmark");
+        let (Some(p1), Some(p2)) = (out1.best_power(), out2.best_power()) else {
+            rows.push(vec![bench.name.clone(), "infeasible".into()]);
+            continue;
+        };
+        let ratio = p2.metrics.power.total_mw() / p1.metrics.power.total_mw();
+        rows.push(vec![
+            bench.name.clone(),
+            mw(p1.metrics.power.total_mw()),
+            mw(p2.metrics.power.total_mw()),
+            format!("{ratio:.2}"),
+            p1.metrics.max_inter_layer_links().to_string(),
+            p2.metrics.max_inter_layer_links().to_string(),
+        ]);
+    }
+    Artifact::table(
+        "fig17",
+        "Phase 2 vs Phase 1 (best power points; Phase 2 normalized to Phase 1)",
+        &["benchmark", "phase1_mw", "phase2_mw", "p2_over_p1", "ill_p1", "ill_p2"],
+        rows,
+    )
+}

@@ -1,0 +1,47 @@
+//! Runtime study (paper §VIII-E, last paragraph): "It takes a few seconds
+//! to build a topology with few switches and the run time can go up 2 or 3
+//! minutes for topologies with many switches."
+
+use crate::experiments::cfg_3d;
+use crate::{Artifact, Effort};
+use std::time::Instant;
+use sunfloor_benchmarks::{media26, pipeline};
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+
+/// Times single-design-point synthesis at several switch counts on the
+/// 26-core and 65-core benchmarks.
+#[must_use]
+pub fn runtime_study(effort: Effort) -> Artifact {
+    let mut rows = Vec::new();
+    let benches = match effort {
+        Effort::Quick => vec![media26()],
+        Effort::Full => vec![media26(), pipeline(65)],
+    };
+    for bench in &benches {
+        let counts: Vec<usize> = match effort {
+            Effort::Quick => vec![4],
+            Effort::Full => vec![4, 8, 16, bench.soc.core_count().min(26)],
+        };
+        for &k in &counts {
+            let cfg = SynthesisConfig {
+                switch_count_range: Some((k, k)),
+                ..cfg_3d(bench, SynthesisMode::Auto, effort)
+            };
+            let start = Instant::now();
+            let out = synthesize(&bench.soc, &bench.comm, &cfg).expect("valid benchmark");
+            let elapsed = start.elapsed();
+            rows.push(vec![
+                bench.name.clone(),
+                k.to_string(),
+                format!("{:.3}", elapsed.as_secs_f64()),
+                out.points.len().to_string(),
+            ]);
+        }
+    }
+    Artifact::table(
+        "runtime",
+        "Synthesis wall time per design point",
+        &["benchmark", "switches", "seconds", "points"],
+        rows,
+    )
+}

@@ -1,0 +1,61 @@
+//! Table I: 2-D vs 3-D NoC comparison over six benchmarks (paper §VIII-C).
+
+use crate::experiments::{cfg_2d, cfg_3d, cyc, mw};
+use crate::{Artifact, Effort};
+use sunfloor_baselines::synthesize_2d;
+use sunfloor_benchmarks::{all_table1_benchmarks, flatten_to_2d};
+use sunfloor_core::synthesis::{synthesize, SynthesisMode};
+
+/// Regenerates Table I: per benchmark, the least-power design points of the
+/// 2-D flow and the 3-D flow — link power, switch power, total power (mW)
+/// and average zero-load latency (cycles).
+#[must_use]
+pub fn tab1(effort: Effort) -> Artifact {
+    let mut benches = all_table1_benchmarks();
+    if effort == Effort::Quick {
+        benches.truncate(2);
+    }
+
+    let mut rows = Vec::new();
+    for bench in &benches {
+        let b2 = flatten_to_2d(bench);
+        let out2 = synthesize_2d(&b2, &cfg_2d(&b2, effort)).expect("valid 2-D benchmark");
+        let out3 = synthesize(
+            &bench.soc,
+            &bench.comm,
+            &cfg_3d(bench, SynthesisMode::Auto, effort),
+        )
+        .expect("valid 3-D benchmark");
+        let (Some(p2), Some(p3)) = (out2.best_power(), out3.best_power()) else {
+            rows.push(vec![bench.name.clone(), "infeasible".into()]);
+            continue;
+        };
+        rows.push(vec![
+            bench.name.clone(),
+            mw(p2.metrics.power.link_mw()),
+            mw(p3.metrics.power.link_mw()),
+            mw(p2.metrics.power.switch_mw),
+            mw(p3.metrics.power.switch_mw),
+            mw(p2.metrics.power.total_mw()),
+            mw(p3.metrics.power.total_mw()),
+            cyc(p2.metrics.avg_latency_cycles),
+            cyc(p3.metrics.avg_latency_cycles),
+        ]);
+    }
+    Artifact::table(
+        "tab1",
+        "2-D vs 3-D NoC comparison (best power points)",
+        &[
+            "benchmark",
+            "link_2d_mw",
+            "link_3d_mw",
+            "switch_2d_mw",
+            "switch_3d_mw",
+            "total_2d_mw",
+            "total_3d_mw",
+            "lat_2d_cyc",
+            "lat_3d_cyc",
+        ],
+        rows,
+    )
+}

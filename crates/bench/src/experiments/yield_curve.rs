@@ -1,0 +1,51 @@
+//! Fig. 1: stack yield vs TSV count for three manufacturing processes.
+
+use crate::Artifact;
+use sunfloor_models::{StackingProcess, YieldModel};
+
+/// Regenerates the yield-vs-TSV-count curves motivating the `max_ill`
+/// constraint.
+#[must_use]
+pub fn fig1() -> Artifact {
+    let processes = [
+        ("mature", StackingProcess::Mature),
+        ("standard", StackingProcess::Standard),
+        ("prototype", StackingProcess::Prototype),
+    ];
+    let counts: Vec<u64> =
+        [0u64, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000].to_vec();
+    let mut rows = Vec::new();
+    for &n in &counts {
+        let mut row = vec![n.to_string()];
+        for (_, p) in &processes {
+            let y = YieldModel::for_process(*p).yield_fraction(n);
+            row.push(format!("{y:.3}"));
+        }
+        rows.push(row);
+    }
+    Artifact::table(
+        "fig1",
+        "Yield vs. TSV count (three stacking processes)",
+        &["tsvs", "mature", "standard", "prototype"],
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_decrease_and_have_knees() {
+        let Artifact::Table { rows, .. } = fig1() else { panic!("table expected") };
+        // Yield in every process column decreases down the rows.
+        for col in 1..=3 {
+            let ys: Vec<f64> = rows.iter().map(|r| r[col].parse().unwrap()).collect();
+            for w in ys.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9);
+            }
+            assert!(ys[0] > 0.8, "baseline yield should be high");
+            assert!(*ys.last().unwrap() < 0.4, "yield must collapse at 100k TSVs");
+        }
+    }
+}

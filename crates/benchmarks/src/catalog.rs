@@ -1,0 +1,61 @@
+//! The benchmark container type and the Table-I catalog.
+
+use sunfloor_core::spec::{CommSpec, SocSpec};
+
+/// A complete benchmark: core specification (with layer assignment and
+/// per-layer initial floorplan) plus the communication specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// Benchmark name using the paper's naming (`D_26_media`, …).
+    pub name: String,
+    /// Core specification.
+    pub soc: SocSpec,
+    /// Communication specification.
+    pub comm: CommSpec,
+}
+
+impl Benchmark {
+    /// Builds and validates a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated specification is internally inconsistent —
+    /// generators are expected to produce valid benchmarks.
+    #[must_use]
+    pub fn new(name: impl Into<String>, soc: SocSpec, comm: CommSpec) -> Self {
+        soc.validate().expect("generator produced an invalid core spec");
+        comm.validate(&soc).expect("generator produced an invalid comm spec");
+        Self { name: name.into(), soc, comm }
+    }
+}
+
+/// The six benchmarks of Table I, in the paper's row order:
+/// `D_36_4`, `D_36_6`, `D_36_8`, `D_35_bot`, `D_65_pipe`, `D_38_tvopd`.
+#[must_use]
+pub fn all_table1_benchmarks() -> Vec<Benchmark> {
+    vec![
+        crate::distributed(4),
+        crate::distributed(6),
+        crate::distributed(8),
+        crate::bottleneck(),
+        crate::pipeline(65),
+        crate::tvopd(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_catalog_matches_paper_rows() {
+        let benches = all_table1_benchmarks();
+        let names: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["D_36_4", "D_36_6", "D_36_8", "D_35_bot", "D_65_pipe", "D_38_tvopd"]
+        );
+        let cores: Vec<usize> = benches.iter().map(|b| b.soc.core_count()).collect();
+        assert_eq!(cores, vec![36, 36, 36, 35, 65, 38]);
+    }
+}

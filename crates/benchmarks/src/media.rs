@@ -1,0 +1,197 @@
+//! The `D_26_media` multimedia & wireless SoC case study (paper §VIII-A,
+//! Fig. 9).
+//!
+//! "The benchmark contains 26 cores with irregular sizes, and performs
+//! based-band and multimedia processing. The system includes ARM, DSP cores,
+//! multiple memory banks, DMA engine and several peripheral devices. The
+//! cores are manually mapped on to three layers in 3-D."
+
+use crate::catalog::Benchmark;
+use crate::layout2d::floorplan_layers;
+use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
+
+/// Core roster: `(name, width mm, height mm, layer)`.
+///
+/// The manual 3-layer mapping stacks the heavy producer/consumer pairs:
+/// compute cores above the memories they stream into, baseband chain on one
+/// layer with its memories above it.
+const CORES: &[(&str, f64, f64, u32)] = &[
+    // Layer 0: host + video pipeline front end.
+    ("arm", 2.6, 2.4, 0),
+    ("dsp1", 2.2, 2.0, 0),
+    ("cam_if", 1.2, 1.0, 0),
+    ("img_pre", 1.8, 1.4, 0),
+    ("vid_enc", 2.4, 2.2, 0),
+    ("dma", 1.4, 1.2, 0),
+    ("usb", 1.2, 1.4, 0),
+    ("uart", 0.8, 0.8, 0),
+    ("gpio", 0.8, 0.7, 0),
+    // Layer 1: memories + stream processing.
+    ("mem0", 1.8, 1.6, 1),
+    ("mem1", 1.8, 1.6, 1),
+    ("mem2", 1.8, 1.6, 1),
+    ("mem3", 1.8, 1.6, 1),
+    ("vid_dec", 2.4, 2.0, 1),
+    ("img_post", 1.8, 1.4, 1),
+    ("disp_ctl", 1.4, 1.2, 1),
+    ("aud_codec", 1.4, 1.3, 1),
+    // Layer 2: baseband + its memories.
+    ("dsp2", 2.2, 2.0, 2),
+    ("dsp3", 2.0, 2.0, 2),
+    ("fft", 1.6, 1.5, 2),
+    ("viterbi", 1.6, 1.4, 2),
+    ("turbo_dec", 1.7, 1.5, 2),
+    ("rf_if", 1.3, 1.1, 2),
+    ("mem4", 1.8, 1.6, 2),
+    ("mem5", 1.8, 1.6, 2),
+    ("crypto", 1.4, 1.2, 2),
+];
+
+/// Flow table: `(src, dst, bandwidth MB/s, latency budget cycles, response?)`.
+///
+/// Mirrors the Fig. 9 structure: heavy streaming along the video pipeline,
+/// processor↔memory request/response pairs, DMA fan-out, low-bandwidth
+/// control star from the ARM.
+const FLOWS: &[(&str, &str, f64, f64, bool)] = &[
+    // Video pipeline (camera -> preprocess -> encode -> memory -> decode ->
+    // postprocess -> display).
+    ("cam_if", "img_pre", 360.0, 8.0, false),
+    ("img_pre", "vid_enc", 320.0, 8.0, false),
+    ("vid_enc", "mem0", 400.0, 6.0, false),
+    ("mem0", "vid_dec", 400.0, 6.0, true),
+    ("vid_dec", "img_post", 320.0, 8.0, false),
+    ("img_post", "disp_ctl", 300.0, 8.0, false),
+    // ARM host: memory traffic + control star.
+    ("arm", "mem1", 250.0, 6.0, false),
+    ("mem1", "arm", 250.0, 6.0, true),
+    ("arm", "dma", 60.0, 10.0, false),
+    ("arm", "usb", 40.0, 12.0, false),
+    ("arm", "uart", 10.0, 14.0, false),
+    ("arm", "gpio", 10.0, 14.0, false),
+    ("arm", "disp_ctl", 30.0, 12.0, false),
+    ("arm", "crypto", 50.0, 12.0, false),
+    ("arm", "aud_codec", 40.0, 12.0, false),
+    // DSP1 signal processing against mem2.
+    ("dsp1", "mem2", 300.0, 6.0, false),
+    ("mem2", "dsp1", 300.0, 6.0, true),
+    ("dsp1", "aud_codec", 80.0, 10.0, false),
+    // DMA moves blocks among memories and USB.
+    ("dma", "mem0", 200.0, 8.0, false),
+    ("dma", "mem3", 220.0, 8.0, false),
+    ("mem3", "dma", 220.0, 8.0, true),
+    ("dma", "usb", 120.0, 10.0, false),
+    // Baseband chain on layer 2: rf -> fft -> viterbi/turbo -> dsp2/dsp3.
+    ("rf_if", "fft", 380.0, 6.0, false),
+    ("fft", "viterbi", 260.0, 8.0, false),
+    ("fft", "turbo_dec", 260.0, 8.0, false),
+    ("viterbi", "dsp2", 200.0, 8.0, false),
+    ("turbo_dec", "dsp3", 200.0, 8.0, false),
+    ("dsp2", "mem4", 320.0, 6.0, false),
+    ("mem4", "dsp2", 320.0, 6.0, true),
+    ("dsp3", "mem5", 300.0, 6.0, false),
+    ("mem5", "dsp3", 300.0, 6.0, true),
+    ("dsp2", "arm", 90.0, 10.0, false),
+    ("dsp3", "arm", 90.0, 10.0, false),
+    // Crypto sits between the baseband and host memories.
+    ("crypto", "mem5", 110.0, 10.0, false),
+    ("crypto", "mem1", 100.0, 10.0, false),
+    // Audio path.
+    ("aud_codec", "mem2", 90.0, 10.0, false),
+    // Cross-pipeline: encoded video streamed out over USB via mem3.
+    ("mem3", "usb", 150.0, 10.0, true),
+    ("vid_enc", "mem3", 180.0, 8.0, false),
+];
+
+/// Builds the `D_26_media` benchmark: 26 irregular cores on 3 layers with
+/// annealed per-layer floorplans and the Fig. 9-style communication graph.
+#[must_use]
+pub fn media26() -> Benchmark {
+    let cores: Vec<Core> = CORES
+        .iter()
+        .map(|&(name, w, h, layer)| Core {
+            name: name.to_string(),
+            width: w,
+            height: h,
+            x: 0.0,
+            y: 0.0,
+            layer,
+        })
+        .collect();
+    let mut soc = SocSpec::new(cores, 3).expect("valid core roster");
+
+    let flows: Vec<Flow> = FLOWS
+        .iter()
+        .map(|&(s, d, bw, lat, resp)| Flow {
+            src: soc.core_index(s).unwrap_or_else(|| panic!("unknown core {s}")),
+            dst: soc.core_index(d).unwrap_or_else(|| panic!("unknown core {d}")),
+            bandwidth_mbs: bw,
+            max_latency_cycles: lat,
+            message_type: if resp { MessageType::Response } else { MessageType::Request },
+        })
+        .collect();
+    let comm = CommSpec::new(flows, &soc).expect("valid flow table");
+
+    floorplan_layers(&mut soc, &comm, 0xD26_u64);
+    Benchmark::new("D_26_media", soc, comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_26_cores_on_3_layers() {
+        let b = media26();
+        assert_eq!(b.soc.core_count(), 26);
+        assert_eq!(b.soc.layers, 3);
+        for l in 0..3 {
+            assert!(!b.soc.cores_in_layer(l).is_empty(), "layer {l} empty");
+        }
+    }
+
+    #[test]
+    fn floorplans_are_legal() {
+        let b = media26();
+        // No overlapping cores within any layer.
+        for layer in 0..b.soc.layers {
+            let members = b.soc.cores_in_layer(layer);
+            for (i, &a) in members.iter().enumerate() {
+                for &c in &members[i + 1..] {
+                    let ca = &b.soc.cores[a];
+                    let cb = &b.soc.cores[c];
+                    let overlap_x = ca.x < cb.x + cb.width && cb.x < ca.x + ca.width;
+                    let overlap_y = ca.y < cb.y + cb.height && cb.y < ca.y + ca.height;
+                    assert!(
+                        !(overlap_x && overlap_y),
+                        "{} overlaps {} on layer {layer}",
+                        ca.name,
+                        cb.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_pairs_are_stacked_not_coplanar() {
+        // The paper stacks highly communicating cores: the video encoder
+        // (layer 0) streams into mem0 (layer 1); the decoder reads it there.
+        let b = media26();
+        let enc = b.soc.core_index("vid_enc").unwrap();
+        let mem0 = b.soc.core_index("mem0").unwrap();
+        assert_ne!(b.soc.cores[enc].layer, b.soc.cores[mem0].layer);
+    }
+
+    #[test]
+    fn request_response_pairs_present() {
+        let b = media26();
+        let responses =
+            b.comm.flows.iter().filter(|f| f.message_type == MessageType::Response).count();
+        assert!(responses >= 5, "memory read responses expected, got {responses}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(media26(), media26());
+    }
+}

@@ -1,0 +1,315 @@
+//! Argument parsing and run logic for the `sunfloor3d` command-line tool.
+//!
+//! ```text
+//! sunfloor3d --cores design.cores --comm design.comm [options]
+//!
+//!   --cores <file>        core specification file (required)
+//!   --comm <file>         communication specification file (required)
+//!   --max-ill <n>         vertical-link budget per boundary   [25]
+//!   --frequency <mhz>     operating frequency(s), comma list  [400]
+//!   --alpha <0..1>        bandwidth/latency weight            [1.0]
+//!   --mode <auto|phase1|phase2>                               [auto]
+//!   --switches <lo..hi>   restrict the switch-count sweep
+//!   --no-layout           skip floorplan insertion
+//!   --out <dir>           write best-point artifacts (DOT, SVG, report)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use sunfloor_core::export::{layout_to_svg, topology_to_dot};
+use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Core spec path.
+    pub cores: PathBuf,
+    /// Comm spec path.
+    pub comm: PathBuf,
+    /// Vertical-link budget.
+    pub max_ill: u32,
+    /// Frequencies to sweep, MHz.
+    pub frequencies: Vec<f64>,
+    /// Definition-3 α.
+    pub alpha: f64,
+    /// Phase selection.
+    pub mode: SynthesisMode,
+    /// Optional switch-count range.
+    pub switches: Option<(usize, usize)>,
+    /// Run floorplan insertion.
+    pub layout: bool,
+    /// Output directory for artifacts.
+    pub out: Option<PathBuf>,
+}
+
+/// CLI-level errors with user-facing messages.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad or missing arguments; the message explains which.
+    Usage(String),
+    /// Any downstream failure (I/O, parsing, synthesis).
+    Run(Box<dyn Error>),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(m) => write!(f, "{m}"),
+            Self::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl Options {
+    /// Parses the argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on unknown flags, missing values or
+    /// missing required paths.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut cores = None;
+        let mut comm = None;
+        let mut max_ill = 25u32;
+        let mut frequencies = vec![400.0];
+        let mut alpha = 1.0f64;
+        let mut mode = SynthesisMode::Auto;
+        let mut switches = None;
+        let mut layout = true;
+        let mut out = None;
+
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> Result<&String, CliError> {
+                it.next().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            match arg.as_str() {
+                "--cores" => cores = Some(PathBuf::from(value("--cores")?)),
+                "--comm" => comm = Some(PathBuf::from(value("--comm")?)),
+                "--max-ill" => {
+                    max_ill = value("--max-ill")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--max-ill expects an integer".into()))?;
+                }
+                "--frequency" => {
+                    frequencies = value("--frequency")?
+                        .split(',')
+                        .map(|t| {
+                            t.trim().parse().map_err(|_| {
+                                CliError::Usage(format!("bad frequency `{t}`"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--alpha" => {
+                    alpha = value("--alpha")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--alpha expects a number".into()))?;
+                }
+                "--mode" => {
+                    mode = match value("--mode")?.as_str() {
+                        "auto" => SynthesisMode::Auto,
+                        "phase1" => SynthesisMode::Phase1Only,
+                        "phase2" => SynthesisMode::Phase2Only,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown mode `{other}` (auto|phase1|phase2)"
+                            )))
+                        }
+                    };
+                }
+                "--switches" => {
+                    let spec = value("--switches")?;
+                    let (lo, hi) = spec.split_once("..").ok_or_else(|| {
+                        CliError::Usage("--switches expects `lo..hi`".into())
+                    })?;
+                    let lo = lo.parse().map_err(|_| {
+                        CliError::Usage(format!("bad switch count `{lo}`"))
+                    })?;
+                    let hi = hi.parse().map_err(|_| {
+                        CliError::Usage(format!("bad switch count `{hi}`"))
+                    })?;
+                    switches = Some((lo, hi));
+                }
+                "--no-layout" => layout = false,
+                "--out" => out = Some(PathBuf::from(value("--out")?)),
+                other => {
+                    return Err(CliError::Usage(format!("unknown argument `{other}`")));
+                }
+            }
+        }
+
+        Ok(Self {
+            cores: cores.ok_or_else(|| CliError::Usage("--cores <file> is required".into()))?,
+            comm: comm.ok_or_else(|| CliError::Usage("--comm <file> is required".into()))?,
+            max_ill,
+            frequencies,
+            alpha,
+            mode,
+            switches,
+            layout,
+            out,
+        })
+    }
+}
+
+/// Runs the tool: parse specs, synthesize, print the trade-off table,
+/// optionally export the best point's artifacts. Returns the rendered
+/// report.
+///
+/// # Errors
+///
+/// Propagates spec-parse, synthesis and I/O failures as [`CliError::Run`].
+pub fn run(opts: &Options) -> Result<String, CliError> {
+    let boxed = |e: Box<dyn Error>| CliError::Run(e);
+    let soc = SocSpec::parse(
+        &fs::read_to_string(&opts.cores).map_err(|e| boxed(Box::new(e)))?,
+    )
+    .map_err(|e| boxed(Box::new(e)))?;
+    let comm = CommSpec::parse(
+        &fs::read_to_string(&opts.comm).map_err(|e| boxed(Box::new(e)))?,
+        &soc,
+    )
+    .map_err(|e| boxed(Box::new(e)))?;
+
+    let cfg = SynthesisConfig {
+        frequencies_mhz: opts.frequencies.clone(),
+        max_ill: opts.max_ill,
+        alpha: opts.alpha,
+        mode: opts.mode,
+        switch_count_range: opts.switches,
+        run_layout: opts.layout,
+        ..SynthesisConfig::default()
+    };
+    let outcome = synthesize(&soc, &comm, &cfg).map_err(|e| boxed(Box::new(e)))?;
+
+    let mut report = format!(
+        "{} cores, {} layers, {} flows — {} feasible points, {} rejected\n",
+        soc.core_count(),
+        soc.layers,
+        comm.flow_count(),
+        outcome.points.len(),
+        outcome.rejected.len()
+    );
+    report.push_str("switches  total_mW  latency_cyc  max_ill\n");
+    let mut points: Vec<_> = outcome.points.iter().collect();
+    points.sort_by_key(|p| p.requested_switches);
+    for p in &points {
+        report.push_str(&format!(
+            "{:>8}  {:>8.1}  {:>11.2}  {:>7}\n",
+            p.requested_switches,
+            p.metrics.power.total_mw(),
+            p.metrics.avg_latency_cycles,
+            p.metrics.max_inter_layer_links()
+        ));
+    }
+
+    if let Some(best) = outcome.best_power() {
+        let names: Vec<String> = soc.cores.iter().map(|c| c.name.clone()).collect();
+        report.push_str("\nbest-power topology:\n");
+        report.push_str(&best.topology.describe(&names));
+        if let Some(dir) = &opts.out {
+            fs::create_dir_all(dir).map_err(|e| boxed(Box::new(e)))?;
+            fs::write(dir.join("topology.dot"), topology_to_dot(&best.topology, &soc))
+                .map_err(|e| boxed(Box::new(e)))?;
+            if let Some(layout) = &best.layout {
+                fs::write(dir.join("floorplan.svg"), layout_to_svg(layout))
+                    .map_err(|e| boxed(Box::new(e)))?;
+            }
+            fs::write(dir.join("report.txt"), &report).map_err(|e| boxed(Box::new(e)))?;
+            report.push_str(&format!("\nartifacts written to {}\n", dir.display()));
+        }
+    } else {
+        report.push_str("\nno feasible topology under the given constraints\n");
+        for r in outcome.rejected.iter().take(5) {
+            report.push_str(&format!(
+                "  rejected {} switches @ {} MHz: {}\n",
+                r.requested_switches, r.frequency_mhz, r.reason
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = Options::parse(&args(&[
+            "--cores", "a.cores", "--comm", "a.comm", "--max-ill", "12", "--frequency",
+            "400,500", "--alpha", "0.7", "--mode", "phase2", "--switches", "2..8",
+            "--no-layout", "--out", "outdir",
+        ]))
+        .unwrap();
+        assert_eq!(o.max_ill, 12);
+        assert_eq!(o.frequencies, vec![400.0, 500.0]);
+        assert_eq!(o.alpha, 0.7);
+        assert_eq!(o.mode, SynthesisMode::Phase2Only);
+        assert_eq!(o.switches, Some((2, 8)));
+        assert!(!o.layout);
+        assert_eq!(o.out, Some(PathBuf::from("outdir")));
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        let err = Options::parse(&args(&["--comm", "a.comm"])).unwrap_err();
+        assert!(err.to_string().contains("--cores"));
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        let err =
+            Options::parse(&args(&["--cores", "a", "--comm", "b", "--bogus"])).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn bad_mode_errors() {
+        let err = Options::parse(&args(&["--cores", "a", "--comm", "b", "--mode", "x"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown mode"));
+    }
+
+    #[test]
+    fn end_to_end_run_from_files() {
+        let dir = std::env::temp_dir().join("sunfloor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cores = dir.join("t.cores");
+        let comm = dir.join("t.comm");
+        std::fs::write(
+            &cores,
+            "layers 2\ncore cpu 2 2 0 0 0\ncore mem 2 2 0 0 1\ncore io 1 1 3 0 0\n",
+        )
+        .unwrap();
+        std::fs::write(&comm, "flow cpu mem 300 8 request\nflow mem cpu 300 8 response\nflow cpu io 40 10 request\n")
+            .unwrap();
+        let out = dir.join("artifacts");
+        let opts = Options::parse(&args(&[
+            "--cores",
+            cores.to_str().unwrap(),
+            "--comm",
+            comm.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.contains("best-power topology"), "{report}");
+        assert!(out.join("topology.dot").exists());
+        assert!(out.join("report.txt").exists());
+    }
+}

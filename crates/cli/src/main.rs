@@ -1,0 +1,28 @@
+//! `sunfloor3d` — synthesize an application-specific 3-D NoC from spec
+//! files. See `sunfloor_cli` for the flag reference.
+
+use std::process::ExitCode;
+use sunfloor_cli::{run, CliError, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match Options::parse(&args).and_then(|o| run(&o)) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: sunfloor3d --cores <file> --comm <file> [--max-ill N] \
+                 [--frequency MHZ[,MHZ..]] [--alpha A] [--mode auto|phase1|phase2] \
+                 [--switches lo..hi] [--no-layout] [--out DIR]"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

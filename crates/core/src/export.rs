@@ -1,0 +1,165 @@
+//! Topology and floorplan export helpers (Graphviz DOT and plain text).
+//!
+//! The paper presents synthesized topologies as graphs (Figs. 13–14) and
+//! floorplans as placed rectangles (Fig. 15). These helpers write both in
+//! formats external tools can render.
+
+use crate::layout::Layout;
+use crate::spec::{MessageType, SocSpec};
+use crate::topology::Topology;
+use std::fmt::Write as _;
+
+/// Renders the topology as a Graphviz DOT digraph: cores as boxes grouped
+/// per layer, switches as ellipses, links annotated with bandwidth and
+/// message class.
+#[must_use]
+pub fn topology_to_dot(topo: &Topology, soc: &SocSpec) -> String {
+    let mut out = String::from("digraph noc {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    for layer in 0..soc.layers {
+        let _ = writeln!(out, "  subgraph cluster_layer{layer} {{");
+        let _ = writeln!(out, "    label=\"layer {layer}\";");
+        for &c in &soc.cores_in_layer(layer) {
+            let _ = writeln!(
+                out,
+                "    core{c} [shape=box, label=\"{}\"];",
+                soc.cores[c].name
+            );
+        }
+        for s in 0..topo.switch_count() {
+            if topo.switch_layer[s] == layer {
+                let _ = writeln!(
+                    out,
+                    "    sw{s} [shape=ellipse, style=filled, fillcolor=lightgrey, \
+                     label=\"sw{s}\\n{}x{}\"];",
+                    topo.input_ports(s),
+                    topo.output_ports(s)
+                );
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (c, &s) in topo.core_attach.iter().enumerate() {
+        let _ = writeln!(out, "  core{c} -> sw{s} [dir=both, style=dashed];");
+    }
+    for l in &topo.links {
+        let color = match l.class {
+            MessageType::Request => "black",
+            MessageType::Response => "blue",
+        };
+        let _ = writeln!(
+            out,
+            "  sw{} -> sw{} [label=\"{:.1}G\", color={color}];",
+            l.from, l.to, l.bandwidth_gbps
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders per-layer floorplans as a simple SVG (one row of layers, blocks
+/// as rectangles) for quick visual inspection of insertion results.
+#[must_use]
+pub fn layout_to_svg(layout: &Layout) -> String {
+    const SCALE: f64 = 24.0;
+    const PAD: f64 = 20.0;
+    let mut max_w: f64 = 1.0;
+    let mut max_h: f64 = 1.0;
+    for plan in &layout.layers {
+        let (w, h) = plan.bounding_box();
+        max_w = max_w.max(w);
+        max_h = max_h.max(h);
+    }
+    let canvas_w = (max_w * SCALE + PAD) * layout.layers.len() as f64 + PAD;
+    let canvas_h = max_h * SCALE + 2.0 * PAD;
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{canvas_w:.0}\" height=\"{canvas_h:.0}\">\n"
+    );
+    for (i, plan) in layout.layers.iter().enumerate() {
+        let ox = PAD + i as f64 * (max_w * SCALE + PAD);
+        for b in &plan.blocks {
+            let is_noc = b.block.name.starts_with("sw") || b.block.name.starts_with("tsv");
+            let fill = if is_noc { "#ffcc66" } else { "#99ccff" };
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"{fill}\" stroke=\"black\"/>",
+                ox + b.x * SCALE,
+                PAD + (max_h - b.y - b.height()) * SCALE,
+                b.width() * SCALE,
+                b.height() * SCALE
+            );
+            let _ = writeln!(
+                out,
+                "  <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"8\">{}</text>",
+                ox + b.x * SCALE + 1.0,
+                PAD + (max_h - b.y - b.height()) * SCALE + 9.0,
+                b.block.name
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CommSpec, Core, Flow};
+    use crate::synthesis::{synthesize, SynthesisConfig};
+
+    fn design() -> (SocSpec, Topology, Layout) {
+        let soc = SocSpec::new(
+            (0..4)
+                .map(|i| Core {
+                    name: format!("c{i}"),
+                    width: 1.5,
+                    height: 1.5,
+                    x: f64::from(i % 2) * 2.0,
+                    y: 0.0,
+                    layer: u32::from(i >= 2),
+                })
+                .collect(),
+            2,
+        )
+        .unwrap();
+        let comm = CommSpec::new(
+            vec![Flow {
+                src: 0,
+                dst: 3,
+                bandwidth_mbs: 200.0,
+                max_latency_cycles: 10.0,
+                message_type: MessageType::Request,
+            }],
+            &soc,
+        )
+        .unwrap();
+        let outcome = synthesize(&soc, &comm, &SynthesisConfig::default()).unwrap();
+        let p = outcome.best_power().unwrap();
+        (soc, p.topology.clone(), p.layout.clone().expect("layout enabled"))
+    }
+
+    #[test]
+    fn dot_mentions_every_core_switch_and_link() {
+        let (soc, topo, _) = design();
+        let dot = topology_to_dot(&topo, &soc);
+        assert!(dot.starts_with("digraph noc {"));
+        for c in 0..soc.core_count() {
+            assert!(dot.contains(&format!("core{c} ")), "missing core {c}");
+        }
+        for s in 0..topo.switch_count() {
+            assert!(dot.contains(&format!("sw{s} [shape=ellipse")), "missing switch {s}");
+        }
+        assert_eq!(dot.matches(" -> sw").count() - soc.core_count(), topo.links.len());
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn svg_draws_all_blocks() {
+        let (_, _, layout) = design();
+        let svg = layout_to_svg(&layout);
+        let blocks: usize = layout.layers.iter().map(|p| p.blocks.len()).sum();
+        assert_eq!(svg.matches("<rect ").count(), blocks);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+}

@@ -1,0 +1,907 @@
+//! Path computation for inter-switch traffic flows (paper §VI).
+//!
+//! Flows are routed one at a time, in decreasing order of their Definition-3
+//! criticality, with Dijkstra over the switch graph. The cost of traversing a
+//! candidate link is the *marginal power* of carrying the flow over it
+//! (reusing an existing link is cheaper than opening a new one), plus the
+//! hard/soft constraint penalties of Algorithm 3 (`CHECK_CONSTRAINTS`):
+//!
+//! * `INF` (the edge is simply forbidden) for links across non-adjacent
+//!   layers when the technology only allows adjacent-layer TSVs, for layer
+//!   boundaries already at the `max_ill` vertical-link budget, and for
+//!   switches already at `max_switch_size` ports;
+//! * `SOFT_INF` (ten times the maximum flow cost, §VI) when a boundary is
+//!   within `soft_max_ill` of its budget or a switch within the soft size
+//!   margin — steering the router away *before* the hard limits bite.
+//!
+//! Deadlock freedom follows the approach of Hansson et al. that the paper
+//! adopts: a channel-dependency graph (CDG) is maintained *per message
+//! class* (request and response flows never share links, which removes
+//! message-dependent deadlock), and a computed path is accepted only if its
+//! link-to-link dependencies keep the class CDG acyclic. When a path would
+//! close a cycle, the offending turn is banned for the flow and routing is
+//! retried.
+
+use crate::graph::CommGraph;
+use crate::spec::MessageType;
+use crate::topology::{FlowPath, Link, Topology};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use sunfloor_models::NocLibrary;
+
+/// Constraint set handed to the router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathConfig {
+    /// Maximum directed links crossing any adjacent-layer boundary.
+    pub max_ill: u32,
+    /// Soft threshold margin: `soft_max_ill = max_ill − margin` (§VI
+    /// recommends 2–3 links).
+    pub soft_ill_margin: u32,
+    /// Maximum switch size (ports on the larger side) at the target
+    /// frequency.
+    pub max_switch_size: u32,
+    /// Soft margin below `max_switch_size`.
+    pub soft_switch_margin: u32,
+    /// Restrict switch-to-switch links to adjacent layers (Phase 2, or
+    /// technologies that cannot drill multi-layer TSVs).
+    pub adjacent_layers_only: bool,
+    /// NoC clock frequency, MHz (sets link capacity and power).
+    pub frequency_mhz: f64,
+    /// Retries when a path closes a CDG cycle before giving up.
+    pub deadlock_retries: u32,
+}
+
+impl PathConfig {
+    /// Defaults matching the paper's experimental setup (soft margins of 2
+    /// links / 1 port, multi-layer links allowed).
+    #[must_use]
+    pub fn new(max_ill: u32, max_switch_size: u32, frequency_mhz: f64) -> Self {
+        Self {
+            max_ill,
+            soft_ill_margin: 2,
+            max_switch_size,
+            soft_switch_margin: 1,
+            adjacent_layers_only: false,
+            frequency_mhz,
+            deadlock_retries: 24,
+        }
+    }
+
+    fn soft_max_ill(&self) -> u32 {
+        self.max_ill.saturating_sub(self.soft_ill_margin)
+    }
+
+    fn soft_max_switch_size(&self) -> u32 {
+        self.max_switch_size.saturating_sub(self.soft_switch_margin)
+    }
+}
+
+/// Why routing failed for a design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// A flow could not be routed within the hard constraints.
+    NoRoute {
+        /// Flow index that failed.
+        flow: usize,
+    },
+    /// The inter-layer link budget is exhausted before routing started:
+    /// the core attachments alone exceed it (pruning rule 3 of §V-C).
+    IllBudgetExhausted {
+        /// Boundary index (between layers `b` and `b+1`).
+        boundary: usize,
+        /// Crossings already required by core attachments.
+        used: u32,
+        /// The budget.
+        max_ill: u32,
+    },
+    /// No deadlock-free path could be found for a flow.
+    DeadlockUnavoidable {
+        /// Flow index that failed.
+        flow: usize,
+    },
+    /// A switch cannot host its attached cores within `max_switch_size`.
+    SwitchTooSmall {
+        /// Switch index.
+        switch: usize,
+        /// Ports needed just for core attachments.
+        needed: u32,
+        /// The limit.
+        max_switch_size: u32,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoRoute { flow } => write!(f, "no feasible route for flow {flow}"),
+            Self::IllBudgetExhausted { boundary, used, max_ill } => write!(
+                f,
+                "core attachments already need {used} vertical links at boundary {boundary} (budget {max_ill})"
+            ),
+            Self::DeadlockUnavoidable { flow } => {
+                write!(f, "no deadlock-free route for flow {flow}")
+            }
+            Self::SwitchTooSmall { switch, needed, max_switch_size } => write!(
+                f,
+                "switch {switch} needs {needed} ports for its cores alone (limit {max_switch_size})"
+            ),
+        }
+    }
+}
+
+impl Error for PathError {}
+
+/// Routes all flows over the switches, producing a complete [`Topology`].
+///
+/// `switch_layer` and `core_attach` come from Phase 1 / Phase 2
+/// partitioning; `est_switch_pos` are position estimates (core-centroid
+/// based) used for link-power costs before the placement LP runs;
+/// `core_layers` gives each core's 3-D layer and `layers` the stack height.
+///
+/// # Errors
+///
+/// Returns [`PathError`] when any flow cannot be routed within the hard
+/// constraints or without deadlock.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_paths(
+    graph: &CommGraph,
+    core_attach: &[usize],
+    switch_layer: &[u32],
+    est_switch_pos: &[(f64, f64)],
+    core_layers: &[u32],
+    layers: u32,
+    lib: &NocLibrary,
+    cfg: &PathConfig,
+    alpha: f64,
+) -> Result<Topology, PathError> {
+    let mut router = Router::new(
+        graph,
+        core_attach,
+        switch_layer,
+        est_switch_pos,
+        core_layers,
+        layers,
+        lib,
+        cfg,
+    )?;
+    router.route_all(alpha)?;
+    Ok(router.finish())
+}
+
+struct Router<'a> {
+    graph: &'a CommGraph,
+    lib: &'a NocLibrary,
+    cfg: &'a PathConfig,
+    topo: Topology,
+    /// Crossings used per adjacent-layer boundary.
+    ill: Vec<u32>,
+    in_ports: Vec<u32>,
+    out_ports: Vec<u32>,
+    /// Live links indexed by (from, to, class).
+    link_of: HashMap<(usize, usize, MessageType), usize>,
+    /// CDG per message class over *stable* link indices (dead links keep
+    /// their slot as tombstones until `finish`).
+    cdg: HashMap<MessageType, HashSet<(usize, usize)>>,
+    capacity_gbps: f64,
+    soft_inf: f64,
+}
+
+impl<'a> Router<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        graph: &'a CommGraph,
+        core_attach: &[usize],
+        switch_layer: &[u32],
+        est_switch_pos: &[(f64, f64)],
+        core_layers: &[u32],
+        layers: u32,
+        lib: &'a NocLibrary,
+        cfg: &'a PathConfig,
+    ) -> Result<Self, PathError> {
+        let nsw = switch_layer.len();
+        let boundaries = layers.saturating_sub(1) as usize;
+        let topo = Topology {
+            switch_layer: switch_layer.to_vec(),
+            switch_pos: est_switch_pos.to_vec(),
+            core_attach: core_attach.to_vec(),
+            links: Vec::new(),
+            flow_paths: vec![FlowPath::default(); graph.edge_list().len()],
+            indirect_switches: Vec::new(),
+        };
+
+        // Vertical budget consumed by core attachments, counted up front
+        // (pruning rule 3 of §V-C).
+        let mut ill = vec![0u32; boundaries];
+        for (core, &sw) in core_attach.iter().enumerate() {
+            let (cl, sl) = (core_layers[core], switch_layer[sw]);
+            let (lo, hi) = if cl <= sl { (cl, sl) } else { (sl, cl) };
+            for b in lo..hi {
+                // One TSV macro per boundary: the NI bundles both
+                // directions of the attachment through it (§III).
+                ill[b as usize] += 1;
+            }
+        }
+        for (b, &used) in ill.iter().enumerate() {
+            if used > cfg.max_ill {
+                return Err(PathError::IllBudgetExhausted {
+                    boundary: b,
+                    used,
+                    max_ill: cfg.max_ill,
+                });
+            }
+        }
+
+        let mut in_ports = vec![0u32; nsw];
+        let mut out_ports = vec![0u32; nsw];
+        for &sw in core_attach {
+            in_ports[sw] += 1;
+            out_ports[sw] += 1;
+        }
+        for (s, (&ip, &op)) in in_ports.iter().zip(&out_ports).enumerate() {
+            let needed = ip.max(op);
+            if needed > cfg.max_switch_size {
+                return Err(PathError::SwitchTooSmall {
+                    switch: s,
+                    needed,
+                    max_switch_size: cfg.max_switch_size,
+                });
+            }
+        }
+
+        let capacity_gbps = lib.link.capacity_gbps(cfg.frequency_mhz);
+
+        // SOFT_INF = ten times the maximum cost of any flow (§VI): bound the
+        // flow cost by routing the heaviest flow over the placement diameter.
+        let mut max_d = 1.0f64;
+        for a in est_switch_pos {
+            for b in est_switch_pos {
+                max_d = max_d.max((a.0 - b.0).abs() + (a.1 - b.1).abs());
+            }
+        }
+        let max_bw = graph.max_bandwidth_mbs() * 8.0 / 1000.0;
+        let max_flow_cost = lib.link.power_mw(max_d, max_bw, cfg.frequency_mhz)
+            + lib.switch.power_mw(4, 4, max_bw, cfg.frequency_mhz);
+        let soft_inf = 10.0 * max_flow_cost;
+
+        Ok(Self {
+            graph,
+            lib,
+            cfg,
+            topo,
+            ill,
+            in_ports,
+            out_ports,
+            link_of: HashMap::new(),
+            cdg: HashMap::new(),
+            capacity_gbps,
+            soft_inf,
+        })
+    }
+
+    fn route_all(&mut self, alpha: f64) -> Result<(), PathError> {
+        // Decreasing criticality; ties broken by flow index for determinism.
+        let mut order: Vec<usize> = (0..self.graph.edge_list().len()).collect();
+        order.sort_by(|&a, &b| {
+            let ea = &self.graph.edge_list()[a];
+            let eb = &self.graph.edge_list()[b];
+            let wa = self.graph.edge_weight(ea.bandwidth_mbs, ea.latency_cycles, alpha);
+            let wb = self.graph.edge_weight(eb.bandwidth_mbs, eb.latency_cycles, alpha);
+            wb.total_cmp(&wa).then(a.cmp(&b))
+        });
+
+        for idx in order {
+            self.route_flow(idx)?;
+        }
+        Ok(())
+    }
+
+    fn route_flow(&mut self, flow_idx: usize) -> Result<(), PathError> {
+        let e = self.graph.edge_list()[flow_idx];
+        let bw_gbps = e.bandwidth_mbs * 8.0 / 1000.0;
+        let s_sw = self.topo.core_attach[e.src];
+        let d_sw = self.topo.core_attach[e.dst];
+
+        if s_sw == d_sw {
+            self.topo.flow_paths[flow_idx] = FlowPath { switches: vec![s_sw] };
+            return Ok(());
+        }
+
+        let mut banned_turns: HashSet<(usize, usize)> = HashSet::new();
+        for attempt in 0..=self.cfg.deadlock_retries {
+            let Some(path) = self.dijkstra(s_sw, d_sw, bw_gbps, e.class, &banned_turns) else {
+                return if attempt == 0 {
+                    Err(PathError::NoRoute { flow: flow_idx })
+                } else {
+                    Err(PathError::DeadlockUnavoidable { flow: flow_idx })
+                };
+            };
+
+            let link_ids = self.realize_links(&path, e.class, bw_gbps, flow_idx);
+            let deps: Vec<(usize, usize)> = link_ids.windows(2).map(|w| (w[0], w[1])).collect();
+
+            if let Some(bad) = self.first_cycle_closing_dep(e.class, &deps) {
+                self.unrealize_flow(flow_idx, &link_ids, bw_gbps);
+                // Ban the second leg of the offending turn.
+                let (_, b) = bad;
+                banned_turns.insert((self.topo.links[b].from, self.topo.links[b].to));
+                continue;
+            }
+            let class_cdg = self.cdg.entry(e.class).or_default();
+            for d in deps {
+                class_cdg.insert(d);
+            }
+            self.topo.flow_paths[flow_idx] = FlowPath { switches: path };
+            return Ok(());
+        }
+        Err(PathError::DeadlockUnavoidable { flow: flow_idx })
+    }
+
+    fn dijkstra(
+        &self,
+        src: usize,
+        dst: usize,
+        bw_gbps: f64,
+        class: MessageType,
+        banned_turns: &HashSet<(usize, usize)>,
+    ) -> Option<Vec<usize>> {
+        #[derive(PartialEq)]
+        struct Entry(f64, usize);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other.0.total_cmp(&self.0) // reverse: min-heap
+            }
+        }
+
+        let nsw = self.topo.switch_count();
+        let mut dist = vec![f64::INFINITY; nsw];
+        let mut prev = vec![usize::MAX; nsw];
+        dist[src] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry(0.0, src));
+
+        while let Some(Entry(d, u)) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == dst {
+                break;
+            }
+            for v in 0..nsw {
+                if v == u || banned_turns.contains(&(u, v)) {
+                    continue;
+                }
+                let Some(cost) = self.edge_cost(u, v, bw_gbps, class) else { continue };
+                let nd = d + cost;
+                if nd + 1e-15 < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push(Entry(nd, v));
+                }
+            }
+        }
+
+        if !dist[dst].is_finite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Marginal cost of sending the flow over `u → v`, or `None` when the
+    /// edge is forbidden (Algorithm 3's `INF`).
+    fn edge_cost(&self, u: usize, v: usize, bw_gbps: f64, class: MessageType) -> Option<f64> {
+        let (lu, lv) = (self.topo.switch_layer[u], self.topo.switch_layer[v]);
+        let delta = lu.abs_diff(lv);
+
+        if self.cfg.adjacent_layers_only && delta >= 2 {
+            return None; // Algorithm 3 step 3
+        }
+
+        let dx = (self.topo.switch_pos[u].0 - self.topo.switch_pos[v].0).abs()
+            + (self.topo.switch_pos[u].1 - self.topo.switch_pos[v].1).abs();
+        let wire = self.lib.link.power_mw(dx.max(0.05), bw_gbps, self.cfg.frequency_mhz)
+            + self.lib.tsv.power_mw(delta, bw_gbps)
+            + self.lib.switch.energy_pj_per_bit * bw_gbps;
+
+        // Reuse an existing same-class link with spare capacity?
+        if let Some(&li) = self.link_of.get(&(u, v, class)) {
+            if self.topo.links[li].bandwidth_gbps + bw_gbps <= self.capacity_gbps {
+                return Some(wire);
+            }
+            // Saturated: fall through to the new-link cost below (a second
+            // parallel link would be created).
+        }
+
+        // New link: vertical budget checks (Algorithm 3 steps 3–6)…
+        let mut penalty = 0.0;
+        let (lo, hi) = if lu <= lv { (lu, lv) } else { (lv, lu) };
+        for b in lo..hi {
+            let used = self.ill[b as usize];
+            if used >= self.cfg.max_ill {
+                return None;
+            }
+            if used >= self.cfg.soft_max_ill() {
+                penalty += self.soft_inf;
+            }
+        }
+        // …and port-growth checks (steps 7–10).
+        if self.out_ports[u] + 1 > self.cfg.max_switch_size
+            || self.in_ports[v] + 1 > self.cfg.max_switch_size
+        {
+            return None;
+        }
+        if self.out_ports[u] + 1 > self.cfg.soft_max_switch_size()
+            || self.in_ports[v] + 1 > self.cfg.soft_max_switch_size()
+        {
+            penalty += self.soft_inf;
+        }
+
+        let new_ports = 2.0
+            * (self.lib.switch.dyn_mw_per_port_mhz * self.cfg.frequency_mhz
+                + self.lib.switch.leak_mw_per_port);
+        Some(wire + new_ports + penalty)
+    }
+
+    /// Ensures all links along `path` exist (creating them as needed), adds
+    /// the flow's bandwidth, and returns the link indices used, in order.
+    fn realize_links(
+        &mut self,
+        path: &[usize],
+        class: MessageType,
+        bw_gbps: f64,
+        flow_idx: usize,
+    ) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(path.len().saturating_sub(1));
+        for w in path.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            let existing = self
+                .link_of
+                .get(&(u, v, class))
+                .copied()
+                .filter(|&li| self.topo.links[li].bandwidth_gbps + bw_gbps <= self.capacity_gbps);
+            let li = match existing {
+                Some(li) => li,
+                None => {
+                    let li = self.topo.links.len();
+                    self.topo.links.push(Link {
+                        from: u,
+                        to: v,
+                        bandwidth_gbps: 0.0,
+                        flows: Vec::new(),
+                        class,
+                    });
+                    self.link_of.insert((u, v, class), li);
+                    self.out_ports[u] += 1;
+                    self.in_ports[v] += 1;
+                    let (lu, lv) = (self.topo.switch_layer[u], self.topo.switch_layer[v]);
+                    let (lo, hi) = if lu <= lv { (lu, lv) } else { (lv, lu) };
+                    for b in lo..hi {
+                        self.ill[b as usize] += 1;
+                    }
+                    li
+                }
+            };
+            self.topo.links[li].bandwidth_gbps += bw_gbps;
+            self.topo.links[li].flows.push(flow_idx);
+            ids.push(li);
+        }
+        ids
+    }
+
+    /// Rolls a flow back out of the given links. Links that become empty are
+    /// released from the port/ill budgets and the live index, but keep their
+    /// slot in `topo.links` as tombstones so CDG indices stay stable.
+    fn unrealize_flow(&mut self, flow_idx: usize, link_ids: &[usize], bw_gbps: f64) {
+        for &li in link_ids {
+            let link = &mut self.topo.links[li];
+            link.bandwidth_gbps = (link.bandwidth_gbps - bw_gbps).max(0.0);
+            if let Some(p) = link.flows.iter().rposition(|&f| f == flow_idx) {
+                link.flows.remove(p);
+            }
+            if link.flows.is_empty() {
+                let (u, v, class) = (link.from, link.to, link.class);
+                link.bandwidth_gbps = 0.0;
+                if self.link_of.get(&(u, v, class)) == Some(&li) {
+                    self.link_of.remove(&(u, v, class));
+                    self.out_ports[u] -= 1;
+                    self.in_ports[v] -= 1;
+                    let (lu, lv) = (self.topo.switch_layer[u], self.topo.switch_layer[v]);
+                    let (lo, hi) = if lu <= lv { (lu, lv) } else { (lv, lu) };
+                    for b in lo..hi {
+                        self.ill[b as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds `deps` one at a time to a copy of the class CDG and returns the
+    /// first dependency whose insertion closes a cycle, if any.
+    fn first_cycle_closing_dep(
+        &self,
+        class: MessageType,
+        deps: &[(usize, usize)],
+    ) -> Option<(usize, usize)> {
+        let base = self.cdg.get(&class);
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        if let Some(set) = base {
+            for &(a, b) in set {
+                adj.entry(a).or_default().push(b);
+            }
+        }
+        for &(a, b) in deps {
+            // Does a path b ->* a already exist? Then adding a->b closes a
+            // cycle.
+            if reachable(&adj, b, a) {
+                return Some((a, b));
+            }
+            adj.entry(a).or_default().push(b);
+        }
+        None
+    }
+
+    /// Compacts tombstoned links and returns the finished topology.
+    fn finish(mut self) -> Topology {
+        self.topo.links.retain(|l| !l.flows.is_empty());
+        self.topo
+    }
+}
+
+/// Iterative DFS reachability in a sparse adjacency map.
+fn reachable(adj: &HashMap<usize, Vec<usize>>, from: usize, to: usize) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut stack = vec![from];
+    let mut seen = HashSet::new();
+    seen.insert(from);
+    while let Some(u) = stack.pop() {
+        if let Some(next) = adj.get(&u) {
+            for &v in next {
+                if v == to {
+                    return true;
+                }
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CommSpec, Core, Flow, SocSpec};
+
+    /// 4 cores on 2 layers, 2 switches (one per layer), star traffic.
+    fn setup() -> (SocSpec, CommSpec, CommGraph) {
+        let soc = SocSpec::new(
+            (0..4)
+                .map(|i| Core {
+                    name: format!("c{i}"),
+                    width: 1.0,
+                    height: 1.0,
+                    x: f64::from(i % 2) * 3.0,
+                    y: 0.0,
+                    layer: u32::from(i >= 2),
+                })
+                .collect(),
+            2,
+        )
+        .unwrap();
+        let f = |src, dst, bw: f64, class| Flow {
+            src,
+            dst,
+            bandwidth_mbs: bw,
+            max_latency_cycles: 10.0,
+            message_type: class,
+        };
+        let comm = CommSpec::new(
+            vec![
+                f(0, 2, 400.0, MessageType::Request),
+                f(2, 0, 200.0, MessageType::Response),
+                f(1, 3, 300.0, MessageType::Request),
+                f(0, 1, 100.0, MessageType::Request),
+            ],
+            &soc,
+        )
+        .unwrap();
+        let g = CommGraph::new(&soc, &comm);
+        (soc, comm, g)
+    }
+
+    fn lib() -> NocLibrary {
+        NocLibrary::lp65()
+    }
+
+    #[test]
+    fn routes_all_flows_and_respects_structure() {
+        let (soc, _, g) = setup();
+        let cfg = PathConfig::new(25, 11, 400.0);
+        let topo = compute_paths(
+            &g,
+            &[0, 0, 1, 1],
+            &[0, 1],
+            &[(1.0, 1.0), (2.0, 1.0)],
+            &soc.cores.iter().map(|c| c.layer).collect::<Vec<_>>(),
+            2,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap();
+        // All flows have a path; same-switch flow 3 is single-hop.
+        assert_eq!(topo.flow_paths.len(), 4);
+        assert_eq!(topo.flow_paths[3].switches, vec![0]);
+        assert_eq!(topo.flow_paths[0].switches, vec![0, 1]);
+        // Request and response use separate links.
+        let classes: HashSet<MessageType> = topo.links.iter().map(|l| l.class).collect();
+        assert!(classes.contains(&MessageType::Request));
+        assert!(classes.contains(&MessageType::Response));
+        for l in &topo.links {
+            for &fi in &l.flows {
+                assert_eq!(g.edge_list()[fi].class, l.class, "class mixing on a link");
+            }
+        }
+    }
+
+    #[test]
+    fn link_bandwidth_accumulates() {
+        let (soc, _, g) = setup();
+        let cfg = PathConfig::new(25, 11, 400.0);
+        let topo = compute_paths(
+            &g,
+            &[0, 0, 1, 1],
+            &[0, 1],
+            &[(1.0, 1.0), (2.0, 1.0)],
+            &soc.cores.iter().map(|c| c.layer).collect::<Vec<_>>(),
+            2,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap();
+        // Flows 0 (400 MB/s) and 2 (300 MB/s) both go 0 -> 1 on the request
+        // link: 700 MB/s = 5.6 Gbps.
+        let req01 = topo
+            .links
+            .iter()
+            .find(|l| l.from == 0 && l.to == 1 && l.class == MessageType::Request)
+            .expect("request link 0->1");
+        assert!((req01.bandwidth_gbps - 5.6).abs() < 1e-9, "{}", req01.bandwidth_gbps);
+        assert_eq!(req01.flows.len(), 2);
+    }
+
+    #[test]
+    fn ill_budget_exhausted_by_attachments_detected() {
+        let (soc, _, g) = setup();
+        let cfg = PathConfig::new(1, 11, 400.0);
+        // Attach all cores to a single switch on layer 0: cores 2,3 (layer 1)
+        // need one vertical attachment each = 2 > 1.
+        let err = compute_paths(
+            &g,
+            &[0, 0, 0, 0],
+            &[0],
+            &[(1.5, 1.0)],
+            &soc.cores.iter().map(|c| c.layer).collect::<Vec<_>>(),
+            2,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PathError::IllBudgetExhausted { used: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn adjacent_layers_only_forces_multi_hop() {
+        // 3 layers, one switch per layer, flow from layer 0 to layer 2.
+        let soc = SocSpec::new(
+            (0..3)
+                .map(|i| Core {
+                    name: format!("c{i}"),
+                    width: 1.0,
+                    height: 1.0,
+                    x: 0.0,
+                    y: 0.0,
+                    layer: i,
+                })
+                .collect(),
+            3,
+        )
+        .unwrap();
+        let comm = CommSpec::new(
+            vec![Flow {
+                src: 0,
+                dst: 2,
+                bandwidth_mbs: 100.0,
+                max_latency_cycles: 10.0,
+                message_type: MessageType::Request,
+            }],
+            &soc,
+        )
+        .unwrap();
+        let g = CommGraph::new(&soc, &comm);
+        let mut cfg = PathConfig::new(25, 11, 400.0);
+        cfg.adjacent_layers_only = true;
+        let topo = compute_paths(
+            &g,
+            &[0, 1, 2],
+            &[0, 1, 2],
+            &[(0.0, 0.0), (0.0, 0.0), (0.0, 0.0)],
+            &[0, 1, 2],
+            3,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(topo.flow_paths[0].switches, vec![0, 1, 2], "must hop through layer 1");
+
+        // Without the restriction, the direct 0 -> 2 link wins (it is one
+        // switch cheaper).
+        cfg.adjacent_layers_only = false;
+        let topo2 = compute_paths(
+            &g,
+            &[0, 1, 2],
+            &[0, 1, 2],
+            &[(0.0, 0.0), (0.0, 0.0), (0.0, 0.0)],
+            &[0, 1, 2],
+            3,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(topo2.flow_paths[0].switches, vec![0, 2]);
+    }
+
+    #[test]
+    fn switch_size_limit_rejects_oversubscribed_attachment() {
+        let (soc, _, g) = setup();
+        let cfg = PathConfig::new(25, 3, 400.0);
+        // One switch with 4 cores: needs 4 ports for cores alone > 3.
+        let err = compute_paths(
+            &g,
+            &[0, 0, 0, 0],
+            &[0],
+            &[(1.5, 1.0)],
+            &soc.cores.iter().map(|c| c.layer).collect::<Vec<_>>(),
+            2,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PathError::SwitchTooSmall { needed: 4, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn capacity_saturation_opens_parallel_link() {
+        // Tiny capacity: force two links for two heavy flows.
+        let (soc, _, _) = setup();
+        let comm = CommSpec::new(
+            vec![
+                Flow {
+                    src: 0,
+                    dst: 2,
+                    bandwidth_mbs: 900.0, // 7.2 Gbps
+                    max_latency_cycles: 10.0,
+                    message_type: MessageType::Request,
+                },
+                Flow {
+                    src: 1,
+                    dst: 3,
+                    bandwidth_mbs: 900.0,
+                    max_latency_cycles: 10.0,
+                    message_type: MessageType::Request,
+                },
+            ],
+            &soc,
+        )
+        .unwrap();
+        let g = CommGraph::new(&soc, &comm);
+        let cfg = PathConfig::new(25, 11, 400.0); // capacity 12.8 Gbps
+        let topo = compute_paths(
+            &g,
+            &[0, 0, 1, 1],
+            &[0, 1],
+            &[(1.0, 1.0), (2.0, 1.0)],
+            &soc.cores.iter().map(|c| c.layer).collect::<Vec<_>>(),
+            2,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap();
+        let req_links: Vec<_> = topo
+            .links
+            .iter()
+            .filter(|l| l.from == 0 && l.to == 1 && l.class == MessageType::Request)
+            .collect();
+        assert_eq!(req_links.len(), 2, "14.4 Gbps cannot fit one 12.8 Gbps link");
+        for l in req_links {
+            assert!(l.bandwidth_gbps <= 12.8 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdg_stays_acyclic_per_class() {
+        let (soc, _, g) = setup();
+        let cfg = PathConfig::new(25, 11, 400.0);
+        let topo = compute_paths(
+            &g,
+            &[0, 0, 1, 1],
+            &[0, 1],
+            &[(1.0, 1.0), (2.0, 1.0)],
+            &soc.cores.iter().map(|c| c.layer).collect::<Vec<_>>(),
+            2,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap();
+        // Rebuild the CDG from the final paths and assert acyclicity.
+        for class in [MessageType::Request, MessageType::Response] {
+            let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+            let link_idx = |u: usize, v: usize| {
+                topo.links
+                    .iter()
+                    .position(|l| l.from == u && l.to == v && l.class == class)
+            };
+            for (fi, path) in topo.flow_paths.iter().enumerate() {
+                if g.edge_list()[fi].class != class {
+                    continue;
+                }
+                let hops: Vec<usize> = path
+                    .switches
+                    .windows(2)
+                    .filter_map(|w| link_idx(w[0], w[1]))
+                    .collect();
+                for w in hops.windows(2) {
+                    adj.entry(w[0]).or_default().push(w[1]);
+                }
+            }
+            // Kahn's algorithm: if all nodes drain, the graph is acyclic.
+            let nodes: HashSet<usize> =
+                adj.keys().copied().chain(adj.values().flatten().copied()).collect();
+            let mut indeg: HashMap<usize, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+            for vs in adj.values() {
+                for &v in vs {
+                    *indeg.get_mut(&v).unwrap() += 1;
+                }
+            }
+            let mut queue: Vec<usize> =
+                indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
+            let mut drained = 0;
+            while let Some(u) = queue.pop() {
+                drained += 1;
+                if let Some(vs) = adj.get(&u) {
+                    for &v in vs {
+                        let d = indeg.get_mut(&v).unwrap();
+                        *d -= 1;
+                        if *d == 0 {
+                            queue.push(v);
+                        }
+                    }
+                }
+            }
+            assert_eq!(drained, nodes.len(), "CDG for {class:?} has a cycle");
+        }
+    }
+}

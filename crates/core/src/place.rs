@@ -1,0 +1,165 @@
+//! Switch position computation (paper §VII).
+//!
+//! Builds the linear program of equations (2)–(5): switch coordinates are
+//! free variables, every core↔switch and switch↔switch connection pulls with
+//! its total bandwidth, and the bandwidth-weighted Manhattan wirelength is
+//! minimized. Coordinates are planar only — "The TSV macros do not need to
+//! be included in the LP as TSVs split the wires in two segments, both
+//! carrying the same bandwidth" (§VII), so vertical hops do not move the
+//! optimum.
+
+use crate::graph::CommGraph;
+use crate::spec::SocSpec;
+use crate::topology::Topology;
+use sunfloor_lp::{PlacementProblem, SolveError};
+
+/// Accumulated traffic between every core and its switch, and between switch
+/// pairs — the `bw_sw2core` / `bw_sw2sw` weights of equation (4).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlacementWeights {
+    /// `(core, switch, Gbps)` attractions.
+    pub core_switch: Vec<(usize, usize, f64)>,
+    /// `(switch a, switch b, Gbps)` attractions (undirected accumulation).
+    pub switch_switch: Vec<(usize, usize, f64)>,
+}
+
+impl PlacementWeights {
+    /// Extracts the placement weights from a routed topology.
+    #[must_use]
+    pub fn from_topology(topo: &Topology, graph: &CommGraph) -> Self {
+        let mut core_switch = vec![0.0f64; topo.core_attach.len()];
+        for e in graph.edge_list() {
+            core_switch[e.src] += e.bandwidth_mbs * 8.0 / 1000.0;
+            core_switch[e.dst] += e.bandwidth_mbs * 8.0 / 1000.0;
+        }
+        let cs = core_switch
+            .iter()
+            .enumerate()
+            .filter(|(_, &bw)| bw > 0.0)
+            .map(|(c, &bw)| (c, topo.core_attach[c], bw))
+            .collect();
+
+        let mut acc: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        for l in &topo.links {
+            let key = if l.from <= l.to { (l.from, l.to) } else { (l.to, l.from) };
+            *acc.entry(key).or_insert(0.0) += l.bandwidth_gbps;
+        }
+        let mut ss: Vec<(usize, usize, f64)> =
+            acc.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        ss.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        Self { core_switch: cs, switch_switch: ss }
+    }
+}
+
+/// Solves the switch-placement LP and writes the optimal coordinates into
+/// `topo.switch_pos`. Returns the optimal objective (Gbps·mm).
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] on numerical breakdown of the simplex (the
+/// model itself is always feasible and bounded).
+pub fn place_switches(
+    topo: &mut Topology,
+    soc: &SocSpec,
+    graph: &CommGraph,
+) -> Result<f64, SolveError> {
+    let weights = PlacementWeights::from_topology(topo, graph);
+    let mut problem = PlacementProblem::new(topo.switch_count());
+    for &(core, sw, bw) in &weights.core_switch {
+        problem.attract_to_fixed(sw, soc.cores[core].center(), bw);
+    }
+    for &(a, b, bw) in &weights.switch_switch {
+        problem.attract_pair(a, b, bw);
+    }
+    let positions = problem.solve()?;
+    let objective = problem.objective(&positions);
+    topo.switch_pos = positions;
+    Ok(objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{compute_paths, PathConfig};
+    use crate::spec::{CommSpec, Core, Flow, MessageType};
+    use sunfloor_models::NocLibrary;
+
+    fn setup() -> (SocSpec, CommGraph, Topology) {
+        let soc = SocSpec::new(
+            vec![
+                Core { name: "a".into(), width: 2.0, height: 2.0, x: 0.0, y: 0.0, layer: 0 },
+                Core { name: "b".into(), width: 2.0, height: 2.0, x: 6.0, y: 0.0, layer: 0 },
+                Core { name: "c".into(), width: 2.0, height: 2.0, x: 0.0, y: 6.0, layer: 0 },
+                Core { name: "d".into(), width: 2.0, height: 2.0, x: 6.0, y: 6.0, layer: 0 },
+            ],
+            1,
+        )
+        .unwrap();
+        let f = |src, dst, bw: f64| Flow {
+            src,
+            dst,
+            bandwidth_mbs: bw,
+            max_latency_cycles: 10.0,
+            message_type: MessageType::Request,
+        };
+        let comm =
+            CommSpec::new(vec![f(0, 1, 100.0), f(2, 3, 100.0), f(0, 3, 50.0)], &soc).unwrap();
+        let graph = CommGraph::new(&soc, &comm);
+        let cfg = PathConfig::new(25, 11, 400.0);
+        let topo = compute_paths(
+            &graph,
+            &[0, 0, 1, 1],
+            &[0, 0],
+            &[(3.0, 1.0), (3.0, 7.0)],
+            &[0, 0, 0, 0],
+            1,
+            &NocLibrary::lp65(),
+            &cfg,
+            1.0,
+        )
+        .unwrap();
+        (soc, graph, topo)
+    }
+
+    #[test]
+    fn weights_capture_all_traffic() {
+        let (_, graph, topo) = setup();
+        let w = PlacementWeights::from_topology(&topo, &graph);
+        // Every core sends or receives, so all 4 appear.
+        assert_eq!(w.core_switch.len(), 4);
+        // One switch pair with the 50 MB/s inter-cluster flow (0.4 Gbps).
+        assert_eq!(w.switch_switch.len(), 1);
+        assert!((w.switch_switch[0].2 - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_lands_switches_between_their_cores() {
+        let (soc, graph, mut topo) = setup();
+        let obj = place_switches(&mut topo, &soc, &graph).unwrap();
+        assert!(obj >= 0.0);
+        // Switch 0 serves cores a(1,1) and b(7,1): optimal y = 1.
+        let (x0, y0) = topo.switch_pos[0];
+        assert!((y0 - 1.0).abs() < 1e-6, "switch 0 y = {y0}");
+        assert!((1.0..=7.0).contains(&x0), "switch 0 x = {x0}");
+        // Switch 1 serves cores c(1,7) and d(7,7): optimal y = 7.
+        let (_, y1) = topo.switch_pos[1];
+        assert!((y1 - 7.0).abs() < 1e-6, "switch 1 y = {y1}");
+    }
+
+    #[test]
+    fn lp_objective_beats_centroid_heuristic() {
+        let (soc, graph, mut topo) = setup();
+        let weights = PlacementWeights::from_topology(&topo, &graph);
+        let mut problem = PlacementProblem::new(topo.switch_count());
+        for &(core, sw, bw) in &weights.core_switch {
+            problem.attract_to_fixed(sw, soc.cores[core].center(), bw);
+        }
+        for &(a, b, bw) in &weights.switch_switch {
+            problem.attract_pair(a, b, bw);
+        }
+        let obj = place_switches(&mut topo, &soc, &graph).unwrap();
+        let centroid = vec![(3.0, 1.0), (3.0, 7.0)];
+        assert!(obj <= problem.objective(&centroid) + 1e-6);
+    }
+}

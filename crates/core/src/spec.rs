@@ -1,0 +1,546 @@
+//! Input specifications: cores (with sizes, positions and 3-D layer
+//! assignment) and the application's communication characteristics.
+//!
+//! Mirrors the two input files of the original tool (paper §IV): the *core
+//! specification file* ("the name of the different cores, the sizes, and
+//! positions … The assignment of the cores to the different layers") and the
+//! *communication specification file* ("the bandwidth of communication
+//! across different cores, latency constraints and message type
+//! (request/response) of the different traffic flows").
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// One IP core: geometry plus 3-D layer assignment. Positions are the
+/// lower-left corner in the per-layer input floorplan, in millimetres.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Core {
+    /// Unique core name.
+    pub name: String,
+    /// Width in millimetres.
+    pub width: f64,
+    /// Height in millimetres.
+    pub height: f64,
+    /// Lower-left x in the layer floorplan (mm).
+    pub x: f64,
+    /// Lower-left y in the layer floorplan (mm).
+    pub y: f64,
+    /// 3-D layer index (0 = bottom die).
+    pub layer: u32,
+}
+
+impl Core {
+    /// Center of the core in its layer floorplan.
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+}
+
+/// The core specification: all cores of the SoC and the stack height.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SocSpec {
+    /// All cores, indexed by position (flow endpoints refer to these
+    /// indices).
+    pub cores: Vec<Core>,
+    /// Number of 3-D layers (1 = a 2-D design).
+    pub layers: u32,
+}
+
+impl SocSpec {
+    /// Builds and validates a specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on duplicate names, empty designs, bad layer
+    /// references or non-positive geometry.
+    pub fn new(cores: Vec<Core>, layers: u32) -> Result<Self, SpecError> {
+        let spec = Self { cores, layers };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Indices of the cores assigned to `layer`.
+    #[must_use]
+    pub fn cores_in_layer(&self, layer: u32) -> Vec<usize> {
+        (0..self.cores.len()).filter(|&i| self.cores[i].layer == layer).collect()
+    }
+
+    /// Index of the core called `name`.
+    #[must_use]
+    pub fn core_index(&self, name: &str) -> Option<usize> {
+        self.cores.iter().position(|c| c.name == name)
+    }
+
+    /// Checks all invariants.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.cores.is_empty() {
+            return Err(SpecError::EmptyDesign);
+        }
+        if self.layers == 0 {
+            return Err(SpecError::ZeroLayers);
+        }
+        let mut seen = HashMap::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.width <= 0.0 || c.height <= 0.0 {
+                return Err(SpecError::BadGeometry { core: c.name.clone() });
+            }
+            if c.layer >= self.layers {
+                return Err(SpecError::LayerOutOfRange {
+                    core: c.name.clone(),
+                    layer: c.layer,
+                    layers: self.layers,
+                });
+            }
+            if let Some(first) = seen.insert(c.name.clone(), i) {
+                let _ = first;
+                return Err(SpecError::DuplicateCore { name: c.name.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens the design onto a single layer, *keeping positions
+    /// unchanged*. Used when handing a 3-D benchmark to the 2-D flow after a
+    /// fresh single-die floorplan has been computed.
+    #[must_use]
+    pub fn flattened(&self) -> Self {
+        let mut cores = self.cores.clone();
+        for c in &mut cores {
+            c.layer = 0;
+        }
+        Self { cores, layers: 1 }
+    }
+
+    /// Serializes to the plain-text core-spec format (see [`Self::parse`]).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# SunFloor 3D core specification\n");
+        out.push_str(&format!("layers {}\n", self.layers));
+        for c in &self.cores {
+            out.push_str(&format!(
+                "core {} {} {} {} {} {}\n",
+                c.name, c.width, c.height, c.x, c.y, c.layer
+            ));
+        }
+        out
+    }
+
+    /// Parses the plain-text core-spec format:
+    ///
+    /// ```text
+    /// layers <n>
+    /// core <name> <width> <height> <x> <y> <layer>
+    /// ```
+    ///
+    /// Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] with the line number on malformed input
+    /// and any validation error on inconsistent content.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut layers = 1u32;
+        let mut cores = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let parse_err = |what: &str| SpecError::Parse { line: ln + 1, what: what.to_string() };
+            match it.next() {
+                Some("layers") => {
+                    layers = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| parse_err("expected `layers <n>`"))?;
+                }
+                Some("core") => {
+                    let name = it.next().ok_or_else(|| parse_err("missing core name"))?;
+                    let mut num = |what: &str| -> Result<f64, SpecError> {
+                        it.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| parse_err(what))
+                    };
+                    let width = num("missing width")?;
+                    let height = num("missing height")?;
+                    let x = num("missing x")?;
+                    let y = num("missing y")?;
+                    let layer = num("missing layer")? as u32;
+                    cores.push(Core { name: name.to_string(), width, height, x, y, layer });
+                }
+                Some(tok) => {
+                    return Err(parse_err(&format!("unknown directive `{tok}`")));
+                }
+                None => unreachable!("empty lines were skipped"),
+            }
+        }
+        Self::new(cores, layers)
+    }
+}
+
+/// Whether a flow carries requests or responses. Keeping the two classes on
+/// disjoint channel-dependency graphs removes message-dependent deadlock
+/// (§VI, after Hansson et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MessageType {
+    /// Request traffic (reads, writes).
+    #[default]
+    Request,
+    /// Response traffic (read data, acknowledgements).
+    Response,
+}
+
+/// One traffic flow of the communication specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// Source core index.
+    pub src: usize,
+    /// Destination core index.
+    pub dst: usize,
+    /// Average bandwidth in megabytes per second (as annotated on the
+    /// paper's communication graphs).
+    pub bandwidth_mbs: f64,
+    /// Maximum tolerated zero-load latency, in cycles.
+    pub max_latency_cycles: f64,
+    /// Message class of the flow.
+    pub message_type: MessageType,
+}
+
+impl Flow {
+    /// Bandwidth in gigabits per second.
+    #[must_use]
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_mbs * 8.0 / 1000.0
+    }
+}
+
+/// The communication specification: every traffic flow of the application.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CommSpec {
+    /// All flows.
+    pub flows: Vec<Flow>,
+}
+
+impl CommSpec {
+    /// Builds and validates against a core specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on out-of-range endpoints, self-flows or
+    /// non-positive bandwidth/latency.
+    pub fn new(flows: Vec<Flow>, soc: &SocSpec) -> Result<Self, SpecError> {
+        let spec = Self { flows };
+        spec.validate(soc)?;
+        Ok(spec)
+    }
+
+    /// Number of flows.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total application bandwidth in megabytes per second.
+    #[must_use]
+    pub fn total_bandwidth_mbs(&self) -> f64 {
+        self.flows.iter().map(|f| f.bandwidth_mbs).sum()
+    }
+
+    /// Checks all invariants against `soc`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn validate(&self, soc: &SocSpec) -> Result<(), SpecError> {
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.src >= soc.core_count() || f.dst >= soc.core_count() {
+                return Err(SpecError::FlowEndpointOutOfRange { flow: i });
+            }
+            if f.src == f.dst {
+                return Err(SpecError::SelfFlow { flow: i });
+            }
+            if f.bandwidth_mbs <= 0.0 || f.max_latency_cycles <= 0.0 {
+                return Err(SpecError::BadFlowNumbers { flow: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the plain-text comm-spec format (see [`Self::parse`]).
+    #[must_use]
+    pub fn to_text(&self, soc: &SocSpec) -> String {
+        let mut out = String::from("# SunFloor 3D communication specification\n");
+        for f in &self.flows {
+            let kind = match f.message_type {
+                MessageType::Request => "request",
+                MessageType::Response => "response",
+            };
+            out.push_str(&format!(
+                "flow {} {} {} {} {}\n",
+                soc.cores[f.src].name, soc.cores[f.dst].name, f.bandwidth_mbs,
+                f.max_latency_cycles, kind
+            ));
+        }
+        out
+    }
+
+    /// Parses the plain-text comm-spec format:
+    ///
+    /// ```text
+    /// flow <src_core> <dst_core> <bandwidth_MBs> <max_latency_cycles> <request|response>
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on malformed lines, unknown core names,
+    /// and any validation error.
+    pub fn parse(text: &str, soc: &SocSpec) -> Result<Self, SpecError> {
+        let mut flows = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parse_err = |what: &str| SpecError::Parse { line: ln + 1, what: what.to_string() };
+            let mut it = line.split_whitespace();
+            match it.next() {
+                Some("flow") => {
+                    let src_name = it.next().ok_or_else(|| parse_err("missing source"))?;
+                    let dst_name = it.next().ok_or_else(|| parse_err("missing destination"))?;
+                    let src = soc
+                        .core_index(src_name)
+                        .ok_or_else(|| parse_err(&format!("unknown core `{src_name}`")))?;
+                    let dst = soc
+                        .core_index(dst_name)
+                        .ok_or_else(|| parse_err(&format!("unknown core `{dst_name}`")))?;
+                    let bandwidth_mbs: f64 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| parse_err("missing bandwidth"))?;
+                    let max_latency_cycles: f64 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| parse_err("missing latency"))?;
+                    let message_type = match it.next() {
+                        Some("request") | None => MessageType::Request,
+                        Some("response") => MessageType::Response,
+                        Some(other) => {
+                            return Err(parse_err(&format!("unknown message type `{other}`")))
+                        }
+                    };
+                    flows.push(Flow { src, dst, bandwidth_mbs, max_latency_cycles, message_type });
+                }
+                Some(tok) => return Err(parse_err(&format!("unknown directive `{tok}`"))),
+                None => unreachable!(),
+            }
+        }
+        Self::new(flows, soc)
+    }
+}
+
+/// Errors raised while building or parsing specifications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The design has no cores.
+    EmptyDesign,
+    /// `layers` was zero.
+    ZeroLayers,
+    /// Two cores share a name.
+    DuplicateCore {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A core has non-positive width or height.
+    BadGeometry {
+        /// Core name.
+        core: String,
+    },
+    /// A core references a layer `>= layers`.
+    LayerOutOfRange {
+        /// Core name.
+        core: String,
+        /// Offending layer.
+        layer: u32,
+        /// Number of layers in the design.
+        layers: u32,
+    },
+    /// A flow references a core index out of range.
+    FlowEndpointOutOfRange {
+        /// Flow index.
+        flow: usize,
+    },
+    /// A flow connects a core to itself.
+    SelfFlow {
+        /// Flow index.
+        flow: usize,
+    },
+    /// A flow has non-positive bandwidth or latency budget.
+    BadFlowNumbers {
+        /// Flow index.
+        flow: usize,
+    },
+    /// A text file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDesign => write!(f, "design contains no cores"),
+            Self::ZeroLayers => write!(f, "design must have at least one layer"),
+            Self::DuplicateCore { name } => write!(f, "duplicate core name `{name}`"),
+            Self::BadGeometry { core } => {
+                write!(f, "core `{core}` has non-positive dimensions")
+            }
+            Self::LayerOutOfRange { core, layer, layers } => {
+                write!(f, "core `{core}` assigned to layer {layer} of {layers}")
+            }
+            Self::FlowEndpointOutOfRange { flow } => {
+                write!(f, "flow {flow} references a core out of range")
+            }
+            Self::SelfFlow { flow } => write!(f, "flow {flow} connects a core to itself"),
+            Self::BadFlowNumbers { flow } => {
+                write!(f, "flow {flow} has non-positive bandwidth or latency")
+            }
+            Self::Parse { line, what } => write!(f, "parse error at line {line}: {what}"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_soc() -> SocSpec {
+        SocSpec::new(
+            vec![
+                Core { name: "cpu".into(), width: 2.0, height: 2.0, x: 0.0, y: 0.0, layer: 0 },
+                Core { name: "mem".into(), width: 1.0, height: 1.0, x: 3.0, y: 0.0, layer: 1 },
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_core_spec_text() {
+        let soc = tiny_soc();
+        let parsed = SocSpec::parse(&soc.to_text()).unwrap();
+        assert_eq!(parsed, soc);
+    }
+
+    #[test]
+    fn roundtrip_comm_spec_text() {
+        let soc = tiny_soc();
+        let comm = CommSpec::new(
+            vec![
+                Flow {
+                    src: 0,
+                    dst: 1,
+                    bandwidth_mbs: 400.0,
+                    max_latency_cycles: 6.0,
+                    message_type: MessageType::Request,
+                },
+                Flow {
+                    src: 1,
+                    dst: 0,
+                    bandwidth_mbs: 100.0,
+                    max_latency_cycles: 8.0,
+                    message_type: MessageType::Response,
+                },
+            ],
+            &soc,
+        )
+        .unwrap();
+        let parsed = CommSpec::parse(&comm.to_text(&soc), &soc).unwrap();
+        assert_eq!(parsed, comm);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\nlayers 2\ncore a 1 1 0 0 0 # trailing comment\ncore b 1 1 2 0 1\n";
+        let soc = SocSpec::parse(text).unwrap();
+        assert_eq!(soc.core_count(), 2);
+        assert_eq!(soc.cores[1].layer, 1);
+    }
+
+    #[test]
+    fn duplicate_core_rejected() {
+        let err = SocSpec::parse("core a 1 1 0 0 0\ncore a 1 1 2 0 0\n").unwrap_err();
+        assert_eq!(err, SpecError::DuplicateCore { name: "a".into() });
+    }
+
+    #[test]
+    fn layer_out_of_range_rejected() {
+        let err = SocSpec::parse("layers 2\ncore a 1 1 0 0 5\n").unwrap_err();
+        assert!(matches!(err, SpecError::LayerOutOfRange { layer: 5, layers: 2, .. }));
+    }
+
+    #[test]
+    fn self_flow_rejected() {
+        let soc = tiny_soc();
+        let err = CommSpec::parse("flow cpu cpu 10 5 request\n", &soc).unwrap_err();
+        assert_eq!(err, SpecError::SelfFlow { flow: 0 });
+    }
+
+    #[test]
+    fn unknown_core_in_flow_rejected() {
+        let soc = tiny_soc();
+        let err = CommSpec::parse("flow cpu gpu 10 5 request\n", &soc).unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("gpu"));
+    }
+
+    #[test]
+    fn default_message_type_is_request() {
+        let soc = tiny_soc();
+        let comm = CommSpec::parse("flow cpu mem 10 5\n", &soc).unwrap();
+        assert_eq!(comm.flows[0].message_type, MessageType::Request);
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        let f = Flow {
+            src: 0,
+            dst: 1,
+            bandwidth_mbs: 1000.0,
+            max_latency_cycles: 5.0,
+            message_type: MessageType::Request,
+        };
+        assert!((f.bandwidth_gbps() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cores_in_layer_filters() {
+        let soc = tiny_soc();
+        assert_eq!(soc.cores_in_layer(0), vec![0]);
+        assert_eq!(soc.cores_in_layer(1), vec![1]);
+    }
+
+    #[test]
+    fn flattened_moves_everyone_to_layer_zero() {
+        let flat = tiny_soc().flattened();
+        assert_eq!(flat.layers, 1);
+        assert!(flat.cores.iter().all(|c| c.layer == 0));
+    }
+}

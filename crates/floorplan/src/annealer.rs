@@ -1,0 +1,379 @@
+//! Simulated-annealing floorplanner over sequence pairs.
+
+use crate::geometry::{Block, Floorplan, Net};
+use crate::seqpair::SequencePair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a simulated-annealing floorplanning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealConfig {
+    /// Total accepted/rejected move attempts.
+    pub iterations: u32,
+    /// Weight of wirelength relative to area in the cost function.
+    pub lambda_wirelength: f64,
+    /// Weight of the aspect-ratio penalty `area·(max(w,h)/min(w,h) − 1)`.
+    /// Many block sets pack into minimal area as a degenerate strip; dies
+    /// must stay near-square, so this defaults on.
+    pub lambda_aspect: f64,
+    /// RNG seed — identical seeds give identical floorplans.
+    pub rng_seed: u64,
+    /// Optional fixed outline `(width, height)`; exceeding it is penalized
+    /// heavily (fixed-outline mode of Parquet-class tools).
+    pub outline: Option<(f64, f64)>,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 30_000,
+            lambda_wirelength: 0.35,
+            lambda_aspect: 0.3,
+            rng_seed: 0x5EED,
+            outline: None,
+        }
+    }
+}
+
+impl AnnealConfig {
+    /// Overrides the RNG seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Overrides the iteration budget (builder style).
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+}
+
+/// Floorplans `blocks` minimizing `area + λ·HPWL(nets)`.
+///
+/// This is the "standard floorplanner" role of the flow: generating the
+/// initial core placement per layer (paper §VIII-A obtains them "using
+/// existing tools", i.e. Parquet, with "the same objectives of minimizing
+/// area and wire-length").
+///
+/// # Panics
+///
+/// Panics if any net references a block index out of range.
+#[must_use]
+pub fn anneal(blocks: &[Block], nets: &[Net], cfg: &AnnealConfig) -> Floorplan {
+    if blocks.is_empty() {
+        return Floorplan::default();
+    }
+    for net in nets {
+        for &p in &net.pins {
+            assert!(p < blocks.len(), "net references block {p} out of range");
+        }
+    }
+    let movable: Vec<bool> = vec![true; blocks.len()];
+    run_sa(blocks, nets, &movable, None, cfg)
+}
+
+/// Like [`anneal`], but additionally pulls selected blocks towards target
+/// positions: `targets[i] = Some((x, y, weight))` charges `weight` per
+/// millimetre of Manhattan deviation of block `i`'s center from `(x, y)`.
+///
+/// Used to align a layer's floorplan under the cores it communicates with
+/// in already-placed layers — the paper's "highly communicating cores are
+/// placed one above the other" policy.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != blocks.len()` or a net references a block
+/// out of range.
+#[must_use]
+pub fn anneal_toward(
+    blocks: &[Block],
+    nets: &[Net],
+    targets: &[Option<(f64, f64, f64)>],
+    cfg: &AnnealConfig,
+) -> Floorplan {
+    assert_eq!(targets.len(), blocks.len(), "one target slot per block");
+    if blocks.is_empty() {
+        return Floorplan::default();
+    }
+    for net in nets {
+        for &p in &net.pins {
+            assert!(p < blocks.len(), "net references block {p} out of range");
+        }
+    }
+    let movable: Vec<bool> = vec![true; blocks.len()];
+    run_sa(blocks, nets, &movable, Some(targets), cfg)
+}
+
+/// Input to [`anneal_constrained`]: an existing placement plus component
+/// ideal positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstrainedInput {
+    /// All blocks; indices `0..fixed_order_count` are cores whose relative
+    /// order must be preserved, the rest are NoC components free to move.
+    pub blocks: Vec<Block>,
+    /// Seed sequence pair (typically [`SequencePair::from_placement`] of the
+    /// input floorplan with components appended).
+    pub seed: SequencePair,
+    /// `ideal[i]` is the LP-computed target center for block `i` with a
+    /// penalty weight (cost per mm of Manhattan deviation), if any.
+    pub ideal: Vec<Option<(f64, f64, f64)>>,
+    /// Number of leading blocks that are order-frozen cores.
+    pub fixed_order_count: usize,
+}
+
+/// The §VIII-D baseline: a standard annealer constrained to keep the cores'
+/// relative order intact while inserting NoC components, minimizing area and
+/// the components' displacement from their ideal positions.
+///
+/// # Panics
+///
+/// Panics if the seed sequence pair length disagrees with `blocks`.
+#[must_use]
+pub fn anneal_constrained(input: &ConstrainedInput, nets: &[Net], cfg: &AnnealConfig) -> Floorplan {
+    assert_eq!(input.seed.len(), input.blocks.len(), "seed/blocks length mismatch");
+    let movable: Vec<bool> =
+        (0..input.blocks.len()).map(|i| i >= input.fixed_order_count).collect();
+    run_sa_seeded(
+        &input.blocks,
+        nets,
+        &movable,
+        Some(&input.ideal),
+        input.seed.clone(),
+        cfg,
+    )
+}
+
+fn run_sa(
+    blocks: &[Block],
+    nets: &[Net],
+    movable: &[bool],
+    ideal: Option<&[Option<(f64, f64, f64)>]>,
+    cfg: &AnnealConfig,
+) -> Floorplan {
+    run_sa_seeded(blocks, nets, movable, ideal, SequencePair::identity(blocks.len()), cfg)
+}
+
+fn run_sa_seeded(
+    blocks: &[Block],
+    nets: &[Net],
+    movable: &[bool],
+    ideal: Option<&[Option<(f64, f64, f64)>]>,
+    seed_sp: SequencePair,
+    cfg: &AnnealConfig,
+) -> Floorplan {
+    let n = blocks.len();
+    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+    let mut sp = seed_sp;
+    let mut rotated = vec![false; n];
+
+    let cost = |sp: &SequencePair, rotated: &[bool]| -> (f64, Floorplan) {
+        let plan = sp.pack(blocks, rotated);
+        let mut c = plan.area() + cfg.lambda_wirelength * plan.hpwl(nets);
+        let (w, h) = plan.bounding_box();
+        if w > 0.0 && h > 0.0 {
+            let aspect = if w > h { w / h } else { h / w };
+            c += cfg.lambda_aspect * plan.area() * (aspect - 1.0);
+        }
+        if let Some((ow, oh)) = cfg.outline {
+            let (w, h) = plan.bounding_box();
+            let over = (w - ow).max(0.0) + (h - oh).max(0.0);
+            c += 50.0 * over * over + 100.0 * over;
+        }
+        if let Some(targets) = ideal {
+            for (b, t) in plan.blocks.iter().zip(targets) {
+                if let Some((tx, ty, weight)) = t {
+                    let (cx, cy) = b.center();
+                    c += weight * ((cx - tx).abs() + (cy - ty).abs());
+                }
+            }
+        }
+        (c, plan)
+    };
+
+    let (mut cur_cost, mut cur_plan) = cost(&sp, &rotated);
+    let mut best_cost = cur_cost;
+    let mut best_plan = cur_plan.clone();
+
+    if n < 2 {
+        return best_plan;
+    }
+
+    // Temperature schedule: start where ~an average move is accepted with
+    // p≈0.8, decay geometrically to near-greedy.
+    let movable_idx: Vec<usize> = (0..n).filter(|&i| movable[i]).collect();
+    if movable_idx.is_empty() {
+        return best_plan;
+    }
+    let mut temp = (cur_cost * 0.1).max(1e-6);
+    let t_final = temp * 1e-4;
+    let alpha = (t_final / temp).powf(1.0 / f64::from(cfg.iterations.max(2)));
+
+    for _ in 0..cfg.iterations {
+        let mut cand_sp = sp.clone();
+        let mut cand_rot = rotated.clone();
+        let m = movable_idx[rng.gen_range(0..movable_idx.len())];
+        match rng.gen_range(0..4u8) {
+            0 => reinsert(&mut cand_sp.pos, m, &mut rng),
+            1 => reinsert(&mut cand_sp.neg, m, &mut rng),
+            2 => {
+                reinsert(&mut cand_sp.pos, m, &mut rng);
+                reinsert(&mut cand_sp.neg, m, &mut rng);
+            }
+            _ => {
+                if blocks[m].rotatable {
+                    cand_rot[m] = !cand_rot[m];
+                } else {
+                    reinsert(&mut cand_sp.pos, m, &mut rng);
+                }
+            }
+        }
+
+        let (cand_cost, cand_plan) = cost(&cand_sp, &cand_rot);
+        let delta = cand_cost - cur_cost;
+        if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
+            sp = cand_sp;
+            rotated = cand_rot;
+            cur_cost = cand_cost;
+            cur_plan = cand_plan;
+            if cur_cost < best_cost {
+                best_cost = cur_cost;
+                best_plan = cur_plan.clone();
+            }
+        }
+        temp *= alpha;
+    }
+    best_plan
+}
+
+/// Removes block `b` from the permutation and reinserts it at a random
+/// position — a move that preserves the relative order of all other blocks,
+/// which is what keeps the cores' arrangement intact in constrained mode.
+fn reinsert(perm: &mut Vec<usize>, b: usize, rng: &mut StdRng) {
+    let from = perm.iter().position(|&x| x == b).expect("block in permutation");
+    perm.remove(from);
+    let to = rng.gen_range(0..=perm.len());
+    perm.insert(to, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PlacedBlock;
+
+    fn blocks_mixed() -> Vec<Block> {
+        vec![
+            Block::new("a", 2.0, 3.0),
+            Block::new("b", 3.0, 2.0),
+            Block::new("c", 1.0, 1.0),
+            Block::new("d", 2.0, 2.0),
+            Block::new("e", 1.0, 2.0),
+            Block::new("f", 2.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn result_is_legal_and_reasonably_tight() {
+        let blocks = blocks_mixed();
+        let plan = anneal(&blocks, &[], &AnnealConfig::default().with_iterations(8000));
+        assert!(plan.overlapping_pair().is_none());
+        let cell: f64 = plan.cell_area();
+        assert!(plan.area() <= 2.0 * cell, "area {} vs cells {}", plan.area(), cell);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let blocks = blocks_mixed();
+        let cfg = AnnealConfig::default().with_iterations(2000).with_seed(42);
+        let a = anneal(&blocks, &[], &cfg);
+        let b = anneal(&blocks, &[], &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wirelength_objective_pulls_connected_blocks_together() {
+        // Many blocks, one heavily connected pair: with a strong lambda the
+        // pair should end close.
+        let blocks: Vec<Block> =
+            (0..8).map(|i| Block::new(format!("b{i}"), 2.0, 2.0)).collect();
+        let nets = vec![Net::two_pin(0, 7, 50.0)];
+        let cfg = AnnealConfig {
+            iterations: 15_000,
+            lambda_wirelength: 2.0,
+            ..AnnealConfig::default()
+        };
+        let plan = anneal(&blocks, &nets, &cfg);
+        let (ax, ay) = plan.blocks[0].center();
+        let (bx, by) = plan.blocks[7].center();
+        let dist = (ax - bx).abs() + (ay - by).abs();
+        assert!(dist <= 6.0, "connected blocks ended {dist} apart");
+    }
+
+    #[test]
+    fn rotatable_blocks_can_rotate() {
+        let blocks = vec![
+            Block::new("tall", 1.0, 6.0).rotatable(),
+            Block::new("flat", 6.0, 1.0),
+        ];
+        let plan = anneal(&blocks, &[], &AnnealConfig::default().with_iterations(4000));
+        assert!(plan.overlapping_pair().is_none());
+        // Best packing rotates the tall block to stack two 6x1 rows.
+        assert!(plan.area() <= 14.0, "area {}", plan.area());
+    }
+
+    #[test]
+    fn empty_and_single_block_inputs() {
+        assert_eq!(anneal(&[], &[], &AnnealConfig::default()).blocks.len(), 0);
+        let one = anneal(&[Block::new("solo", 2.0, 2.0)], &[], &AnnealConfig::default());
+        assert_eq!(one.blocks.len(), 1);
+        assert_eq!(one.area(), 4.0);
+    }
+
+    #[test]
+    fn constrained_mode_preserves_core_relative_order() {
+        // Cores in a fixed row; two components to insert.
+        let cores = vec![
+            PlacedBlock::new(Block::new("c0", 2.0, 2.0), 0.0, 0.0),
+            PlacedBlock::new(Block::new("c1", 2.0, 2.0), 2.5, 0.0),
+            PlacedBlock::new(Block::new("c2", 2.0, 2.0), 5.0, 0.0),
+        ];
+        let mut blocks: Vec<Block> = cores.iter().map(|p| p.block.clone()).collect();
+        blocks.push(Block::new("sw0", 0.5, 0.5));
+        blocks.push(Block::new("sw1", 0.5, 0.5));
+        let mut placed = cores.clone();
+        placed.push(PlacedBlock::new(blocks[3].clone(), 1.0, 2.5));
+        placed.push(PlacedBlock::new(blocks[4].clone(), 4.0, 2.5));
+        let input = ConstrainedInput {
+            seed: SequencePair::from_placement(&placed),
+            blocks,
+            ideal: vec![None, None, None, Some((1.2, 2.2, 2.0)), Some((4.2, 2.2, 2.0))],
+            fixed_order_count: 3,
+        };
+        let plan =
+            anneal_constrained(&input, &[], &AnnealConfig::default().with_iterations(5000));
+        assert!(plan.overlapping_pair().is_none());
+        // Core x-order must be preserved: c0 left of c1 left of c2.
+        let x0 = plan.blocks[0].center().0;
+        let x1 = plan.blocks[1].center().0;
+        let x2 = plan.blocks[2].center().0;
+        assert!(x0 < x1 && x1 < x2, "core order broken: {x0} {x1} {x2}");
+    }
+
+    #[test]
+    fn fixed_outline_is_respected_when_feasible() {
+        let blocks: Vec<Block> =
+            (0..6).map(|i| Block::new(format!("b{i}"), 2.0, 2.0)).collect();
+        let cfg = AnnealConfig {
+            iterations: 20_000,
+            lambda_wirelength: 0.0,
+            rng_seed: 3,
+            outline: Some((6.5, 6.5)),
+            ..AnnealConfig::default()
+        };
+        let plan = anneal(&blocks, &[], &cfg);
+        let (w, h) = plan.bounding_box();
+        assert!(w <= 6.5 + 1e-9 && h <= 6.5 + 1e-9, "outline exceeded: {w}x{h}");
+    }
+}

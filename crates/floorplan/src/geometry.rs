@@ -1,0 +1,295 @@
+//! Blocks, rectangles, placements and floorplan-level metrics.
+
+/// An axis-aligned rectangle with its lower-left corner at `(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Lower-left x.
+    pub x: f64,
+    /// Lower-left y.
+    pub y: f64,
+    /// Width (x extent).
+    pub w: f64,
+    /// Height (y extent).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    #[must_use]
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Self { x, y, w, h }
+    }
+
+    /// Center point.
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Whether the *interiors* of the rectangles intersect (shared edges do
+    /// not count as overlap).
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const TOL: f64 = 1e-9;
+        self.x + self.w > other.x + TOL
+            && other.x + other.w > self.x + TOL
+            && self.y + self.h > other.y + TOL
+            && other.y + other.h > self.y + TOL
+    }
+
+    /// Area of the rectangle.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+}
+
+/// A rectangular block (core, switch or TSV macro) before placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Human-readable name, kept through the flow for reporting.
+    pub name: String,
+    /// Width in millimetres.
+    pub width: f64,
+    /// Height in millimetres.
+    pub height: f64,
+    /// Whether the annealer may rotate the block by 90°.
+    pub rotatable: bool,
+}
+
+impl Block {
+    /// A non-rotatable block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "block dimensions must be positive");
+        Self { name: name.into(), width, height, rotatable: false }
+    }
+
+    /// A block the annealer may rotate (builder style).
+    #[must_use]
+    pub fn rotatable(mut self) -> Self {
+        self.rotatable = true;
+        self
+    }
+
+    /// Block area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+/// A block with a concrete position (and possibly a 90° rotation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedBlock {
+    /// The block being placed.
+    pub block: Block,
+    /// Lower-left x.
+    pub x: f64,
+    /// Lower-left y.
+    pub y: f64,
+    /// Whether the block is rotated by 90°.
+    pub rotated: bool,
+}
+
+impl PlacedBlock {
+    /// Places `block` with its lower-left corner at `(x, y)`, unrotated.
+    #[must_use]
+    pub fn new(block: Block, x: f64, y: f64) -> Self {
+        Self { block, x, y, rotated: false }
+    }
+
+    /// Effective width, accounting for rotation.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        if self.rotated {
+            self.block.height
+        } else {
+            self.block.width
+        }
+    }
+
+    /// Effective height, accounting for rotation.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        if self.rotated {
+            self.block.width
+        } else {
+            self.block.height
+        }
+    }
+
+    /// Occupied rectangle.
+    #[must_use]
+    pub fn rect(&self) -> Rect {
+        Rect::new(self.x, self.y, self.width(), self.height())
+    }
+
+    /// Center point.
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        self.rect().center()
+    }
+}
+
+/// A multi-pin net connecting blocks (by index) with a weight; wirelength is
+/// measured as weighted half-perimeter (HPWL) over block centers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Indices of connected blocks.
+    pub pins: Vec<usize>,
+    /// Net weight (typically communication bandwidth).
+    pub weight: f64,
+}
+
+impl Net {
+    /// A two-pin net.
+    #[must_use]
+    pub fn two_pin(a: usize, b: usize, weight: f64) -> Self {
+        Self { pins: vec![a, b], weight }
+    }
+}
+
+/// A set of placed blocks on one die/layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Floorplan {
+    /// The placed blocks.
+    pub blocks: Vec<PlacedBlock>,
+}
+
+impl Floorplan {
+    /// Bounding box `(width, height)` of all blocks, anchored at the
+    /// minimum coordinates actually used.
+    #[must_use]
+    pub fn bounding_box(&self) -> (f64, f64) {
+        if self.blocks.is_empty() {
+            return (0.0, 0.0);
+        }
+        let min_x = self.blocks.iter().map(|b| b.x).fold(f64::INFINITY, f64::min);
+        let min_y = self.blocks.iter().map(|b| b.y).fold(f64::INFINITY, f64::min);
+        let max_x = self.blocks.iter().map(|b| b.x + b.width()).fold(f64::NEG_INFINITY, f64::max);
+        let max_y = self.blocks.iter().map(|b| b.y + b.height()).fold(f64::NEG_INFINITY, f64::max);
+        (max_x - min_x, max_y - min_y)
+    }
+
+    /// Bounding-box area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        let (w, h) = self.bounding_box();
+        w * h
+    }
+
+    /// Sum of block areas (lower bound on any legal bounding box).
+    #[must_use]
+    pub fn cell_area(&self) -> f64 {
+        self.blocks.iter().map(|b| b.block.area()).sum()
+    }
+
+    /// First pair of overlapping blocks, if any.
+    #[must_use]
+    pub fn overlapping_pair(&self) -> Option<(usize, usize)> {
+        for i in 0..self.blocks.len() {
+            for j in (i + 1)..self.blocks.len() {
+                if self.blocks[i].rect().overlaps(&self.blocks[j].rect()) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// Weighted half-perimeter wirelength of `nets` over block centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a net references a block index out of range.
+    #[must_use]
+    pub fn hpwl(&self, nets: &[Net]) -> f64 {
+        let mut total = 0.0;
+        for net in nets {
+            if net.pins.len() < 2 {
+                continue;
+            }
+            let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &p in &net.pins {
+                let (cx, cy) = self.blocks[p].center();
+                min_x = min_x.min(cx);
+                max_x = max_x.max(cx);
+                min_y = min_y.min(cy);
+                max_y = max_y.max(cy);
+            }
+            total += net.weight * ((max_x - min_x) + (max_y - min_y));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_overlap_excludes_shared_edges() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(2.0, 0.0, 2.0, 2.0); // abutting, not overlapping
+        let c = Rect::new(1.9, 0.0, 2.0, 2.0);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&a));
+    }
+
+    #[test]
+    fn placed_block_rotation_swaps_dimensions() {
+        let mut p = PlacedBlock::new(Block::new("b", 3.0, 1.0), 0.0, 0.0);
+        assert_eq!((p.width(), p.height()), (3.0, 1.0));
+        p.rotated = true;
+        assert_eq!((p.width(), p.height()), (1.0, 3.0));
+    }
+
+    #[test]
+    fn bounding_box_and_area() {
+        let plan = Floorplan {
+            blocks: vec![
+                PlacedBlock::new(Block::new("a", 2.0, 2.0), 0.0, 0.0),
+                PlacedBlock::new(Block::new("b", 1.0, 1.0), 3.0, 3.0),
+            ],
+        };
+        assert_eq!(plan.bounding_box(), (4.0, 4.0));
+        assert_eq!(plan.area(), 16.0);
+        assert_eq!(plan.cell_area(), 5.0);
+    }
+
+    #[test]
+    fn hpwl_weighted() {
+        let plan = Floorplan {
+            blocks: vec![
+                PlacedBlock::new(Block::new("a", 2.0, 2.0), 0.0, 0.0), // center (1,1)
+                PlacedBlock::new(Block::new("b", 2.0, 2.0), 4.0, 2.0), // center (5,3)
+            ],
+        };
+        let nets = vec![Net::two_pin(0, 1, 2.0)];
+        assert!((plan.hpwl(&nets) - 2.0 * (4.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detection_finds_pair() {
+        let plan = Floorplan {
+            blocks: vec![
+                PlacedBlock::new(Block::new("a", 2.0, 2.0), 0.0, 0.0),
+                PlacedBlock::new(Block::new("b", 2.0, 2.0), 1.0, 1.0),
+            ],
+        };
+        assert_eq!(plan.overlapping_pair(), Some((0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn block_rejects_zero_dimension() {
+        let _ = Block::new("bad", 0.0, 1.0);
+    }
+}

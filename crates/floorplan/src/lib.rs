@@ -1,0 +1,47 @@
+//! Block floorplanning for 2-D dies and 3-D layer stacks.
+//!
+//! SunFloor 3D needs floorplanning in three places (paper §VII–§VIII):
+//!
+//! 1. **Initial core placement.** The tool takes core positions as input; the
+//!    paper produced them with the Parquet floorplanner. [`anneal`] rebuilds
+//!    that capability: a sequence-pair simulated-annealing floorplanner
+//!    minimizing `area + λ·wirelength`.
+//! 2. **NoC component insertion.** After the switch-position LP, switches and
+//!    TSV macros must be inserted near their ideal coordinates without
+//!    disturbing the cores. [`insertion`] implements the paper's custom
+//!    routine: look for free space near the ideal location, otherwise
+//!    displace already-placed blocks in x or y by the size of the component,
+//!    iteratively pushing followers until no overlap remains.
+//! 3. **The §VIII-D baseline.** A *constrained standard floorplanner* —
+//!    the annealer restricted so the cores' relative order never changes and
+//!    switch displacement from the ideal spot is penalized — reproduces the
+//!    unpredictable-quality baseline of Figs. 18–20.
+//!
+//! # Example
+//!
+//! ```
+//! use sunfloor_floorplan::{anneal, AnnealConfig, Block, Net};
+//!
+//! let blocks = vec![
+//!     Block::new("cpu", 2.0, 2.0),
+//!     Block::new("mem", 2.0, 1.0),
+//!     Block::new("dsp", 1.0, 3.0),
+//! ];
+//! let nets = vec![Net::two_pin(0, 1, 5.0), Net::two_pin(0, 2, 1.0)];
+//! let plan = anneal(&blocks, &nets, &AnnealConfig::default());
+//! assert!(plan.overlapping_pair().is_none());
+//! assert!(plan.area() >= 2.0 * 2.0 + 2.0 * 1.0 + 1.0 * 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annealer;
+mod geometry;
+mod insertion;
+mod seqpair;
+
+pub use annealer::{anneal, anneal_constrained, anneal_toward, AnnealConfig, ConstrainedInput};
+pub use geometry::{Block, Floorplan, Net, PlacedBlock, Rect};
+pub use insertion::{insert_components, InsertRequest, InsertionResult};
+pub use seqpair::SequencePair;

@@ -1,0 +1,207 @@
+//! Sequence-pair floorplan representation and packing.
+
+use crate::geometry::{Block, Floorplan, PlacedBlock};
+
+/// The sequence-pair representation of a block arrangement.
+///
+/// Two permutations `(P, N)` of the block indices encode pairwise geometric
+/// relations: block `a` is *left of* `b` when `a` precedes `b` in both
+/// sequences, and *below* `b` when `a` follows `b` in `P` but precedes it in
+/// `N`. Packing resolves these relations to the tightest legal lower-left
+/// placement via longest-path computations — the same representation used by
+/// Parquet-class annealers.
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_floorplan::{Block, SequencePair};
+///
+/// let blocks = vec![Block::new("a", 1.0, 1.0), Block::new("b", 2.0, 1.0)];
+/// let sp = SequencePair::identity(2);
+/// let plan = sp.pack(&blocks, &[false, false]);
+/// // Identity sequences put every block left-of the next: a row.
+/// assert_eq!(plan.bounding_box(), (3.0, 1.0));
+/// assert!(plan.overlapping_pair().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencePair {
+    /// The positive sequence `P`.
+    pub pos: Vec<usize>,
+    /// The negative sequence `N`.
+    pub neg: Vec<usize>,
+}
+
+impl SequencePair {
+    /// The identity sequence pair over `n` blocks (all blocks in one row).
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self { pos: (0..n).collect(), neg: (0..n).collect() }
+    }
+
+    /// Approximates a sequence pair from existing block placements using the
+    /// classic diagonal keys: `P` ordered by `x − y`, `N` ordered by `x + y`
+    /// of the block centers. Exact for grid-like placements; used to seed
+    /// the constrained annealer with the input floorplan.
+    #[must_use]
+    pub fn from_placement(placed: &[PlacedBlock]) -> Self {
+        let mut pos: Vec<usize> = (0..placed.len()).collect();
+        let mut neg = pos.clone();
+        pos.sort_by(|&a, &b| {
+            let (ax, ay) = placed[a].center();
+            let (bx, by) = placed[b].center();
+            (ax - ay).total_cmp(&(bx - by))
+        });
+        neg.sort_by(|&a, &b| {
+            let (ax, ay) = placed[a].center();
+            let (bx, by) = placed[b].center();
+            (ax + ay).total_cmp(&(bx + by))
+        });
+        Self { pos, neg }
+    }
+
+    /// Number of blocks represented.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Whether the sequence pair is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Packs `blocks` (with per-block rotation flags) to the tightest
+    /// lower-left placement consistent with the encoded relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` or `rotated.len()` disagree with the
+    /// sequence length.
+    #[must_use]
+    pub fn pack(&self, blocks: &[Block], rotated: &[bool]) -> Floorplan {
+        let n = self.pos.len();
+        assert_eq!(blocks.len(), n, "block count mismatch");
+        assert_eq!(rotated.len(), n, "rotation flag count mismatch");
+
+        // Ranks of each block in the two sequences.
+        let mut pp = vec![0usize; n];
+        let mut nn = vec![0usize; n];
+        for (i, &b) in self.pos.iter().enumerate() {
+            pp[b] = i;
+        }
+        for (i, &b) in self.neg.iter().enumerate() {
+            nn[b] = i;
+        }
+
+        let dim = |b: usize| -> (f64, f64) {
+            if rotated[b] {
+                (blocks[b].height, blocks[b].width)
+            } else {
+                (blocks[b].width, blocks[b].height)
+            }
+        };
+
+        // x: longest path over the left-of relation; process in P order so
+        // predecessors (earlier in both sequences) are final.
+        let mut x = vec![0.0f64; n];
+        for &b in &self.pos {
+            let mut best = 0.0f64;
+            for &a in &self.pos {
+                if a != b && pp[a] < pp[b] && nn[a] < nn[b] {
+                    best = best.max(x[a] + dim(a).0);
+                }
+            }
+            x[b] = best;
+        }
+
+        // y: longest path over the below relation (after in P, before in N);
+        // process in N order so predecessors are final.
+        let mut y = vec![0.0f64; n];
+        for &b in &self.neg {
+            let mut best = 0.0f64;
+            for &a in &self.neg {
+                if a != b && pp[a] > pp[b] && nn[a] < nn[b] {
+                    best = best.max(y[a] + dim(a).1);
+                }
+            }
+            y[b] = best;
+        }
+
+        Floorplan {
+            blocks: (0..n)
+                .map(|b| PlacedBlock {
+                    block: blocks[b].clone(),
+                    x: x[b],
+                    y: y[b],
+                    rotated: rotated[b],
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(n: usize) -> Vec<Block> {
+        (0..n).map(|i| Block::new(format!("b{i}"), 1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn identity_packs_into_a_row() {
+        let blocks = squares(4);
+        let plan = SequencePair::identity(4).pack(&blocks, &[false; 4]);
+        assert_eq!(plan.bounding_box(), (4.0, 1.0));
+    }
+
+    #[test]
+    fn reversed_pos_packs_into_a_column() {
+        let blocks = squares(3);
+        let sp = SequencePair { pos: vec![2, 1, 0], neg: vec![0, 1, 2] };
+        let plan = sp.pack(&blocks, &[false; 3]);
+        assert_eq!(plan.bounding_box(), (1.0, 3.0));
+    }
+
+    #[test]
+    fn packing_never_overlaps() {
+        // A mixed sequence pair over blocks of varying sizes.
+        let blocks = vec![
+            Block::new("a", 2.0, 1.0),
+            Block::new("b", 1.0, 3.0),
+            Block::new("c", 2.0, 2.0),
+            Block::new("d", 1.0, 1.0),
+            Block::new("e", 3.0, 1.0),
+        ];
+        let sp = SequencePair { pos: vec![3, 0, 2, 4, 1], neg: vec![0, 1, 3, 4, 2] };
+        let plan = sp.pack(&blocks, &[false; 5]);
+        assert!(plan.overlapping_pair().is_none(), "{plan:?}");
+    }
+
+    #[test]
+    fn rotation_affects_packing() {
+        let blocks = vec![Block::new("a", 4.0, 1.0), Block::new("b", 4.0, 1.0)];
+        let sp = SequencePair::identity(2);
+        let flat = sp.pack(&blocks, &[false, false]);
+        assert_eq!(flat.bounding_box(), (8.0, 1.0));
+        let mixed = sp.pack(&blocks, &[true, true]);
+        assert_eq!(mixed.bounding_box(), (2.0, 4.0));
+    }
+
+    #[test]
+    fn from_placement_roundtrip_on_grid() {
+        // 2x2 grid of unit blocks.
+        let blocks = squares(4);
+        let placed = vec![
+            PlacedBlock::new(blocks[0].clone(), 0.0, 0.0),
+            PlacedBlock::new(blocks[1].clone(), 1.0, 0.0),
+            PlacedBlock::new(blocks[2].clone(), 0.0, 1.0),
+            PlacedBlock::new(blocks[3].clone(), 1.0, 1.0),
+        ];
+        let sp = SequencePair::from_placement(&placed);
+        let plan = sp.pack(&blocks, &[false; 4]);
+        assert!(plan.overlapping_pair().is_none());
+        assert_eq!(plan.bounding_box(), (2.0, 2.0));
+    }
+}

@@ -1,0 +1,45 @@
+//! A small, dependency-free linear-programming toolkit.
+//!
+//! SunFloor 3D computes the positions of the NoC switches by solving a linear
+//! program that minimizes bandwidth-weighted Manhattan wire length (paper
+//! §VII, equations (2)–(5)). The original tool delegated to the `lp_solve`
+//! package; this crate rebuilds the needed capability:
+//!
+//! * [`Problem`] — a general minimization LP over non-negative variables with
+//!   `≤` / `≥` / `=` constraints, solved by a dense **two-phase primal
+//!   simplex** with Bland's anti-cycling rule.
+//! * [`PlacementProblem`] — the Manhattan-distance objective builder: it
+//!   linearizes every `|xi − xk|` with a distance variable pair and solves
+//!   per-axis LPs (the x and y problems are separable). A
+//!   [`PlacementProblem::solve_weighted_median`] fast path provides the
+//!   classic iterated-weighted-median heuristic, used for cross-checking and
+//!   warm starts.
+//!
+//! The LPs arising in topology synthesis are small — a few hundred variables
+//! for the paper's largest 65-core design ("even for big applications … the
+//! optimal solution is obtained in few seconds", §VII) — so a dense tableau
+//! is the right tool.
+//!
+//! # Example
+//!
+//! ```
+//! use sunfloor_lp::{ConstraintOp, Problem};
+//!
+//! // minimize x + 2y  s.t.  x + y >= 4, y <= 3, x,y >= 0
+//! let mut p = Problem::minimize(2);
+//! p.set_objective(&[(0, 1.0), (1, 2.0)]);
+//! p.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+//! p.add_constraint(&[(1, 1.0)], ConstraintOp::Le, 3.0);
+//! let s = p.solve()?;
+//! assert!((s.objective() - 4.0).abs() < 1e-9); // x=4, y=0
+//! # Ok::<(), sunfloor_lp::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manhattan;
+mod simplex;
+
+pub use manhattan::PlacementProblem;
+pub use simplex::{ConstraintOp, Problem, Solution, SolveError};

@@ -1,0 +1,362 @@
+//! Bandwidth-weighted Manhattan-distance placement objective.
+
+use crate::simplex::{ConstraintOp, Problem, SolveError};
+
+/// Builder and solver for the switch-placement problem of paper §VII:
+/// place `n` free points (switches) so that the sum of *weighted Manhattan
+/// distances* to fixed points (core pins, eq. 2) and between connected free
+/// points (switch-to-switch links, eq. 3) is minimal (eq. 4–5).
+///
+/// The x and y coordinates decouple, so two independent LPs are solved, each
+/// linearizing `|a − b|` with one distance variable `d ≥ a − b, d ≥ b − a`.
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_lp::PlacementProblem;
+///
+/// // One switch attracted to two cores; the heavier core wins.
+/// let mut p = PlacementProblem::new(1);
+/// p.attract_to_fixed(0, (0.0, 0.0), 1.0);
+/// p.attract_to_fixed(0, (10.0, 4.0), 3.0);
+/// let pos = p.solve()?;
+/// assert_eq!(pos[0], (10.0, 4.0)); // weighted median sits on the heavy pin
+/// # Ok::<(), sunfloor_lp::SolveError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlacementProblem {
+    free_points: usize,
+    fixed: Vec<(usize, f64, f64, f64)>, // (free, x, y, weight)
+    pairs: Vec<(usize, usize, f64)>,    // (free a, free b, weight)
+}
+
+impl PlacementProblem {
+    /// A placement problem over `free_points` movable points.
+    #[must_use]
+    pub fn new(free_points: usize) -> Self {
+        Self { free_points, fixed: Vec::new(), pairs: Vec::new() }
+    }
+
+    /// Number of movable points.
+    #[must_use]
+    pub fn free_point_count(&self) -> usize {
+        self.free_points
+    }
+
+    /// Attracts free point `free` towards the fixed location `(x, y)` with
+    /// the given weight (e.g. the core↔switch bandwidth, eq. 2/4).
+    /// Non-positive weights are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `free` is out of range or the location is not finite.
+    pub fn attract_to_fixed(&mut self, free: usize, location: (f64, f64), weight: f64) {
+        assert!(free < self.free_points, "free point {free} out of range");
+        assert!(location.0.is_finite() && location.1.is_finite(), "location must be finite");
+        if weight > 0.0 {
+            self.fixed.push((free, location.0, location.1, weight));
+        }
+    }
+
+    /// Attracts free points `a` and `b` towards each other with the given
+    /// weight (the switch↔switch bandwidth, eq. 3/4). Self-attractions and
+    /// non-positive weights are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn attract_pair(&mut self, a: usize, b: usize, weight: f64) {
+        assert!(a < self.free_points && b < self.free_points, "free point out of range");
+        if a != b && weight > 0.0 {
+            self.pairs.push((a, b, weight));
+        }
+    }
+
+    /// Total weighted Manhattan objective of a candidate placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != self.free_point_count()`.
+    #[must_use]
+    pub fn objective(&self, positions: &[(f64, f64)]) -> f64 {
+        assert_eq!(positions.len(), self.free_points, "position count mismatch");
+        let mut obj = 0.0;
+        for &(i, x, y, w) in &self.fixed {
+            obj += w * ((positions[i].0 - x).abs() + (positions[i].1 - y).abs());
+        }
+        for &(a, b, w) in &self.pairs {
+            obj += w
+                * ((positions[a].0 - positions[b].0).abs()
+                    + (positions[a].1 - positions[b].1).abs());
+        }
+        obj
+    }
+
+    /// Solves the placement to global optimality with the simplex LP.
+    ///
+    /// Free points with no attractions at all are placed at the centroid of
+    /// the fixed pins (or the origin when there are none).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] from the solver; with the convex objective
+    /// built here that indicates numerical breakdown, not model error.
+    pub fn solve(&self) -> Result<Vec<(f64, f64)>, SolveError> {
+        let xs = self.solve_axis(|p| p.0, |f| f.1)?;
+        let ys = self.solve_axis(|p| p.1, |f| f.2)?;
+        let mut out: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();
+        self.settle_unattracted(&mut out);
+        Ok(out)
+    }
+
+    /// One axis: minimize Σ w·d with d ≥ ±(coord difference).
+    fn solve_axis(
+        &self,
+        _pick_pos: impl Fn(&(f64, f64)) -> f64,
+        pick_fixed: impl Fn(&(usize, f64, f64, f64)) -> f64,
+    ) -> Result<Vec<f64>, SolveError> {
+        let n = self.free_points;
+        let n_dist = self.fixed.len() + self.pairs.len();
+        // Variables: [0..n) = coordinates, [n..n+n_dist) = distances.
+        let mut lp = Problem::minimize(n + n_dist);
+
+        let mut obj: Vec<(usize, f64)> = Vec::with_capacity(n_dist);
+        let mut d = n;
+        for f in &self.fixed {
+            let (i, w) = (f.0, f.3);
+            let c = pick_fixed(f);
+            // d >= s_i - c   =>  s_i - d <= c
+            lp.add_constraint(&[(i, 1.0), (d, -1.0)], ConstraintOp::Le, c);
+            // d >= c - s_i   =>  -s_i - d <= -c
+            lp.add_constraint(&[(i, -1.0), (d, -1.0)], ConstraintOp::Le, -c);
+            obj.push((d, w));
+            d += 1;
+        }
+        for &(a, b, w) in &self.pairs {
+            lp.add_constraint(&[(a, 1.0), (b, -1.0), (d, -1.0)], ConstraintOp::Le, 0.0);
+            lp.add_constraint(&[(b, 1.0), (a, -1.0), (d, -1.0)], ConstraintOp::Le, 0.0);
+            obj.push((d, w));
+            d += 1;
+        }
+        lp.set_objective(&obj);
+        let sol = lp.solve()?;
+        Ok((0..n).map(|i| sol.value(i)).collect())
+    }
+
+    /// Iterated weighted-median heuristic: each free point repeatedly jumps
+    /// to the weighted median of its attraction set (fixed pins + current
+    /// partner positions). Converges quickly; optimal when the free-free
+    /// attraction graph is a forest, and never better than [`Self::solve`].
+    #[must_use]
+    pub fn solve_weighted_median(&self, max_rounds: u32) -> Vec<(f64, f64)> {
+        let n = self.free_points;
+        let mut pos = vec![(0.0, 0.0); n];
+        self.settle_unattracted(&mut pos);
+        // Warm start every point at the weighted mean of its fixed pins.
+        let mut wsum = vec![0.0f64; n];
+        for &(i, x, y, w) in &self.fixed {
+            pos[i].0 += x * w;
+            pos[i].1 += y * w;
+            wsum[i] += w;
+        }
+        for i in 0..n {
+            if wsum[i] > 0.0 {
+                pos[i].0 /= wsum[i];
+                pos[i].1 /= wsum[i];
+            }
+        }
+
+        for _ in 0..max_rounds {
+            let mut moved = false;
+            for i in 0..n {
+                let mut xs: Vec<(f64, f64)> = Vec::new();
+                let mut ys: Vec<(f64, f64)> = Vec::new();
+                for &(fi, x, y, w) in &self.fixed {
+                    if fi == i {
+                        xs.push((x, w));
+                        ys.push((y, w));
+                    }
+                }
+                for &(a, b, w) in &self.pairs {
+                    if a == i {
+                        xs.push((pos[b].0, w));
+                        ys.push((pos[b].1, w));
+                    } else if b == i {
+                        xs.push((pos[a].0, w));
+                        ys.push((pos[a].1, w));
+                    }
+                }
+                if xs.is_empty() {
+                    continue;
+                }
+                let nx = weighted_median(&mut xs);
+                let ny = weighted_median(&mut ys);
+                if (nx - pos[i].0).abs() > 1e-9 || (ny - pos[i].1).abs() > 1e-9 {
+                    pos[i] = (nx, ny);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        pos
+    }
+
+    /// Places points with no attractions at the centroid of the fixed pins.
+    fn settle_unattracted(&self, pos: &mut [(f64, f64)]) {
+        let mut attracted = vec![false; self.free_points];
+        for &(i, ..) in &self.fixed {
+            attracted[i] = true;
+        }
+        for &(a, b, _) in &self.pairs {
+            attracted[a] = true;
+            attracted[b] = true;
+        }
+        if attracted.iter().all(|&a| a) {
+            return;
+        }
+        let (mut cx, mut cy, mut k) = (0.0, 0.0, 0.0);
+        for &(_, x, y, _) in &self.fixed {
+            cx += x;
+            cy += y;
+            k += 1.0;
+        }
+        let centroid = if k > 0.0 { (cx / k, cy / k) } else { (0.0, 0.0) };
+        for (i, p) in pos.iter_mut().enumerate() {
+            if !attracted[i] {
+                *p = centroid;
+            }
+        }
+    }
+}
+
+/// Weighted median of `(value, weight)` samples: the smallest value at which
+/// the cumulative weight reaches half the total.
+fn weighted_median(samples: &mut [(f64, f64)]) -> f64 {
+    debug_assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = samples.iter().map(|(_, w)| w).sum();
+    let mut acc = 0.0;
+    for &(v, w) in samples.iter() {
+        acc += w;
+        if acc + 1e-12 >= total / 2.0 {
+            return v;
+        }
+    }
+    samples[samples.len() - 1].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_point_lands_on_weighted_median() {
+        let mut p = PlacementProblem::new(1);
+        p.attract_to_fixed(0, (0.0, 0.0), 1.0);
+        p.attract_to_fixed(0, (4.0, 0.0), 1.0);
+        p.attract_to_fixed(0, (10.0, 8.0), 2.1);
+        let pos = p.solve().unwrap();
+        // Total weight 4.1, half = 2.05; cumulative reaches 2.05 at the
+        // heavy pin => median at (10, 8).
+        assert!((pos[0].0 - 10.0).abs() < 1e-6);
+        assert!((pos[0].1 - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_of_two_switches() {
+        // core A -- s0 -- s1 -- core B, all weight 1: any placement with
+        // x0 <= x1 on the segment is optimal; objective = distance A..B.
+        let mut p = PlacementProblem::new(2);
+        p.attract_to_fixed(0, (0.0, 0.0), 1.0);
+        p.attract_pair(0, 1, 1.0);
+        p.attract_to_fixed(1, (6.0, 0.0), 1.0);
+        let pos = p.solve().unwrap();
+        assert!((p.objective(&pos) - 6.0).abs() < 1e-6, "objective {}", p.objective(&pos));
+    }
+
+    #[test]
+    fn heavier_pair_weight_pulls_switches_together() {
+        let mut p = PlacementProblem::new(2);
+        p.attract_to_fixed(0, (0.0, 0.0), 1.0);
+        p.attract_to_fixed(1, (10.0, 0.0), 1.0);
+        p.attract_pair(0, 1, 5.0);
+        let pos = p.solve().unwrap();
+        let gap = (pos[0].0 - pos[1].0).abs() + (pos[0].1 - pos[1].1).abs();
+        assert!(gap < 1e-6, "heavy link should be shrunk to zero, gap={gap}");
+    }
+
+    #[test]
+    fn unattracted_point_sits_at_centroid() {
+        let mut p = PlacementProblem::new(2);
+        p.attract_to_fixed(0, (2.0, 2.0), 1.0);
+        p.attract_to_fixed(0, (4.0, 6.0), 1.0);
+        let pos = p.solve().unwrap();
+        assert_eq!(pos[1], (3.0, 4.0));
+    }
+
+    #[test]
+    fn empty_problem_solves() {
+        let p = PlacementProblem::new(3);
+        let pos = p.solve().unwrap();
+        assert_eq!(pos, vec![(0.0, 0.0); 3]);
+    }
+
+    #[test]
+    fn median_heuristic_matches_lp_on_single_point() {
+        let mut p = PlacementProblem::new(1);
+        p.attract_to_fixed(0, (1.0, 7.0), 2.0);
+        p.attract_to_fixed(0, (5.0, 3.0), 1.0);
+        p.attract_to_fixed(0, (9.0, 1.0), 1.5);
+        let lp = p.solve().unwrap();
+        let med = p.solve_weighted_median(20);
+        assert!((p.objective(&lp) - p.objective(&med)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_free_index() {
+        let mut p = PlacementProblem::new(1);
+        p.attract_to_fixed(1, (0.0, 0.0), 1.0);
+    }
+
+    proptest! {
+        /// The LP solution is never worse than the weighted-median heuristic
+        /// (global optimality of the simplex on this convex problem).
+        #[test]
+        fn lp_at_least_as_good_as_median(
+            pins in proptest::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.1f64..5.0), 2..8),
+            pairs in proptest::collection::vec((0usize..3, 0usize..3, 0.1f64..5.0), 0..4),
+        ) {
+            let mut p = PlacementProblem::new(3);
+            for (k, &(x, y, w)) in pins.iter().enumerate() {
+                p.attract_to_fixed(k % 3, (x, y), w);
+            }
+            for &(a, b, w) in &pairs {
+                p.attract_pair(a, b, w);
+            }
+            let lp = p.solve().unwrap();
+            let med = p.solve_weighted_median(30);
+            prop_assert!(p.objective(&lp) <= p.objective(&med) + 1e-6,
+                "LP {} worse than median {}", p.objective(&lp), p.objective(&med));
+        }
+
+        /// LP optimum is no worse than pins' centroid or any individual pin.
+        #[test]
+        fn lp_beats_naive_candidates(
+            pins in proptest::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.1f64..5.0), 1..7),
+        ) {
+            let mut p = PlacementProblem::new(1);
+            for &(x, y, w) in &pins {
+                p.attract_to_fixed(0, (x, y), w);
+            }
+            let lp = p.solve().unwrap();
+            let best_obj = p.objective(&lp);
+            for &(x, y, _) in &pins {
+                prop_assert!(best_obj <= p.objective(&[(x, y)]) + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Dense two-phase primal simplex.
+
+use std::error::Error;
+use std::fmt;
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintOp {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs = rhs`
+    Eq,
+}
+
+/// Why an LP could not be solved to optimality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraint set admits no point with all variables ≥ 0.
+    Infeasible,
+    /// The objective can be driven to −∞ within the feasible region.
+    Unbounded,
+    /// The pivot-iteration safety cap was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible => write!(f, "linear program is infeasible"),
+            Self::Unbounded => write!(f, "linear program is unbounded"),
+            Self::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// A linear program `minimize c·x subject to A x {≤,≥,=} b, x ≥ 0`.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Problem {
+    num_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    terms: Vec<(usize, f64)>,
+    op: ConstraintOp,
+    rhs: f64,
+}
+
+/// Optimal solution of a [`Problem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    objective: f64,
+    values: Vec<f64>,
+}
+
+impl Solution {
+    /// Optimal objective value.
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of variable `var` at the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    #[must_use]
+    pub fn value(&self, var: usize) -> f64 {
+        self.values[var]
+    }
+
+    /// All variable values, indexed by variable.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+impl Problem {
+    /// Creates an empty minimization problem over `num_vars` non-negative
+    /// variables with a zero objective.
+    #[must_use]
+    pub fn minimize(num_vars: usize) -> Self {
+        Self { num_vars, objective: vec![0.0; num_vars], rows: Vec::new() }
+    }
+
+    /// Number of decision variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets (overwrites) objective coefficients for the listed variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range.
+    pub fn set_objective(&mut self, terms: &[(usize, f64)]) {
+        for &(v, c) in terms {
+            assert!(v < self.num_vars, "objective variable {v} out of range");
+            self.objective[v] = c;
+        }
+    }
+
+    /// Adds the constraint `Σ terms {op} rhs`. Duplicate variable entries in
+    /// `terms` accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range or any coefficient is
+    /// non-finite.
+    pub fn add_constraint(&mut self, terms: &[(usize, f64)], op: ConstraintOp, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let mut dense: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            assert!(v < self.num_vars, "constraint variable {v} out of range");
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+            if let Some(e) = dense.iter_mut().find(|(dv, _)| *dv == v) {
+                e.1 += c;
+            } else {
+                dense.push((v, c));
+            }
+        }
+        self.rows.push(Row { terms: dense, op, rhs });
+    }
+
+    /// Solves the LP with two-phase primal simplex.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`] or (on numerical
+    /// breakdown) [`SolveError::IterationLimit`].
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        Tableau::build(self).solve(self)
+    }
+}
+
+/// Dense simplex tableau in standard form.
+struct Tableau {
+    /// `m x (n_total + 1)` matrix; last column is the rhs.
+    a: Vec<Vec<f64>>,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    /// Total column count excluding rhs: structural + slack + artificial.
+    n_total: usize,
+    /// First artificial column index.
+    art_start: usize,
+}
+
+impl Tableau {
+    fn build(p: &Problem) -> Self {
+        let m = p.rows.len();
+        let n = p.num_vars;
+
+        // Count extra columns.
+        let mut n_slack = 0;
+        for r in &p.rows {
+            if matches!(r.op, ConstraintOp::Le | ConstraintOp::Ge) {
+                n_slack += 1;
+            }
+        }
+        // One artificial per row keeps the construction simple; phase 1
+        // drives them all out.
+        let art_start = n + n_slack;
+        let n_total = art_start + m;
+
+        let mut a = vec![vec![0.0; n_total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_idx = n;
+
+        for (i, r) in p.rows.iter().enumerate() {
+            let mut rhs = r.rhs;
+            let mut sign = 1.0;
+            // Normalize to rhs >= 0.
+            if rhs < 0.0 {
+                rhs = -rhs;
+                sign = -1.0;
+            }
+            for &(v, c) in &r.terms {
+                a[i][v] += sign * c;
+            }
+            let op = match (r.op, sign < 0.0) {
+                (ConstraintOp::Le, true) => ConstraintOp::Ge,
+                (ConstraintOp::Ge, true) => ConstraintOp::Le,
+                (op, _) => op,
+            };
+            match op {
+                ConstraintOp::Le => {
+                    a[i][slack_idx] = 1.0;
+                    // Slack can serve as the initial basis directly.
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[i][slack_idx] = -1.0; // surplus
+                    slack_idx += 1;
+                    basis[i] = art_start + i;
+                    a[i][art_start + i] = 1.0;
+                }
+                ConstraintOp::Eq => {
+                    basis[i] = art_start + i;
+                    a[i][art_start + i] = 1.0;
+                }
+            }
+            a[i][n_total] = rhs;
+            // For Le rows the artificial column stays zero and unused.
+        }
+
+        Self { a, basis, n_total, art_start }
+    }
+
+    fn solve(mut self, p: &Problem) -> Result<Solution, SolveError> {
+        let m = self.a.len();
+        let needs_phase1 = self.basis.iter().any(|&b| b >= self.art_start);
+
+        if needs_phase1 {
+            // Phase 1 objective: minimize sum of artificials.
+            let mut cost = vec![0.0; self.n_total];
+            for j in self.art_start..self.n_total {
+                cost[j] = 1.0;
+            }
+            let obj = self.run(&cost, self.n_total)?;
+            if obj > 1e-7 {
+                return Err(SolveError::Infeasible);
+            }
+            // Pivot remaining artificials out of the basis if possible.
+            for i in 0..m {
+                if self.basis[i] >= self.art_start {
+                    if let Some(j) = (0..self.art_start)
+                        .find(|&j| self.a[i][j].abs() > 1e-7)
+                    {
+                        self.pivot(i, j);
+                    }
+                    // Else the row is all-zero in structural columns: a
+                    // redundant constraint; leave the (zero-valued)
+                    // artificial in the basis — it can never re-enter
+                    // because phase 2 restricts columns below art_start.
+                }
+            }
+        }
+
+        // Phase 2: original objective over structural + slack columns only.
+        let mut cost = vec![0.0; self.n_total];
+        cost[..p.num_vars].copy_from_slice(&p.objective);
+        let objective = self.run(&cost, self.art_start)?;
+
+        let mut values = vec![0.0; p.num_vars];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < p.num_vars {
+                values[b] = self.a[i][self.n_total];
+            }
+        }
+        Ok(Solution { objective, values })
+    }
+
+    /// Runs simplex minimizing `cost` over columns `0..col_limit`.
+    /// Returns the optimal objective value.
+    fn run(&mut self, cost: &[f64], col_limit: usize) -> Result<f64, SolveError> {
+        let m = self.a.len();
+        // Reduced costs: z_j - c_j computed fresh each iteration (m and n are
+        // small, clarity over speed).
+        let max_iter = 200 + 50 * (m + self.n_total);
+        for iter in 0..max_iter {
+            // y = c_B B^-1 is implicit: compute reduced cost for each column.
+            let mut entering = None;
+            let mut best = -EPS;
+            for j in 0..col_limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut zj = 0.0;
+                for i in 0..m {
+                    zj += cost[self.basis[i]] * self.a[i][j];
+                }
+                let reduced = cost[j] - zj;
+                let use_bland = iter > max_iter / 2;
+                if use_bland {
+                    if reduced < -EPS {
+                        entering = Some(j);
+                        break;
+                    }
+                } else if reduced < best {
+                    best = reduced;
+                    entering = Some(j);
+                }
+            }
+            let Some(j) = entering else {
+                // Optimal.
+                let mut obj = 0.0;
+                for i in 0..m {
+                    obj += cost[self.basis[i]] * self.a[i][self.n_total];
+                }
+                return Ok(obj);
+            };
+
+            // Ratio test.
+            let mut leaving = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                if self.a[i][j] > EPS {
+                    let ratio = self.a[i][self.n_total] / self.a[i][j];
+                    // Bland tie-break: smallest basis index.
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leaving.is_some_and(|l: usize| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leaving = Some(i);
+                    }
+                }
+            }
+            let Some(i) = leaving else {
+                return Err(SolveError::Unbounded);
+            };
+            self.pivot(i, j);
+        }
+        Err(SolveError::IterationLimit)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.a.len();
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / piv;
+        for x in &mut self.a[row] {
+            *x *= inv;
+        }
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i][col];
+            if factor.abs() <= 1e-12 {
+                continue;
+            }
+            for j in 0..=self.n_total {
+                self.a[i][j] -= factor * self.a[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(p: &Problem) -> Solution {
+        p.solve().expect("LP should solve")
+    }
+
+    #[test]
+    fn textbook_maximization_as_minimization() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 => opt at (2,6), obj 36.
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, -3.0), (1, -5.0)]);
+        p.add_constraint(&[(0, 1.0)], ConstraintOp::Le, 4.0);
+        p.add_constraint(&[(1, 2.0)], ConstraintOp::Le, 12.0);
+        p.add_constraint(&[(0, 3.0), (1, 2.0)], ConstraintOp::Le, 18.0);
+        let s = solve(&p);
+        assert!((s.objective() + 36.0).abs() < 1e-7);
+        assert!((s.value(0) - 2.0).abs() < 1e-7);
+        assert!((s.value(1) - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x >= 3 => (7,3)? obj 2*7+3*3=23;
+        // but (x=10,y=0) violates nothing? x+y=10, x>=3: (10,0) obj 20 < 23.
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, 2.0), (1, 3.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 10.0);
+        p.add_constraint(&[(0, 1.0)], ConstraintOp::Ge, 3.0);
+        let s = solve(&p);
+        assert!((s.objective() - 20.0).abs() < 1e-7);
+        assert!((s.value(0) - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // min x s.t. -x <= -5  (i.e. x >= 5)
+        let mut p = Problem::minimize(1);
+        p.set_objective(&[(0, 1.0)]);
+        p.add_constraint(&[(0, -1.0)], ConstraintOp::Le, -5.0);
+        let s = solve(&p);
+        assert!((s.value(0) - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::minimize(1);
+        p.add_constraint(&[(0, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(&[(0, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(p.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(&[(0, -1.0)]);
+        p.add_constraint(&[(0, 1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(p.solve(), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut p = Problem::minimize(2);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 4.0);
+        let s = solve(&p);
+        assert!((s.value(0) + s.value(1) - 4.0).abs() < 1e-7);
+        assert_eq!(s.objective(), 0.0);
+    }
+
+    #[test]
+    fn redundant_constraints_are_harmless() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, 1.0), (1, 1.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 2.0);
+        p.add_constraint(&[(0, 2.0), (1, 2.0)], ConstraintOp::Ge, 4.0); // same halfspace
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+        let s = solve(&p);
+        assert!((s.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(&[(0, 1.0)]);
+        // 0.5x + 0.5x >= 3  =>  x >= 3
+        p.add_constraint(&[(0, 0.5), (0, 0.5)], ConstraintOp::Ge, 3.0);
+        let s = solve(&p);
+        assert!((s.value(0) - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate vertex: multiple constraints through origin.
+        let mut p = Problem::minimize(3);
+        p.set_objective(&[(0, -0.75), (1, 150.0), (2, -0.02)]);
+        p.add_constraint(&[(0, 0.25), (1, -60.0), (2, -0.04)], ConstraintOp::Le, 0.0);
+        p.add_constraint(&[(0, 0.5), (1, -90.0), (2, -0.02)], ConstraintOp::Le, 0.0);
+        p.add_constraint(&[(2, 1.0)], ConstraintOp::Le, 1.0);
+        let s = solve(&p);
+        // Known optimum of this Beale-style instance: objective -0.05.
+        assert!(s.objective() <= -0.049, "got {}", s.objective());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_variable() {
+        let mut p = Problem::minimize(1);
+        p.add_constraint(&[(1, 1.0)], ConstraintOp::Le, 1.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Aggregate component library handed to the synthesis flow.
+
+use crate::{LinkModel, NetworkInterfaceModel, SwitchModel, Technology, TsvModel};
+
+/// The complete set of component models the synthesis flow consumes — the
+/// stand-in for the ×pipes Lite library tables plus the vertical-link models
+/// the paper takes as inputs (§IV). "Any other NoC library can also be used
+/// with the synthesis process": swap any field for a different calibration.
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_models::NocLibrary;
+///
+/// let lib = NocLibrary::lp65();
+/// assert_eq!(lib.link.flit_width_bits, 32);
+/// let wide = NocLibrary::lp65_with_width(64);
+/// assert_eq!(wide.link.flit_width_bits, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocLibrary {
+    /// Process technology shared by the models.
+    pub technology: Technology,
+    /// Switch (router) model.
+    pub switch: SwitchModel,
+    /// Planar link model.
+    pub link: LinkModel,
+    /// Vertical (TSV) link model.
+    pub tsv: TsvModel,
+    /// Network-interface model.
+    pub ni: NetworkInterfaceModel,
+}
+
+impl NocLibrary {
+    /// 65 nm low-power library with 32-bit links — the configuration used in
+    /// all of the paper's experiments ("we set the data width of the NoC
+    /// links to 32 bits, to match the core data widths", §VIII-A).
+    #[must_use]
+    pub fn lp65() -> Self {
+        Self::lp65_with_width(32)
+    }
+
+    /// 65 nm low-power library with a custom flit width.
+    #[must_use]
+    pub fn lp65_with_width(flit_width_bits: u32) -> Self {
+        Self {
+            technology: Technology::lp65(),
+            switch: SwitchModel::lp65(),
+            link: LinkModel::lp65(flit_width_bits),
+            tsv: TsvModel::bulk65(),
+            ni: NetworkInterfaceModel::lp65(),
+        }
+    }
+}
+
+impl Default for NocLibrary {
+    fn default() -> Self {
+        Self::lp65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_32bit_lp65() {
+        let lib = NocLibrary::default();
+        assert_eq!(lib.link.flit_width_bits, 32);
+        assert_eq!(lib.technology.name, "65nm-LP");
+    }
+
+    #[test]
+    fn width_override_applies_only_to_link() {
+        let lib = NocLibrary::lp65_with_width(64);
+        assert_eq!(lib.link.flit_width_bits, 64);
+        assert_eq!(lib.switch, SwitchModel::lp65());
+    }
+}

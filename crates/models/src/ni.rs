@@ -1,0 +1,70 @@
+//! Network-interface (NI) model.
+
+/// Model of the network interface that translates a core's native protocol
+/// (e.g. OCP/AXI) into the NoC packet protocol (§III).
+///
+/// When a core connects to a switch one layer away, the NI embeds the TSV
+/// macro for that vertical hop; the area bookkeeping for that case lives in
+/// the floorplanning crate — this model covers the NI logic itself.
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_models::NetworkInterfaceModel;
+///
+/// let ni = NetworkInterfaceModel::lp65();
+/// assert!(ni.power_mw(0.8, 400.0) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkInterfaceModel {
+    /// Clock-tree + FSM dynamic power per MHz, mW.
+    pub dyn_mw_per_mhz: f64,
+    /// Packetization energy per payload bit, pJ.
+    pub energy_pj_per_bit: f64,
+    /// Leakage power, mW.
+    pub leak_mw: f64,
+    /// Cell area, mm².
+    pub area_mm2: f64,
+    /// Cycles spent in the NI on injection plus ejection at zero load.
+    pub latency_cycles: u32,
+}
+
+impl NetworkInterfaceModel {
+    /// 65 nm low-power calibration.
+    #[must_use]
+    pub fn lp65() -> Self {
+        Self {
+            dyn_mw_per_mhz: 0.0012,
+            energy_pj_per_bit: 0.2,
+            leak_mw: 0.04,
+            area_mm2: 0.012,
+            latency_cycles: 2,
+        }
+    }
+
+    /// Power (mW) of one NI carrying `bw_gbps` at `frequency_mhz`.
+    #[must_use]
+    pub fn power_mw(&self, bw_gbps: f64, frequency_mhz: f64) -> f64 {
+        self.dyn_mw_per_mhz * frequency_mhz + self.energy_pj_per_bit * bw_gbps + self.leak_mw
+    }
+}
+
+impl Default for NetworkInterfaceModel {
+    fn default() -> Self {
+        Self::lp65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_positive_and_monotone_in_bandwidth() {
+        let ni = NetworkInterfaceModel::lp65();
+        let p0 = ni.power_mw(0.0, 400.0);
+        let p1 = ni.power_mw(2.0, 400.0);
+        assert!(p0 > 0.0);
+        assert!(p1 > p0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Switch (router) power, area and timing model.
+
+/// Analytic model of a ×pipes-style wormhole switch.
+///
+/// A switch with `p` input and `q` output ports contains a `p×q` crossbar, a
+/// round-robin arbiter per output and one flit-buffer stage per input. Its
+/// combinational critical path (crossbar + arbiter) lengthens as the port
+/// count grows, so the maximum operating frequency *falls* with size — the
+/// effect the paper exploits both for search-space pruning (§V-C) and for the
+/// observation that the 26-core benchmark admits no valid 400 MHz topology
+/// with fewer than three switches (§VIII-A).
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_models::SwitchModel;
+///
+/// let m = SwitchModel::lp65();
+/// // Bigger switches are slower...
+/// assert!(m.max_frequency_mhz(4) > m.max_frequency_mhz(12));
+/// // ...and at 400 MHz the largest feasible switch is 11x11, so 26 cores
+/// // cannot be served by two switches (13 cores + 1 link = 14 ports).
+/// assert_eq!(m.max_size_for_frequency(400.0), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchModel {
+    /// Frequency scale constant `f0` in MHz; `fmax(p) = f0 / (1 + k·p)`.
+    pub f0_mhz: f64,
+    /// Per-port critical-path growth constant `k` (dimensionless).
+    pub port_delay_factor: f64,
+    /// Dynamic power per port per MHz of clock, in milliwatts
+    /// (buffers + crossbar column clocking).
+    pub dyn_mw_per_port_mhz: f64,
+    /// Traffic-dependent energy per payload bit through the switch, pJ/bit.
+    pub energy_pj_per_bit: f64,
+    /// Leakage power per port, milliwatts.
+    pub leak_mw_per_port: f64,
+    /// Cell area of one port's worth of switch logic, mm².
+    pub area_mm2_per_port: f64,
+    /// Fixed cell area of control/arbiter logic, mm².
+    pub area_mm2_base: f64,
+    /// Cycles a head flit spends traversing the switch at zero load.
+    pub traversal_cycles: u32,
+}
+
+impl SwitchModel {
+    /// 65 nm low-power calibration.
+    ///
+    /// `f0` and `k` are chosen so `fmax(11) = 400 MHz` exactly: with the
+    /// paper's `D_26_media` benchmark this reproduces "we could only obtain
+    /// valid topologies with three or more switches" at 400 MHz, because two
+    /// switches would need ≥ 14 ports each.
+    #[must_use]
+    pub fn lp65() -> Self {
+        Self {
+            f0_mhz: 2600.0,
+            port_delay_factor: 0.5,
+            dyn_mw_per_port_mhz: 0.002,
+            energy_pj_per_bit: 0.45,
+            leak_mw_per_port: 0.05,
+            area_mm2_per_port: 0.009,
+            area_mm2_base: 0.006,
+            traversal_cycles: 1,
+        }
+    }
+
+    /// Maximum operating frequency (MHz) of a switch whose larger side has
+    /// `ports` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    #[must_use]
+    pub fn max_frequency_mhz(&self, ports: u32) -> f64 {
+        assert!(ports > 0, "a switch needs at least one port");
+        self.f0_mhz / (1.0 + self.port_delay_factor * f64::from(ports))
+    }
+
+    /// Largest switch size (`max_sw_size`, ports on the larger side) that
+    /// still meets `frequency_mhz` — Step 1 of Algorithm 2 and pruning
+    /// rule 1 of §V-C. Returns 0 if no size works at that frequency.
+    #[must_use]
+    pub fn max_size_for_frequency(&self, frequency_mhz: f64) -> u32 {
+        let raw = (self.f0_mhz / frequency_mhz - 1.0) / self.port_delay_factor;
+        if raw < 1.0 {
+            0
+        } else {
+            raw.floor() as u32
+        }
+    }
+
+    /// Total power (mW) of a switch with `inputs`×`outputs` ports clocked at
+    /// `frequency_mhz` while `traffic_gbps` of payload traffic crosses it.
+    #[must_use]
+    pub fn power_mw(&self, inputs: u32, outputs: u32, traffic_gbps: f64, frequency_mhz: f64) -> f64 {
+        let ports = f64::from(inputs + outputs);
+        let clocked = self.dyn_mw_per_port_mhz * ports * frequency_mhz;
+        // pJ/bit * Gbps = mW
+        let traffic = self.energy_pj_per_bit * traffic_gbps;
+        let leak = self.leak_mw_per_port * ports;
+        clocked + traffic + leak
+    }
+
+    /// Silicon area (mm²) of an `inputs`×`outputs` switch.
+    #[must_use]
+    pub fn area_mm2(&self, inputs: u32, outputs: u32) -> f64 {
+        self.area_mm2_base + self.area_mm2_per_port * f64::from(inputs + outputs)
+    }
+}
+
+impl Default for SwitchModel {
+    fn default() -> Self {
+        Self::lp65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmax_decreases_with_ports() {
+        let m = SwitchModel::lp65();
+        let mut prev = f64::INFINITY;
+        for p in 1..40 {
+            let f = m.max_frequency_mhz(p);
+            assert!(f < prev, "fmax must strictly decrease");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn max_size_at_400mhz_is_eleven() {
+        let m = SwitchModel::lp65();
+        assert_eq!(m.max_size_for_frequency(400.0), 11);
+        assert!(m.max_frequency_mhz(11) >= 400.0);
+        assert!(m.max_frequency_mhz(12) < 400.0);
+    }
+
+    #[test]
+    fn max_size_inverse_of_fmax() {
+        let m = SwitchModel::lp65();
+        for f in [200.0, 300.0, 400.0, 500.0, 700.0, 900.0] {
+            let s = m.max_size_for_frequency(f);
+            assert!(s >= 1, "some switch must work at {f} MHz");
+            assert!(m.max_frequency_mhz(s) >= f);
+            assert!(m.max_frequency_mhz(s + 1) < f);
+        }
+    }
+
+    #[test]
+    fn max_size_zero_when_frequency_unattainable() {
+        let m = SwitchModel::lp65();
+        assert_eq!(m.max_size_for_frequency(10_000.0), 0);
+    }
+
+    #[test]
+    fn power_grows_with_everything() {
+        let m = SwitchModel::lp65();
+        let base = m.power_mw(4, 4, 3.2, 400.0);
+        assert!(m.power_mw(5, 4, 3.2, 400.0) > base);
+        assert!(m.power_mw(4, 4, 6.4, 400.0) > base);
+        assert!(m.power_mw(4, 4, 3.2, 800.0) > base);
+    }
+
+    #[test]
+    fn five_by_five_switch_is_milliwatt_scale_at_1ghz() {
+        // Paper §I: "a single switch ... has low ... power consumption
+        // (few mW at 1 GHz)".
+        let m = SwitchModel::lp65();
+        let p = m.power_mw(5, 5, 3.2, 1000.0);
+        assert!(p > 1.0 && p < 40.0, "5x5 @ 1GHz should be a few mW, got {p}");
+    }
+
+    #[test]
+    fn area_is_a_few_thousand_gates() {
+        // few k-gates at ~1.6 um^2/gate (65nm NAND2) => on the order of
+        // 0.01..0.3 mm^2
+        let m = SwitchModel::lp65();
+        let a = m.area_mm2(5, 5);
+        assert!(a > 0.01 && a < 0.3, "unreasonable switch area {a}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Process-technology parameters shared by the component models.
+
+/// Electrical and geometric parameters of the silicon process the NoC is
+/// implemented in.
+///
+/// The default calibration ([`Technology::lp65`]) models the 65 nm low-power
+/// process used for the paper's post-layout library characterization.
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_models::Technology;
+///
+/// let tech = Technology::lp65();
+/// assert!(tech.vdd_volts > 0.9 && tech.vdd_volts < 1.5);
+/// // An unrepeated 1.5 mm Metal-2/3 segment is the paper's stated budget.
+/// assert_eq!(tech.unrepeated_segment_mm_at_ref, 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable process name, e.g. `"65nm-LP"`.
+    pub name: &'static str,
+    /// Supply voltage in volts.
+    pub vdd_volts: f64,
+    /// Wire capacitance of a global (Metal 2/3) wire, pF per millimetre.
+    pub wire_cap_pf_per_mm: f64,
+    /// Longest planar wire segment that closes timing without pipelining at
+    /// the reference frequency, in millimetres (paper: 1.5 mm in M2/M3).
+    pub unrepeated_segment_mm_at_ref: f64,
+    /// Reference frequency for the unrepeated-segment budget, MHz.
+    pub ref_frequency_mhz: f64,
+    /// Leakage power of one millimetre of one wire (driver + repeater
+    /// leakage), in milliwatts.
+    pub wire_leakage_mw_per_mm: f64,
+    /// Switching activity factor assumed on data wires (0..=1).
+    pub activity_factor: f64,
+}
+
+impl Technology {
+    /// The 65 nm low-power calibration used throughout the paper's
+    /// experiments (§VIII, first paragraph).
+    #[must_use]
+    pub fn lp65() -> Self {
+        Self {
+            name: "65nm-LP",
+            vdd_volts: 1.2,
+            wire_cap_pf_per_mm: 0.25,
+            unrepeated_segment_mm_at_ref: 1.5,
+            ref_frequency_mhz: 1000.0,
+            wire_leakage_mw_per_mm: 0.002,
+            activity_factor: 0.5,
+        }
+    }
+
+    /// Longest planar segment (mm) that closes timing at `frequency_mhz`
+    /// without an intermediate pipeline stage.
+    ///
+    /// Unrepeated RC wire delay grows quadratically with length, so the
+    /// segment budget scales with the *square root* of the clock period:
+    /// halving the frequency extends the reachable distance by √2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_mhz` is not strictly positive.
+    #[must_use]
+    pub fn segment_budget_mm(&self, frequency_mhz: f64) -> f64 {
+        assert!(
+            frequency_mhz > 0.0,
+            "frequency must be positive, got {frequency_mhz}"
+        );
+        self.unrepeated_segment_mm_at_ref * (self.ref_frequency_mhz / frequency_mhz).sqrt()
+    }
+
+    /// Dynamic energy to move one payload bit across one millimetre of planar
+    /// link, in picojoules. Includes the sideband/control wire overhead and
+    /// the stated switching activity.
+    #[must_use]
+    pub fn wire_energy_pj_per_bit_mm(&self) -> f64 {
+        // C·V² per wire-mm, scaled by activity; the ~2.5x multiplier folds in
+        // drivers, repeaters/pipeline register clock load and sideband wires,
+        // matching the mW/(Gbps·mm) magnitude implied by Table I.
+        let cv2 = self.wire_cap_pf_per_mm * self.vdd_volts * self.vdd_volts;
+        2.5 * self.activity_factor * cv2
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::lp65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_budget_matches_reference_at_ref_frequency() {
+        let t = Technology::lp65();
+        let b = t.segment_budget_mm(t.ref_frequency_mhz);
+        assert!((b - t.unrepeated_segment_mm_at_ref).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_budget_grows_as_frequency_falls() {
+        let t = Technology::lp65();
+        assert!(t.segment_budget_mm(400.0) > t.segment_budget_mm(800.0));
+        // sqrt scaling: quarter frequency => double distance
+        let b1 = t.segment_budget_mm(1000.0);
+        let b2 = t.segment_budget_mm(250.0);
+        assert!((b2 / b1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn segment_budget_rejects_zero_frequency() {
+        let _ = Technology::lp65().segment_budget_mm(0.0);
+    }
+
+    #[test]
+    fn wire_energy_is_sub_two_picojoule_per_bit_mm() {
+        let e = Technology::lp65().wire_energy_pj_per_bit_mm();
+        assert!(e > 0.1 && e < 2.0, "unphysical wire energy {e}");
+    }
+}

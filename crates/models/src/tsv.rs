@@ -1,0 +1,170 @@
+//! Through-silicon-via (TSV) vertical-link model.
+
+use crate::link_wire_count;
+
+/// Electrical/geometric model of a vertical inter-layer link built from a
+/// bundle of TSVs, following the characterization of Loi et al. that the
+/// paper takes as input (§VIII: 4 µm diameter, 8 µm pitch, 16–18.5 ps delay
+/// through a tightly packed bundle, roughly an order of magnitude lower R
+/// and C than a moderate planar link).
+///
+/// One *vertical link* of flit width `w` consumes `link_wire_count(w)` TSVs
+/// between each pair of adjacent layers it crosses, and requires a *TSV
+/// macro* reserving silicon area on every layer it drills through (§III,
+/// Fig. 2).
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_models::TsvModel;
+///
+/// let tsv = TsvModel::bulk65();
+/// // A one-layer hop is far faster than a clock period: it never adds a
+/// // pipeline stage.
+/// assert!(tsv.hop_delay_ps < 25.0);
+/// // TSV macro area for a 32-bit link is a small but non-zero overhead.
+/// let area = tsv.macro_area_mm2(32);
+/// assert!(area > 0.0 && area < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsvModel {
+    /// Signal propagation delay of one vertical hop (one layer down/up), ps.
+    pub hop_delay_ps: f64,
+    /// Dynamic energy per payload bit per vertical hop, pJ. About an order
+    /// of magnitude below a millimetre of planar wire.
+    pub energy_pj_per_bit_hop: f64,
+    /// TSV diameter in micrometres.
+    pub diameter_um: f64,
+    /// TSV pitch (centre to centre) in micrometres.
+    pub pitch_um: f64,
+    /// Extra keep-out ratio added around the bundle for redundancy /
+    /// mechanical stress (1.0 = none). Redundant TSVs for reliability are
+    /// modelled by growing this factor (§III last paragraph).
+    pub keepout_factor: f64,
+}
+
+impl TsvModel {
+    /// Bulk-silicon 65 nm calibration (the slower of the two processes
+    /// reported: 18.5 ps per hop).
+    #[must_use]
+    pub fn bulk65() -> Self {
+        Self {
+            hop_delay_ps: 18.5,
+            energy_pj_per_bit_hop: 0.04,
+            diameter_um: 4.0,
+            pitch_um: 8.0,
+            keepout_factor: 1.2,
+        }
+    }
+
+    /// Silicon-on-insulator calibration (16 ps per hop).
+    #[must_use]
+    pub fn soi65() -> Self {
+        Self {
+            hop_delay_ps: 16.0,
+            ..Self::bulk65()
+        }
+    }
+
+    /// Number of TSVs drilled per vertical link of the given flit width
+    /// (payload + sideband wires).
+    #[must_use]
+    pub fn tsvs_per_link(&self, flit_width_bits: u32) -> u32 {
+        link_wire_count(flit_width_bits)
+    }
+
+    /// Area (mm²) of the TSV macro reserving space for one vertical link of
+    /// the given flit width, assuming a near-square bundle at the stated
+    /// pitch plus keep-out.
+    #[must_use]
+    pub fn macro_area_mm2(&self, flit_width_bits: u32) -> f64 {
+        let n = f64::from(self.tsvs_per_link(flit_width_bits));
+        let pitch_mm = self.pitch_um / 1000.0;
+        n * pitch_mm * pitch_mm * self.keepout_factor
+    }
+
+    /// Power (mW) of a vertical link spanning `hops` adjacent-layer crossings
+    /// while carrying `bw_gbps` of payload bandwidth.
+    #[must_use]
+    pub fn power_mw(&self, hops: u32, bw_gbps: f64) -> f64 {
+        self.energy_pj_per_bit_hop * bw_gbps * f64::from(hops)
+    }
+
+    /// Propagation delay (ps) of a vertical link spanning `hops` crossings.
+    #[must_use]
+    pub fn delay_ps(&self, hops: u32) -> f64 {
+        self.hop_delay_ps * f64::from(hops)
+    }
+
+    /// Extra pipeline stages a vertical segment of `hops` crossings requires
+    /// at `frequency_mhz`. TSVs are so fast that this is zero for realistic
+    /// stacks, but the model keeps the check for very deep stacks or very
+    /// high frequencies.
+    #[must_use]
+    pub fn pipeline_stages(&self, hops: u32, frequency_mhz: f64) -> u32 {
+        let period_ps = 1.0e6 / frequency_mhz;
+        // Allow the vertical segment half the period, like any other wire.
+        let budget = 0.5 * period_ps;
+        let d = self.delay_ps(hops);
+        if d <= budget {
+            0
+        } else {
+            (d / budget).ceil() as u32 - 1
+        }
+    }
+}
+
+impl Default for TsvModel {
+    fn default() -> Self {
+        Self::bulk65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertical_hop_is_order_of_magnitude_cheaper_than_planar_mm() {
+        use crate::technology::Technology;
+        let tsv = TsvModel::bulk65();
+        let planar = Technology::lp65().wire_energy_pj_per_bit_mm();
+        assert!(
+            tsv.energy_pj_per_bit_hop * 8.0 < planar,
+            "TSV hop should be ~an order of magnitude below a planar mm"
+        );
+    }
+
+    #[test]
+    fn soi_is_faster_than_bulk() {
+        assert!(TsvModel::soi65().hop_delay_ps < TsvModel::bulk65().hop_delay_ps);
+    }
+
+    #[test]
+    fn no_pipeline_stage_for_realistic_stacks() {
+        let tsv = TsvModel::bulk65();
+        for hops in 1..=4 {
+            assert_eq!(tsv.pipeline_stages(hops, 1000.0), 0);
+        }
+    }
+
+    #[test]
+    fn tsv_count_includes_sideband() {
+        let tsv = TsvModel::bulk65();
+        assert_eq!(tsv.tsvs_per_link(32), 38);
+    }
+
+    #[test]
+    fn macro_area_scales_with_width() {
+        let tsv = TsvModel::bulk65();
+        assert!(tsv.macro_area_mm2(64) > tsv.macro_area_mm2(32));
+    }
+
+    #[test]
+    fn power_linear_in_hops_and_bandwidth() {
+        let tsv = TsvModel::bulk65();
+        let p = tsv.power_mw(1, 1.0);
+        assert!((tsv.power_mw(2, 1.0) - 2.0 * p).abs() < 1e-12);
+        assert!((tsv.power_mw(1, 3.0) - 3.0 * p).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Stack-yield model relating TSV count to manufacturing yield (paper Fig. 1).
+
+/// A wafer-stacking manufacturing process with its TSV yield behaviour.
+///
+/// Fig. 1 of the paper (after Miyakawa) shows, for several processes, yield
+/// staying near the die-stack baseline up to a process-dependent knee in the
+/// TSV count and then collapsing. That knee is the reason the tool takes a
+/// maximum-TSV (hence maximum inter-layer link, `max_ill`) constraint as an
+/// input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackingProcess {
+    /// Mature process: knee in the tens of thousands of TSVs.
+    Mature,
+    /// Mid-volume process: knee around a few thousand TSVs.
+    Standard,
+    /// Early/prototype process: knee around a thousand TSVs.
+    Prototype,
+}
+
+/// Yield-vs-TSV-count model: `yield(n) = y0 / (1 + (n / n_knee)^sharpness)`.
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_models::{StackingProcess, YieldModel};
+///
+/// let m = YieldModel::for_process(StackingProcess::Prototype);
+/// // Yield is flat well below the knee and collapses far above it.
+/// assert!(m.yield_fraction(10) > 0.9 * m.baseline_yield());
+/// assert!(m.yield_fraction(100_000) < 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldModel {
+    y0: f64,
+    n_knee: f64,
+    sharpness: f64,
+}
+
+impl YieldModel {
+    /// Builds a yield model from a baseline yield `y0` (0..=1], knee TSV
+    /// count and knee sharpness (> 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y0` is outside `(0, 1]` or the other parameters are not
+    /// positive.
+    #[must_use]
+    pub fn new(y0: f64, n_knee: f64, sharpness: f64) -> Self {
+        assert!(y0 > 0.0 && y0 <= 1.0, "baseline yield must be in (0,1]");
+        assert!(n_knee > 0.0 && sharpness > 0.0, "knee parameters must be positive");
+        Self { y0, n_knee, sharpness }
+    }
+
+    /// The calibration for one of the three process generations of Fig. 1.
+    #[must_use]
+    pub fn for_process(process: StackingProcess) -> Self {
+        match process {
+            StackingProcess::Mature => Self::new(0.95, 30_000.0, 5.0),
+            StackingProcess::Standard => Self::new(0.90, 6_000.0, 5.0),
+            StackingProcess::Prototype => Self::new(0.85, 1_500.0, 4.0),
+        }
+    }
+
+    /// Baseline stack yield with a negligible number of TSVs.
+    #[must_use]
+    pub fn baseline_yield(&self) -> f64 {
+        self.y0
+    }
+
+    /// Predicted stack yield with `n_tsvs` TSVs between a pair of layers.
+    #[must_use]
+    pub fn yield_fraction(&self, n_tsvs: u64) -> f64 {
+        let n = n_tsvs as f64;
+        self.y0 / (1.0 + (n / self.n_knee).powf(self.sharpness))
+    }
+
+    /// Largest TSV count that keeps yield at or above `min_yield`.
+    /// Returns 0 when even a TSV-free stack misses the target.
+    #[must_use]
+    pub fn max_tsvs_for_yield(&self, min_yield: f64) -> u64 {
+        if min_yield > self.y0 {
+            return 0;
+        }
+        if min_yield <= 0.0 {
+            return u64::MAX;
+        }
+        // Invert: n = knee * (y0/min - 1)^(1/sharpness)
+        let ratio = self.y0 / min_yield - 1.0;
+        if ratio <= 0.0 {
+            return 0;
+        }
+        (self.n_knee * ratio.powf(1.0 / self.sharpness)).floor() as u64
+    }
+
+    /// Translates a TSV budget into the `max_ill` constraint used by the
+    /// synthesis flow: the number of NoC links of the given flit width that
+    /// fit in the budget (§IV: "For a particular link width, the maximum
+    /// number of links can be directly determined from the TSV constraints").
+    #[must_use]
+    pub fn max_inter_layer_links(&self, min_yield: f64, tsvs_per_link: u32) -> u32 {
+        let budget = self.max_tsvs_for_yield(min_yield);
+        u32::try_from(budget / u64::from(tsvs_per_link)).unwrap_or(u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_monotonically_decreases() {
+        for p in [StackingProcess::Mature, StackingProcess::Standard, StackingProcess::Prototype] {
+            let m = YieldModel::for_process(p);
+            let mut prev = f64::INFINITY;
+            for n in [0u64, 10, 100, 1_000, 10_000, 100_000] {
+                let y = m.yield_fraction(n);
+                assert!(y <= prev);
+                prev = y;
+            }
+        }
+    }
+
+    #[test]
+    fn knee_behaviour() {
+        let m = YieldModel::for_process(StackingProcess::Standard);
+        // Flat below the knee...
+        assert!(m.yield_fraction(600) > 0.95 * m.baseline_yield());
+        // ...rapid decline after it.
+        assert!(m.yield_fraction(24_000) < 0.1 * m.baseline_yield());
+    }
+
+    #[test]
+    fn max_tsvs_inverts_yield() {
+        let m = YieldModel::for_process(StackingProcess::Prototype);
+        let n = m.max_tsvs_for_yield(0.7);
+        assert!(m.yield_fraction(n) >= 0.7);
+        assert!(m.yield_fraction(n + n / 5 + 50) < 0.7);
+    }
+
+    #[test]
+    fn unattainable_yield_gives_zero_budget() {
+        let m = YieldModel::for_process(StackingProcess::Prototype);
+        assert_eq!(m.max_tsvs_for_yield(0.99), 0);
+    }
+
+    #[test]
+    fn max_ill_scales_with_link_width() {
+        let m = YieldModel::for_process(StackingProcess::Standard);
+        let narrow = m.max_inter_layer_links(0.8, 22);
+        let wide = m.max_inter_layer_links(0.8, 70);
+        assert!(narrow > wide);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline yield")]
+    fn rejects_bad_baseline() {
+        let _ = YieldModel::new(1.5, 100.0, 3.0);
+    }
+}

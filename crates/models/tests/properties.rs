@@ -1,0 +1,99 @@
+//! Property tests for the component models: the synthesis algorithms rely
+//! on these cost functions being monotone in the documented directions.
+
+use proptest::prelude::*;
+use sunfloor_models::{
+    LinkModel, NetworkInterfaceModel, NocLibrary, StackingProcess, SwitchModel, Technology,
+    TsvModel, YieldModel,
+};
+
+proptest! {
+    #[test]
+    fn switch_fmax_strictly_decreases(p in 1u32..60) {
+        let m = SwitchModel::lp65();
+        prop_assert!(m.max_frequency_mhz(p) > m.max_frequency_mhz(p + 1));
+    }
+
+    #[test]
+    fn switch_size_inverse_is_consistent(f in 80.0f64..1200.0) {
+        let m = SwitchModel::lp65();
+        let s = m.max_size_for_frequency(f);
+        prop_assume!(s >= 1);
+        prop_assert!(m.max_frequency_mhz(s) >= f);
+        prop_assert!(m.max_frequency_mhz(s + 1) < f);
+    }
+
+    #[test]
+    fn switch_power_monotone(
+        inp in 1u32..16, out in 1u32..16, bw in 0.0f64..20.0, f in 100.0f64..1000.0,
+    ) {
+        let m = SwitchModel::lp65();
+        let base = m.power_mw(inp, out, bw, f);
+        prop_assert!(m.power_mw(inp + 1, out, bw, f) > base);
+        prop_assert!(m.power_mw(inp, out + 1, bw, f) > base);
+        prop_assert!(m.power_mw(inp, out, bw + 1.0, f) > base);
+        prop_assert!(m.power_mw(inp, out, bw, f + 50.0) > base);
+        prop_assert!(base > 0.0);
+    }
+
+    #[test]
+    fn link_power_monotone_in_length_and_bandwidth(
+        len in 0.1f64..30.0, bw in 0.1f64..12.0, f in 100.0f64..1000.0,
+    ) {
+        let l = LinkModel::lp65(32);
+        let base = l.power_mw(len, bw, f);
+        prop_assert!(l.power_mw(len * 1.5, bw, f) > base);
+        prop_assert!(l.power_mw(len, bw * 1.5, f) > base);
+    }
+
+    #[test]
+    fn link_stages_monotone(len in 0.1f64..40.0, f in 100.0f64..1000.0) {
+        let l = LinkModel::lp65(32);
+        prop_assert!(l.pipeline_stages(len + 5.0, f) >= l.pipeline_stages(len, f));
+        prop_assert!(l.pipeline_stages(len, (f * 1.6).min(1200.0)) >= l.pipeline_stages(len, f));
+        prop_assert_eq!(l.latency_cycles(len, f), 1 + l.pipeline_stages(len, f));
+    }
+
+    #[test]
+    fn segment_budget_follows_sqrt_law(f in 100.0f64..1000.0) {
+        let t = Technology::lp65();
+        let b1 = t.segment_budget_mm(f);
+        let b2 = t.segment_budget_mm(f / 4.0);
+        prop_assert!((b2 / b1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tsv_cheaper_than_equivalent_planar_run(bw in 0.1f64..12.0, hops in 1u32..4) {
+        // A vertical hop must always beat a millimetre of planar wire —
+        // the physical basis of the paper's 3-D savings.
+        let lib = NocLibrary::lp65();
+        let tsv = lib.tsv.power_mw(hops, bw);
+        let wire = lib.link.power_mw(f64::from(hops), bw, 400.0);
+        prop_assert!(tsv < wire, "tsv {tsv} vs wire {wire}");
+    }
+
+    #[test]
+    fn tsv_delay_linear(hops in 1u32..5) {
+        let t = TsvModel::bulk65();
+        prop_assert!((t.delay_ps(hops) - t.hop_delay_ps * f64::from(hops)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ni_power_monotone(bw in 0.0f64..20.0, f in 100.0f64..1000.0) {
+        let ni = NetworkInterfaceModel::lp65();
+        prop_assert!(ni.power_mw(bw + 0.5, f) > ni.power_mw(bw, f));
+        prop_assert!(ni.power_mw(bw, f + 50.0) > ni.power_mw(bw, f));
+    }
+
+    #[test]
+    fn yield_monotone_and_invertible(n in 0u64..200_000, min_yield in 0.05f64..0.8) {
+        for p in [StackingProcess::Mature, StackingProcess::Standard, StackingProcess::Prototype] {
+            let m = YieldModel::for_process(p);
+            prop_assert!(m.yield_fraction(n) >= m.yield_fraction(n + 1_000));
+            let budget = m.max_tsvs_for_yield(min_yield);
+            if budget > 0 && budget < u64::MAX {
+                prop_assert!(m.yield_fraction(budget) >= min_yield - 1e-9);
+            }
+        }
+    }
+}

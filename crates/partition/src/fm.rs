@@ -1,0 +1,292 @@
+//! Recursive bisection with Fiduccia–Mattheyses refinement and a k-way
+//! swap polish.
+
+use crate::graph::WeightedGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Recursively splits `vertices` into `parts` blocks, writing block labels
+/// `first_label..first_label + parts` into `assignment`.
+pub(crate) fn recursive_bisect(
+    g: &WeightedGraph,
+    vertices: &[usize],
+    parts: usize,
+    first_label: u32,
+    max_passes: u32,
+    rng: &mut StdRng,
+    assignment: &mut [u32],
+) {
+    debug_assert!(parts >= 1 && vertices.len() >= parts);
+    if parts == 1 {
+        for &v in vertices {
+            assignment[v] = first_label;
+        }
+        return;
+    }
+    let k1 = parts.div_ceil(2);
+    let k2 = parts - k1;
+    // Target size proportional to the number of blocks on each side, clamped
+    // so both sides keep at least one vertex per block.
+    let ideal = (vertices.len() * k1 + parts / 2) / parts;
+    let n1 = ideal.clamp(k1, vertices.len() - k2);
+
+    let side0 = bisect(g, vertices, n1, max_passes, rng);
+    let mut left = Vec::with_capacity(n1);
+    let mut right = Vec::with_capacity(vertices.len() - n1);
+    for (i, &v) in vertices.iter().enumerate() {
+        if side0[i] {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    recursive_bisect(g, &left, k1, first_label, max_passes, rng, assignment);
+    recursive_bisect(g, &right, k2, first_label + k1 as u32, max_passes, rng, assignment);
+}
+
+/// Bisects `vertices` into sides of exactly (`n1`, `len - n1`) vertices.
+/// Returns `true` for vertices on side 0, indexed like `vertices`.
+fn bisect(
+    g: &WeightedGraph,
+    vertices: &[usize],
+    n1: usize,
+    max_passes: u32,
+    rng: &mut StdRng,
+) -> Vec<bool> {
+    let m = vertices.len();
+    debug_assert!(n1 >= 1 && n1 < m);
+
+    // Local index of each global vertex (usize::MAX = not in subset).
+    let mut local = vec![usize::MAX; g.node_count()];
+    for (i, &v) in vertices.iter().enumerate() {
+        local[v] = i;
+    }
+
+    // --- initial solution: greedy growth from a random seed -------------
+    let mut side0 = greedy_grow(g, vertices, &local, n1, rng);
+
+    // conn[i][s] = weight from local vertex i to side s (within the subset)
+    let mut conn = vec![[0.0f64; 2]; m];
+    let mut cut = 0.0;
+    for (i, &v) in vertices.iter().enumerate() {
+        for &(u, w) in g.neighbors(v) {
+            let lu = local[u as usize];
+            if lu == usize::MAX {
+                continue;
+            }
+            let s = usize::from(!side0[lu]);
+            conn[i][s] += w;
+            if side0[i] != side0[lu] && i < lu {
+                cut += w;
+            }
+        }
+    }
+    // --- FM passes -------------------------------------------------------
+    for _ in 0..max_passes {
+        let improved = fm_pass(vertices, &mut side0, &mut conn, &mut cut, n1, &local, g);
+        if !improved {
+            break;
+        }
+    }
+    side0
+}
+
+/// Grows side 0 greedily: start from a random seed, repeatedly absorb the
+/// unassigned vertex with the strongest connection to side 0.
+fn greedy_grow(
+    g: &WeightedGraph,
+    vertices: &[usize],
+    local: &[usize],
+    n1: usize,
+    rng: &mut StdRng,
+) -> Vec<bool> {
+    let m = vertices.len();
+    let mut side0 = vec![false; m];
+    let mut attraction = vec![0.0f64; m];
+    let mut order: Vec<usize> = (0..m).collect();
+    order.shuffle(rng);
+
+    let seed = rng.gen_range(0..m);
+    side0[seed] = true;
+    let mut grown = 1;
+    update_attraction(g, vertices, local, seed, &mut attraction);
+
+    while grown < n1 {
+        let mut best = usize::MAX;
+        let mut best_w = f64::NEG_INFINITY;
+        for &i in &order {
+            if !side0[i] && attraction[i] > best_w {
+                best_w = attraction[i];
+                best = i;
+            }
+        }
+        side0[best] = true;
+        grown += 1;
+        update_attraction(g, vertices, local, best, &mut attraction);
+    }
+    side0
+}
+
+fn update_attraction(
+    g: &WeightedGraph,
+    vertices: &[usize],
+    local: &[usize],
+    newly_added: usize,
+    attraction: &mut [f64],
+) {
+    for &(u, w) in g.neighbors(vertices[newly_added]) {
+        let lu = local[u as usize];
+        if lu != usize::MAX {
+            attraction[lu] += w;
+        }
+    }
+}
+
+/// One FM pass with exact balance targets: moves may leave the split one
+/// vertex out of balance mid-pass, and the best *balanced* prefix of the
+/// move sequence is kept. Returns whether the cut improved.
+#[allow(clippy::too_many_arguments)]
+fn fm_pass(
+    vertices: &[usize],
+    side0: &mut [bool],
+    conn: &mut [[f64; 2]],
+    cut: &mut f64,
+    n1: usize,
+    local: &[usize],
+    g: &WeightedGraph,
+) -> bool {
+    let m = vertices.len();
+    let start_cut = *cut;
+    let mut locked = vec![false; m];
+    let mut size0 = side0.iter().filter(|&&s| s).count();
+
+    let mut moves: Vec<usize> = Vec::with_capacity(m);
+    let mut running = *cut;
+    let mut best_cut = *cut;
+    let mut best_prefix = 0usize;
+
+    for _step in 0..m {
+        // Pick the best-gain unlocked vertex whose move keeps |size0-n1|<=1.
+        let mut best = usize::MAX;
+        let mut best_gain = f64::NEG_INFINITY;
+        for i in 0..m {
+            if locked[i] {
+                continue;
+            }
+            let from0 = side0[i];
+            let new_size0 = if from0 { size0 - 1 } else { size0 + 1 };
+            if new_size0.abs_diff(n1) > 1 {
+                continue;
+            }
+            let own = usize::from(!from0); // index of own side in conn
+            let other = usize::from(from0);
+            let gain = conn[i][other] - conn[i][own];
+            if gain > best_gain {
+                best_gain = gain;
+                best = i;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+
+        // Apply the move.
+        let from0 = side0[best];
+        side0[best] = !from0;
+        size0 = if from0 { size0 - 1 } else { size0 + 1 };
+        running -= best_gain;
+        locked[best] = true;
+        moves.push(best);
+
+        // Update neighbor connectivity.
+        for &(u, w) in g.neighbors(vertices[best]) {
+            let lu = local[u as usize];
+            if lu == usize::MAX {
+                continue;
+            }
+            // `best` moved from side `from0` to the opposite side.
+            let old_s = usize::from(!from0);
+            let new_s = usize::from(from0);
+            conn[lu][old_s] -= w;
+            conn[lu][new_s] += w;
+        }
+
+        if size0 == n1 && running < best_cut - 1e-12 {
+            best_cut = running;
+            best_prefix = moves.len();
+        }
+    }
+
+    // Roll back everything after the best balanced prefix.
+    for &i in moves.iter().skip(best_prefix).rev() {
+        let from0 = side0[i];
+        side0[i] = !from0;
+        for &(u, w) in g.neighbors(vertices[i]) {
+            let lu = local[u as usize];
+            if lu == usize::MAX {
+                continue;
+            }
+            let old_s = usize::from(!from0);
+            let new_s = usize::from(from0);
+            conn[lu][old_s] -= w;
+            conn[lu][new_s] += w;
+        }
+    }
+    *cut = best_cut.min(start_cut);
+    best_cut < start_cut - 1e-12
+}
+
+/// Greedy pairwise-swap refinement across all block pairs. Swapping keeps
+/// every block size unchanged, so balance is preserved exactly.
+pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32]) {
+    let n = assignment.len();
+    let parts = assignment.iter().copied().max().map_or(0, |p| p as usize + 1);
+    if parts < 2 {
+        return;
+    }
+    // conn[v][p] = weight from v into block p
+    let mut conn = vec![vec![0.0f64; parts]; n];
+    for v in 0..n {
+        for &(u, w) in g.neighbors(v) {
+            conn[v][assignment[u as usize] as usize] += w;
+        }
+    }
+
+    const MAX_ROUNDS: usize = 64;
+    for _ in 0..MAX_ROUNDS {
+        let mut best_delta = 1e-12;
+        let mut best_pair = None;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let pu = assignment[u] as usize;
+                let pv = assignment[v] as usize;
+                if pu == pv {
+                    continue;
+                }
+                let du = conn[u][pv] - conn[u][pu];
+                let dv = conn[v][pu] - conn[v][pv];
+                let delta = du + dv - 2.0 * g.edge_weight(u, v);
+                if delta > best_delta {
+                    best_delta = delta;
+                    best_pair = Some((u, v));
+                }
+            }
+        }
+        let Some((u, v)) = best_pair else { break };
+        let pu = assignment[u] as usize;
+        let pv = assignment[v] as usize;
+        assignment[u] = pv as u32;
+        assignment[v] = pu as u32;
+        for &(t, w) in g.neighbors(u) {
+            let t = t as usize;
+            conn[t][pu] -= w;
+            conn[t][pv] += w;
+        }
+        for &(t, w) in g.neighbors(v) {
+            let t = t as usize;
+            conn[t][pv] -= w;
+            conn[t][pu] += w;
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Undirected weighted graph used as partitioner input.
+
+/// An undirected graph with non-negative edge weights, stored as adjacency
+/// lists. Parallel edges accumulate their weights; self-loops are ignored
+/// (they can never contribute to a cut).
+///
+/// SunFloor folds its *directed* communication / partitioning graphs into
+/// this undirected form before partitioning, summing the weights of the two
+/// directions — only the total weight crossing a block boundary matters to
+/// the min-cut objective.
+///
+/// # Example
+///
+/// ```
+/// use sunfloor_partition::WeightedGraph;
+///
+/// let mut g = WeightedGraph::new(3);
+/// g.add_edge(0, 1, 2.0);
+/// g.add_edge(1, 0, 3.0); // accumulates onto the same undirected edge
+/// assert_eq!(g.edge_weight(0, 1), 5.0);
+/// assert_eq!(g.node_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightedGraph {
+    /// adjacency[v] = list of (neighbor, accumulated weight)
+    adj: Vec<Vec<(u32, f64)>>,
+}
+
+impl WeightedGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds (or accumulates onto) the undirected edge `a — b`.
+    /// Self-loops and non-positive weights are silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: f64) {
+        assert!(a < self.adj.len() && b < self.adj.len(), "vertex out of range");
+        if a == b || weight <= 0.0 {
+            return;
+        }
+        Self::accumulate(&mut self.adj[a], b as u32, weight);
+        Self::accumulate(&mut self.adj[b], a as u32, weight);
+    }
+
+    fn accumulate(list: &mut Vec<(u32, f64)>, to: u32, weight: f64) {
+        if let Some(entry) = list.iter_mut().find(|(t, _)| *t == to) {
+            entry.1 += weight;
+        } else {
+            list.push((to, weight));
+        }
+    }
+
+    /// Accumulated weight of the undirected edge `a — b` (0.0 if absent).
+    #[must_use]
+    pub fn edge_weight(&self, a: usize, b: usize) -> f64 {
+        self.adj
+            .get(a)
+            .and_then(|l| l.iter().find(|(t, _)| *t as usize == b))
+            .map_or(0.0, |(_, w)| *w)
+    }
+
+    /// Neighbors of `v` with accumulated weights.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[(u32, f64)] {
+        &self.adj[v]
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        let double: f64 = self.adj.iter().flatten().map(|(_, w)| w).sum();
+        double / 2.0
+    }
+
+    /// Total weight of edges whose endpoints have different labels in
+    /// `assignment` (each undirected edge counted once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != self.node_count()`.
+    #[must_use]
+    pub fn cut_weight(&self, assignment: &[u32]) -> f64 {
+        assert_eq!(assignment.len(), self.node_count(), "assignment length mismatch");
+        let mut cut = 0.0;
+        for (v, list) in self.adj.iter().enumerate() {
+            for &(u, w) in list {
+                let u = u as usize;
+                if v < u && assignment[v] != assignment[u] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 1.5);
+        g.add_edge(0, 1, 2.5);
+        assert_eq!(g.edge_weight(0, 1), 4.0);
+        assert_eq!(g.edge_weight(1, 0), 4.0);
+    }
+
+    #[test]
+    fn self_loops_and_nonpositive_weights_dropped() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 0, 5.0);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(0, 1, -1.0);
+        assert_eq!(g.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn cut_weight_counts_each_edge_once() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 4.0);
+        let cut = g.cut_weight(&[0, 0, 1, 1]);
+        assert_eq!(cut, 2.0);
+        let all_cut = g.cut_weight(&[0, 1, 2, 3]);
+        assert_eq!(all_cut, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn add_edge_checks_bounds() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 2, 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+use super::*;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Enumerates every balanced 2-way split of an `n`-vertex graph and returns
+/// the optimal cut (used as ground truth on tiny instances).
+fn brute_force_bisection(g: &WeightedGraph) -> f64 {
+    let n = g.node_count();
+    let n1 = n.div_ceil(2);
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != n1 {
+            continue;
+        }
+        let assignment: Vec<u32> =
+            (0..n).map(|v| u32::from(mask & (1 << v) != 0)).collect();
+        best = best.min(g.cut_weight(&assignment));
+    }
+    best
+}
+
+fn random_graph(n: usize, density: f64, seed: u64) -> WeightedGraph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(density) {
+                g.add_edge(a, b, rng.gen_range(0.5..20.0));
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn one_part_is_trivial() {
+    let g = random_graph(10, 0.5, 1);
+    let p = g.partition(&PartitionConfig::k_way(1)).unwrap();
+    assert_eq!(p.cut_weight, 0.0);
+    assert!(p.assignment().iter().all(|&x| x == 0));
+}
+
+#[test]
+fn n_parts_puts_each_vertex_alone() {
+    let g = random_graph(6, 0.8, 2);
+    let p = g.partition(&PartitionConfig::k_way(6)).unwrap();
+    assert_eq!(p.part_sizes(), vec![1; 6]);
+    assert!((p.cut_weight - g.total_weight()).abs() < 1e-9);
+}
+
+#[test]
+fn zero_parts_rejected() {
+    let g = WeightedGraph::new(3);
+    assert_eq!(g.partition(&PartitionConfig::k_way(0)), Err(PartitionError::ZeroParts));
+}
+
+#[test]
+fn too_many_parts_rejected() {
+    let g = WeightedGraph::new(3);
+    let err = g.partition(&PartitionConfig::k_way(4)).unwrap_err();
+    assert_eq!(err, PartitionError::TooManyParts { parts: 4, vertices: 3 });
+    assert!(err.to_string().contains("4 blocks"));
+}
+
+#[test]
+fn finds_optimal_bisection_on_small_graphs() {
+    for seed in 0..12u64 {
+        for n in [6usize, 8, 10] {
+            let g = random_graph(n, 0.55, seed * 31 + n as u64);
+            let cfg = PartitionConfig::k_way(2).with_restarts(24);
+            let p = g.partition(&cfg).unwrap();
+            let opt = brute_force_bisection(&g);
+            assert!(
+                p.cut_weight <= opt + 1e-9,
+                "seed {seed} n {n}: got {} vs optimal {opt}",
+                p.cut_weight
+            );
+        }
+    }
+}
+
+#[test]
+fn clustered_graph_separates_clusters() {
+    // Three heavy 4-cliques, lightly interconnected.
+    let mut g = WeightedGraph::new(12);
+    for c in 0..3usize {
+        for a in 0..4usize {
+            for b in (a + 1)..4 {
+                g.add_edge(4 * c + a, 4 * c + b, 50.0);
+            }
+        }
+    }
+    g.add_edge(0, 4, 1.0);
+    g.add_edge(4, 8, 1.0);
+    g.add_edge(8, 0, 1.0);
+    let p = g.partition(&PartitionConfig::k_way(3)).unwrap();
+    assert_eq!(p.cut_weight, 3.0, "only the three light edges should be cut");
+    for c in 0..3 {
+        let label = p.part_of(4 * c);
+        for v in 1..4 {
+            assert_eq!(p.part_of(4 * c + v), label, "clique {c} split");
+        }
+    }
+}
+
+#[test]
+fn deterministic_for_same_seed() {
+    let g = random_graph(20, 0.3, 7);
+    let cfg = PartitionConfig::k_way(4).with_seed(99);
+    let a = g.partition(&cfg).unwrap();
+    let b = g.partition(&cfg).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn disconnected_graph_is_handled() {
+    let g = WeightedGraph::new(9); // no edges at all
+    let p = g.partition(&PartitionConfig::k_way(3)).unwrap();
+    assert_eq!(p.cut_weight, 0.0);
+    let mut sizes = p.part_sizes();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![3, 3, 3]);
+}
+
+proptest! {
+    #[test]
+    fn sizes_are_balanced(n in 4usize..40, parts in 2usize..6, seed in 0u64..500) {
+        prop_assume!(parts <= n);
+        let g = random_graph(n, 0.35, seed);
+        let p = g.partition(&PartitionConfig::k_way(parts).with_seed(seed)).unwrap();
+        let sizes = p.part_sizes();
+        prop_assert_eq!(sizes.len(), parts);
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(min >= 1, "empty block");
+        prop_assert!(max - min <= 1, "imbalanced blocks: {:?}", sizes);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn reported_cut_matches_recomputation(n in 4usize..30, parts in 2usize..5, seed in 0u64..200) {
+        prop_assume!(parts <= n);
+        let g = random_graph(n, 0.4, seed.wrapping_mul(17));
+        let p = g.partition(&PartitionConfig::k_way(parts).with_seed(seed)).unwrap();
+        let recomputed = g.cut_weight(p.assignment());
+        prop_assert!((p.cut_weight - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_never_exceeds_total_weight(n in 4usize..30, parts in 2usize..6, seed in 0u64..200) {
+        prop_assume!(parts <= n);
+        let g = random_graph(n, 0.5, seed.wrapping_mul(29));
+        let p = g.partition(&PartitionConfig::k_way(parts).with_seed(seed)).unwrap();
+        prop_assert!(p.cut_weight <= g.total_weight() + 1e-9);
+    }
+
+    #[test]
+    fn members_and_assignment_agree(n in 4usize..25, parts in 2usize..5, seed in 0u64..100) {
+        prop_assume!(parts <= n);
+        let g = random_graph(n, 0.4, seed);
+        let p = g.partition(&PartitionConfig::k_way(parts).with_seed(seed)).unwrap();
+        for block in 0..parts as u32 {
+            for v in p.members(block) {
+                prop_assert_eq!(p.part_of(v), block);
+            }
+        }
+    }
+}

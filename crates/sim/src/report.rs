@@ -1,0 +1,64 @@
+//! Simulation statistics.
+
+/// Per-flow simulation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FlowStats {
+    /// Packets injected into the source queue during measurement.
+    pub injected_packets: u64,
+    /// Packets fully delivered during measurement.
+    pub delivered_packets: u64,
+    /// Mean head-to-tail packet latency, cycles (0 when none delivered).
+    pub avg_latency_cycles: f64,
+    /// Worst packet latency observed, cycles.
+    pub max_latency_cycles: u64,
+}
+
+/// Aggregate outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimReport {
+    /// Cycles simulated after warm-up.
+    pub measured_cycles: u64,
+    /// Total packets injected during measurement.
+    pub injected_packets: u64,
+    /// Total packets delivered during measurement.
+    pub delivered_packets: u64,
+    /// Mean packet latency over all delivered packets, cycles.
+    pub avg_latency_cycles: f64,
+    /// Delivered payload throughput in flits per cycle.
+    pub throughput_flits_per_cycle: f64,
+    /// Per-flow breakdown (indexed by flow).
+    pub per_flow: Vec<FlowStats>,
+    /// Set when in-flight flits made no progress for the watchdog window —
+    /// a deadlock (or pathological congestion) indicator.
+    pub deadlock_suspected: bool,
+}
+
+impl SimReport {
+    /// Fraction of injected packets that were delivered (1.0 when the
+    /// network keeps up with the offered load).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected_packets == 0 {
+            1.0
+        } else {
+            self.delivered_packets as f64 / self.injected_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero_injection() {
+        let r = SimReport::default();
+        assert_eq!(r.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn delivery_ratio_counts() {
+        let r = SimReport { injected_packets: 10, delivered_packets: 5, ..SimReport::default() };
+        assert_eq!(r.delivery_ratio(), 0.5);
+    }
+}

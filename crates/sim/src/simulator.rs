@@ -1,0 +1,515 @@
+//! The wormhole simulation engine.
+
+use crate::report::{FlowStats, SimReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::topology::Topology;
+use std::collections::VecDeque;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Flits per packet (header + payload).
+    pub packet_flits: u32,
+    /// Input-buffer depth per channel, flits.
+    pub buffer_flits: usize,
+    /// Warm-up cycles excluded from statistics.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+    /// Injection-rate multiplier over the specified bandwidths (1.0 =
+    /// exactly the communication spec; >1 stresses the network).
+    pub injection_scale: f64,
+    /// Cycles without any flit movement (while flits are in flight) before
+    /// the watchdog declares a suspected deadlock.
+    pub watchdog_cycles: u64,
+    /// RNG seed for packet injection.
+    pub rng_seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            packet_flits: 4,
+            buffer_flits: 4,
+            warmup_cycles: 2_000,
+            measure_cycles: 20_000,
+            injection_scale: 1.0,
+            watchdog_cycles: 1_000,
+            rng_seed: 0x51A1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    flow: u32,
+    packet: u64,
+    hop: u16,
+    is_head: bool,
+    is_tail: bool,
+    injected_cycle: u64,
+    moved_at: u64,
+}
+
+/// Where a channel pulls flits from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InputRef {
+    /// An upstream channel.
+    Channel(usize),
+    /// A per-flow source queue (injection).
+    Source(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    buf: VecDeque<Flit>,
+    capacity: usize,
+    /// Wormhole ownership: the (flow, packet) currently holding the channel.
+    owner: Option<(u32, u64)>,
+    /// Round-robin pointer over `inputs`.
+    rr: usize,
+    inputs: Vec<InputRef>,
+    /// Cycle at which this channel last forwarded a flit downstream.
+    sent_at: u64,
+    is_ejection: bool,
+}
+
+/// The simulator: build once per topology, then [`Simulator::run`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+    /// Channel id sequence per flow: injection, links…, ejection.
+    routes: Vec<Vec<usize>>,
+    channels: Vec<Channel>,
+    /// Per-flow packet-spawn probability per cycle.
+    spawn_prob: Vec<f64>,
+    sources: Vec<VecDeque<Flit>>,
+    rng: StdRng,
+}
+
+impl Simulator {
+    /// Builds a simulator for a synthesized topology.
+    ///
+    /// Channel granularity: one injection channel per core, one ejection
+    /// channel per core, one channel per directed class-separated link of
+    /// the topology. A flit crosses one channel per cycle, so low-load
+    /// packet latency ≈ `hops + packet_flits − 1` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow's route is empty (unrouted topology).
+    #[must_use]
+    pub fn new(
+        topo: &Topology,
+        soc: &SocSpec,
+        comm: &CommSpec,
+        frequency_mhz: f64,
+        cfg: &SimConfig,
+    ) -> Self {
+        let n_cores = soc.core_count();
+        let n_links = topo.links.len();
+        // Channel ids: [0, n_cores) injection, [n_cores, n_cores+n_links)
+        // links, [n_cores+n_links, n_cores+n_links+n_cores) ejection.
+        let inj = |c: usize| c;
+        let link = |l: usize| n_cores + l;
+        let eject = |c: usize| n_cores + n_links + c;
+        let total = 2 * n_cores + n_links;
+
+        let mut channels: Vec<Channel> = (0..total)
+            .map(|id| Channel {
+                buf: VecDeque::new(),
+                capacity: cfg.buffer_flits.max(1),
+                owner: None,
+                rr: 0,
+                inputs: Vec::new(),
+                sent_at: u64::MAX,
+                is_ejection: id >= n_cores + n_links,
+            })
+            .collect();
+
+        // Build per-flow channel routes and wire channel inputs.
+        let mut routes = Vec::with_capacity(comm.flows.len());
+        for (fi, f) in comm.flows.iter().enumerate() {
+            let path = &topo.flow_paths[fi];
+            assert!(!path.switches.is_empty(), "flow {fi} is unrouted");
+            let mut route = vec![inj(f.src)];
+            for w in path.switches.windows(2) {
+                // The unique link of this flow between w[0] and w[1]: the
+                // topology records which flows ride each link.
+                let li = topo
+                    .links
+                    .iter()
+                    .position(|l| {
+                        l.from == w[0] && l.to == w[1] && l.flows.contains(&fi)
+                    })
+                    .expect("flow's link exists in topology");
+                route.push(link(li));
+            }
+            route.push(eject(f.dst));
+            routes.push(route);
+        }
+        for (fi, route) in routes.iter().enumerate() {
+            // First channel pulls from the flow's source queue.
+            let first = route[0];
+            if !channels[first].inputs.contains(&InputRef::Source(fi)) {
+                channels[first].inputs.push(InputRef::Source(fi));
+            }
+            for w in route.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if !channels[b].inputs.contains(&InputRef::Channel(a)) {
+                    channels[b].inputs.push(InputRef::Channel(a));
+                }
+            }
+        }
+
+        // Injection probabilities: flits/cycle = bw / link capacity.
+        let capacity_gbps =
+            f64::from(32) * frequency_mhz / 1000.0; // informational default
+        let _ = capacity_gbps;
+        let spawn_prob = comm
+            .flows
+            .iter()
+            .map(|f| {
+                let flit_rate = f.bandwidth_gbps() * cfg.injection_scale
+                    / (f64::from(32) * frequency_mhz / 1000.0);
+                (flit_rate / f64::from(cfg.packet_flits)).min(1.0)
+            })
+            .collect();
+
+        Self {
+            cfg: cfg.clone(),
+            routes,
+            channels,
+            spawn_prob,
+            sources: vec![VecDeque::new(); comm.flows.len()],
+            rng: StdRng::seed_from_u64(cfg.rng_seed),
+        }
+    }
+
+    /// Runs warm-up plus measurement and returns the statistics.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        let mut stats = vec![FlowStats::default(); self.routes.len()];
+        let mut lat_sums = vec![0.0f64; self.routes.len()];
+        let mut delivered_flits: u64 = 0;
+        let mut packet_counter: u64 = 0;
+        let mut last_progress: u64 = 0;
+        let mut deadlock = false;
+
+        let end = self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        for cycle in 0..end {
+            let measuring = cycle >= self.cfg.warmup_cycles;
+
+            // 1. Drain ejection channels (sinks always consume).
+            for ch in 0..self.channels.len() {
+                if !self.channels[ch].is_ejection {
+                    continue;
+                }
+                while let Some(flit) = self.channels[ch].buf.pop_front() {
+                    last_progress = cycle;
+                    if flit.is_tail && measuring && flit.injected_cycle >= self.cfg.warmup_cycles
+                    {
+                        let f = flit.flow as usize;
+                        let lat = cycle - flit.injected_cycle;
+                        stats[f].delivered_packets += 1;
+                        stats[f].max_latency_cycles = stats[f].max_latency_cycles.max(lat);
+                        lat_sums[f] += lat as f64;
+                    }
+                    if measuring {
+                        delivered_flits += 1;
+                    }
+                }
+            }
+
+            // 2. Spawn packets into source queues (bounded backlog).
+            for (fi, &p) in self.spawn_prob.iter().enumerate() {
+                if self.sources[fi].len() >= 16 * self.cfg.packet_flits as usize {
+                    continue;
+                }
+                if self.rng.gen_bool(p) {
+                    packet_counter += 1;
+                    if measuring {
+                        stats[fi].injected_packets += 1;
+                    }
+                    for k in 0..self.cfg.packet_flits {
+                        self.sources[fi].push_back(Flit {
+                            flow: fi as u32,
+                            packet: packet_counter,
+                            hop: 0,
+                            is_head: k == 0,
+                            is_tail: k + 1 == self.cfg.packet_flits,
+                            injected_cycle: cycle,
+                            moved_at: cycle,
+                        });
+                    }
+                }
+            }
+
+            // 3. Channel allocation and flit movement.
+            for ch in 0..self.channels.len() {
+                if self.try_accept(ch, cycle) {
+                    last_progress = cycle;
+                }
+            }
+
+            // 4. Watchdog.
+            let in_flight = self.channels.iter().any(|c| !c.buf.is_empty())
+                || self.sources.iter().any(|s| !s.is_empty());
+            if in_flight && cycle - last_progress > self.cfg.watchdog_cycles {
+                deadlock = true;
+                break;
+            }
+        }
+
+        let mut injected = 0;
+        let mut delivered = 0;
+        let mut lat_total = 0.0;
+        for (f, s) in stats.iter_mut().enumerate() {
+            injected += s.injected_packets;
+            delivered += s.delivered_packets;
+            lat_total += lat_sums[f];
+            if s.delivered_packets > 0 {
+                s.avg_latency_cycles = lat_sums[f] / s.delivered_packets as f64;
+            }
+        }
+        SimReport {
+            measured_cycles: self.cfg.measure_cycles,
+            injected_packets: injected,
+            delivered_packets: delivered,
+            avg_latency_cycles: if delivered > 0 { lat_total / delivered as f64 } else { 0.0 },
+            throughput_flits_per_cycle: delivered_flits as f64
+                / self.cfg.measure_cycles.max(1) as f64,
+            per_flow: stats,
+            deadlock_suspected: deadlock,
+        }
+    }
+
+    /// Tries to accept one flit into channel `ch`. Returns whether a flit
+    /// moved.
+    fn try_accept(&mut self, ch: usize, cycle: u64) -> bool {
+        if !self.channels[ch].is_ejection
+            && self.channels[ch].buf.len() >= self.channels[ch].capacity
+        {
+            return false;
+        }
+
+        // Locked to a packet? Only that packet's next flit may enter.
+        if let Some((flow, packet)) = self.channels[ch].owner {
+            let Some(input) = self.find_owner_input(ch, flow, packet) else {
+                return false;
+            };
+            return self.move_flit(input, ch, cycle);
+        }
+
+        // Free channel: round-robin over inputs with a routable head flit.
+        let n_inputs = self.channels[ch].inputs.len();
+        for k in 0..n_inputs {
+            let idx = (self.channels[ch].rr + k) % n_inputs;
+            let input = self.channels[ch].inputs[idx];
+            if !self.head_is_routable(input, ch, cycle, true) {
+                continue;
+            }
+            self.channels[ch].rr = (idx + 1) % n_inputs;
+            return self.move_flit(input, ch, cycle);
+        }
+        false
+    }
+
+    /// The input holding the owning packet's next flit, if ready.
+    fn find_owner_input(&self, ch: usize, flow: u32, packet: u64) -> Option<InputRef> {
+        for &input in &self.channels[ch].inputs {
+            if let Some(f) = self.peek(input) {
+                if f.flow == flow && f.packet == packet {
+                    return Some(input);
+                }
+            }
+        }
+        None
+    }
+
+    fn peek(&self, input: InputRef) -> Option<&Flit> {
+        match input {
+            InputRef::Channel(c) => self.channels[c].buf.front(),
+            InputRef::Source(f) => self.sources[f].front(),
+        }
+    }
+
+    /// Whether `input`'s head flit can legally enter `ch` this cycle.
+    fn head_is_routable(
+        &self,
+        input: InputRef,
+        ch: usize,
+        cycle: u64,
+        need_head: bool,
+    ) -> bool {
+        // An upstream channel forwards at most one flit per cycle.
+        if let InputRef::Channel(c) = input {
+            if self.channels[c].sent_at == cycle {
+                return false;
+            }
+        }
+        let Some(f) = self.peek(input) else { return false };
+        if f.moved_at == cycle && matches!(input, InputRef::Channel(_)) {
+            return false; // arrived this very cycle; moves next cycle
+        }
+        if need_head && !f.is_head {
+            return false;
+        }
+        // Routed to this channel?
+        let next_hop = f.hop as usize + usize::from(matches!(input, InputRef::Channel(_)));
+        self.routes[f.flow as usize].get(next_hop) == Some(&ch)
+    }
+
+    fn move_flit(&mut self, input: InputRef, ch: usize, cycle: u64) -> bool {
+        // Re-validate without the head requirement (body flits follow the
+        // owner lock).
+        if !self.head_is_routable(input, ch, cycle, false) {
+            return false;
+        }
+        let mut flit = match input {
+            InputRef::Channel(c) => {
+                self.channels[c].sent_at = cycle;
+                self.channels[c].buf.pop_front().expect("peeked flit exists")
+            }
+            InputRef::Source(f) => self.sources[f].pop_front().expect("peeked flit exists"),
+        };
+        if matches!(input, InputRef::Channel(_)) {
+            flit.hop += 1;
+        }
+        flit.moved_at = cycle;
+
+        let channel = &mut self.channels[ch];
+        channel.owner = if flit.is_tail { None } else { Some((flit.flow, flit.packet)) };
+        channel.buf.push_back(flit);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunfloor_core::spec::{Core, Flow, MessageType};
+    use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+
+    fn synth(bw0: f64, bw1: f64) -> (SocSpec, CommSpec, Topology) {
+        let soc = SocSpec::new(
+            (0..4)
+                .map(|i| Core {
+                    name: format!("c{i}"),
+                    width: 1.5,
+                    height: 1.5,
+                    x: f64::from(i % 2) * 2.0,
+                    y: 0.0,
+                    layer: u32::from(i >= 2),
+                })
+                .collect(),
+            2,
+        )
+        .unwrap();
+        let f = |src, dst, bw: f64, c| Flow {
+            src,
+            dst,
+            bandwidth_mbs: bw,
+            max_latency_cycles: 12.0,
+            message_type: c,
+        };
+        let comm = CommSpec::new(
+            vec![
+                f(0, 2, bw0, MessageType::Request),
+                f(2, 0, bw1, MessageType::Response),
+                f(1, 3, bw0, MessageType::Request),
+            ],
+            &soc,
+        )
+        .unwrap();
+        let cfg = SynthesisConfig {
+            run_layout: false,
+            switch_count_range: Some((2, 2)),
+            ..SynthesisConfig::default()
+        };
+        let outcome = synthesize(&soc, &comm, &cfg).unwrap();
+        let topo = outcome.best_power().unwrap().topology.clone();
+        (soc, comm, topo)
+    }
+
+    #[test]
+    fn delivers_traffic_without_deadlock() {
+        let (soc, comm, topo) = synth(200.0, 150.0);
+        let report =
+            Simulator::new(&topo, &soc, &comm, 400.0, &SimConfig::default()).run();
+        assert!(!report.deadlock_suspected);
+        assert!(report.delivered_packets > 100, "{report:?}");
+        assert!(report.delivery_ratio() > 0.9, "{report:?}");
+    }
+
+    #[test]
+    fn low_load_latency_close_to_hops_plus_serialization() {
+        let (soc, comm, topo) = synth(20.0, 20.0);
+        let cfg = SimConfig { packet_flits: 4, ..SimConfig::default() };
+        let report = Simulator::new(&topo, &soc, &comm, 400.0, &cfg).run();
+        assert!(!report.deadlock_suspected);
+        // Channel hops per flow = switches + 1; latency ≈ hops + P - 1.
+        for (fi, fs) in report.per_flow.iter().enumerate() {
+            if fs.delivered_packets == 0 {
+                continue;
+            }
+            let hops = topo.flow_paths[fi].switches.len() as f64 + 1.0;
+            let expect = hops + 3.0;
+            assert!(
+                (fs.avg_latency_cycles - expect).abs() <= 1.5,
+                "flow {fi}: measured {} vs expected ~{expect}",
+                fs.avg_latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn higher_load_does_not_lower_latency() {
+        let (soc, comm, topo) = synth(200.0, 200.0);
+        let low = Simulator::new(
+            &topo,
+            &soc,
+            &comm,
+            400.0,
+            &SimConfig { injection_scale: 0.2, ..SimConfig::default() },
+        )
+        .run();
+        let high = Simulator::new(
+            &topo,
+            &soc,
+            &comm,
+            400.0,
+            &SimConfig { injection_scale: 3.0, ..SimConfig::default() },
+        )
+        .run();
+        assert!(!low.deadlock_suspected);
+        assert!(high.avg_latency_cycles >= low.avg_latency_cycles - 0.5);
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load() {
+        let (soc, comm, topo) = synth(100.0, 100.0);
+        let r = Simulator::new(&topo, &soc, &comm, 400.0, &SimConfig::default()).run();
+        // Offered: 3 flows x bw flits/cycle; delivered should be within 25%.
+        let offered: f64 = comm
+            .flows
+            .iter()
+            .map(|f| f.bandwidth_gbps() / (32.0 * 400.0 / 1000.0))
+            .sum();
+        assert!(
+            (r.throughput_flits_per_cycle - offered).abs() / offered < 0.25,
+            "offered {offered}, got {}",
+            r.throughput_flits_per_cycle
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (soc, comm, topo) = synth(150.0, 100.0);
+        let a = Simulator::new(&topo, &soc, &comm, 400.0, &SimConfig::default()).run();
+        let b = Simulator::new(&topo, &soc, &comm, 400.0, &SimConfig::default()).run();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! Design-space exploration: how the TSV budget (`max_ill`) and the
+//! operating frequency move the best achievable power and latency on the
+//! distributed `D_36_4` benchmark — the paper's §VIII-E study.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use sunfloor_benchmarks::distributed;
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = distributed(4);
+
+    println!("== TSV budget sweep (400 MHz) ==");
+    println!("  max_ill  best_power_mW  latency_cyc  switches");
+    for max_ill in [6u32, 10, 14, 18, 22, 26] {
+        let cfg = SynthesisConfig {
+            mode: SynthesisMode::Auto,
+            max_ill,
+            switch_count_range: Some((2, 14)),
+            ..SynthesisConfig::default()
+        };
+        let outcome = synthesize(&bench.soc, &bench.comm, &cfg)?;
+        match outcome.best_power() {
+            Some(p) => println!(
+                "  {:>7}  {:>13.1}  {:>11.2}  {:>8}",
+                max_ill,
+                p.metrics.power.total_mw(),
+                p.metrics.avg_latency_cycles,
+                p.metrics.switch_count
+            ),
+            None => println!("  {max_ill:>7}  infeasible"),
+        }
+    }
+
+    println!("\n== frequency sweep (max_ill = 25) ==");
+    println!("  MHz   max_switch_size  best_power_mW  latency_cyc");
+    for freq in [300.0f64, 400.0, 500.0, 650.0] {
+        let cfg = SynthesisConfig {
+            frequencies_mhz: vec![freq],
+            switch_count_range: Some((2, 14)),
+            ..SynthesisConfig::default()
+        };
+        let max_sw = cfg.library.switch.max_size_for_frequency(freq);
+        let outcome = synthesize(&bench.soc, &bench.comm, &cfg)?;
+        match outcome.best_power() {
+            Some(p) => println!(
+                "  {freq:>4.0}  {max_sw:>15}  {:>13.1}  {:>11.2}",
+                p.metrics.power.total_mw(),
+                p.metrics.avg_latency_cycles
+            ),
+            None => println!("  {freq:>4.0}  {max_sw:>15}  infeasible"),
+        }
+    }
+    Ok(())
+}

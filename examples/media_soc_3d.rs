@@ -1,0 +1,57 @@
+//! The paper's case study: synthesize the 26-core multimedia SoC
+//! (`D_26_media`) onto 3 layers and inspect the power/latency trade-off.
+//!
+//! Run with `cargo run --release --example media_soc_3d`.
+
+use sunfloor_benchmarks::media26;
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = media26();
+    println!(
+        "{}: {} cores on {} layers, {} flows, {:.1} MB/s total",
+        bench.name,
+        bench.soc.core_count(),
+        bench.soc.layers,
+        bench.comm.flow_count(),
+        bench.comm.total_bandwidth_mbs()
+    );
+
+    let cfg = SynthesisConfig {
+        mode: SynthesisMode::Phase1Only,
+        max_ill: 25,
+        switch_count_range: Some((1, 12)),
+        ..SynthesisConfig::default()
+    };
+    let outcome = synthesize(&bench.soc, &bench.comm, &cfg)?;
+
+    println!("\n  switches  total_mW  latency_cyc  max_ill  area_mm2");
+    let mut points: Vec<_> = outcome.points.iter().collect();
+    points.sort_by_key(|p| p.requested_switches);
+    for p in &points {
+        println!(
+            "  {:>8}  {:>8.1}  {:>11.2}  {:>7}  {:>8.2}",
+            p.requested_switches,
+            p.metrics.power.total_mw(),
+            p.metrics.avg_latency_cycles,
+            p.metrics.max_inter_layer_links(),
+            p.layout.as_ref().map_or(0.0, |l| l.die_area_mm2()),
+        );
+    }
+
+    let best = outcome.best_power().expect("feasible point");
+    let names: Vec<String> = bench.soc.cores.iter().map(|c| c.name.clone()).collect();
+    println!("\nmost power-efficient topology:");
+    print!("{}", best.topology.describe(&names));
+
+    println!("\nPareto front (power ascending):");
+    for p in outcome.pareto_front() {
+        println!(
+            "  {} switches: {:.1} mW, {:.2} cycles",
+            p.metrics.switch_count,
+            p.metrics.power.total_mw(),
+            p.metrics.avg_latency_cycles
+        );
+    }
+    Ok(())
+}

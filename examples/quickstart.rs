@@ -1,0 +1,61 @@
+//! Quickstart: synthesize a custom 3-D NoC for a hand-built four-core SoC.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy stack: CPU + accelerator on the bottom die, two memories above.
+    let soc = SocSpec::new(
+        vec![
+            Core { name: "cpu".into(), width: 2.0, height: 2.0, x: 0.0, y: 0.0, layer: 0 },
+            Core { name: "acc".into(), width: 1.5, height: 1.5, x: 2.5, y: 0.0, layer: 0 },
+            Core { name: "mem0".into(), width: 1.8, height: 1.6, x: 0.0, y: 0.0, layer: 1 },
+            Core { name: "mem1".into(), width: 1.8, height: 1.6, x: 2.5, y: 0.0, layer: 1 },
+        ],
+        2,
+    )?;
+    let flow = |src, dst, bw: f64, class| Flow {
+        src,
+        dst,
+        bandwidth_mbs: bw,
+        max_latency_cycles: 8.0,
+        message_type: class,
+    };
+    let comm = CommSpec::new(
+        vec![
+            flow(0, 2, 400.0, MessageType::Request),
+            flow(2, 0, 400.0, MessageType::Response),
+            flow(1, 3, 250.0, MessageType::Request),
+            flow(0, 1, 80.0, MessageType::Request),
+        ],
+        &soc,
+    )?;
+
+    let outcome = synthesize(&soc, &comm, &SynthesisConfig::default())?;
+    println!(
+        "explored {} feasible design points ({} rejected)",
+        outcome.points.len(),
+        outcome.rejected.len()
+    );
+
+    let best = outcome.best_power().expect("at least one feasible topology");
+    let names: Vec<String> = soc.cores.iter().map(|c| c.name.clone()).collect();
+    println!("\nbest-power topology ({} switches):", best.metrics.switch_count);
+    print!("{}", best.topology.describe(&names));
+    println!(
+        "\npower: {:.1} mW (switches {:.1}, switch links {:.1}, core links {:.1}, NIs {:.1})",
+        best.metrics.power.total_mw(),
+        best.metrics.power.switch_mw,
+        best.metrics.power.switch_link_mw,
+        best.metrics.power.core_link_mw,
+        best.metrics.power.ni_mw,
+    );
+    println!("average zero-load latency: {:.2} cycles", best.metrics.avg_latency_cycles);
+    println!("vertical links per boundary: {:?}", best.metrics.inter_layer_links);
+    if let Some(layout) = &best.layout {
+        println!("die area: {:.2} mm^2", layout.die_area_mm2());
+    }
+    Ok(())
+}

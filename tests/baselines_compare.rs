@@ -1,0 +1,117 @@
+//! Qualitative orderings from the paper's evaluation, checked end to end:
+//! 3-D beats 2-D on interconnect power, custom topologies beat the
+//! optimized mesh, Phase 1 is at least as power-efficient as Phase 2 while
+//! Phase 2 uses no more vertical links.
+
+use sunfloor_baselines::{optimized_mesh, synthesize_2d, MeshConfig};
+use sunfloor_benchmarks::{distributed, flatten_to_2d};
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_models::NocLibrary;
+
+fn cfg(mode: SynthesisMode) -> SynthesisConfig {
+    SynthesisConfig {
+        mode,
+        run_layout: false,
+        switch_count_range: Some((2, 12)),
+        ..SynthesisConfig::default()
+    }
+}
+
+#[test]
+fn three_d_saves_interconnect_power_over_two_d() {
+    // Table I's headline: large link-power reduction in 3-D for the
+    // distributed benchmarks, with the gap concentrated in link power.
+    let b3 = distributed(4);
+    let b2 = flatten_to_2d(&b3);
+    let out3 = synthesize(&b3.soc, &b3.comm, &cfg(SynthesisMode::Auto)).unwrap();
+    let out2 = synthesize_2d(&b2, &cfg(SynthesisMode::Phase1Only)).unwrap();
+    let p3 = out3.best_power().expect("3-D feasible");
+    let p2 = out2.best_power().expect("2-D feasible");
+
+    assert!(
+        p3.metrics.power.link_mw() < p2.metrics.power.link_mw(),
+        "3-D link power {:.1} should be below 2-D {:.1}",
+        p3.metrics.power.link_mw(),
+        p2.metrics.power.link_mw()
+    );
+    assert!(
+        p3.metrics.power.total_mw() < p2.metrics.power.total_mw(),
+        "3-D total {:.1} vs 2-D {:.1}",
+        p3.metrics.power.total_mw(),
+        p2.metrics.power.total_mw()
+    );
+}
+
+#[test]
+fn two_d_has_longer_wires_than_three_d() {
+    // Fig. 12: the 2-D wire-length distribution has a longer tail.
+    let b3 = distributed(4);
+    let b2 = flatten_to_2d(&b3);
+    let out3 = synthesize(&b3.soc, &b3.comm, &cfg(SynthesisMode::Auto)).unwrap();
+    let out2 = synthesize_2d(&b2, &cfg(SynthesisMode::Phase1Only)).unwrap();
+    let w3 = &out3.best_power().unwrap().metrics.wire_lengths_mm;
+    let w2 = &out2.best_power().unwrap().metrics.wire_lengths_mm;
+    let max3 = w3.iter().copied().fold(0.0f64, f64::max);
+    let max2 = w2.iter().copied().fold(0.0f64, f64::max);
+    assert!(max2 > max3, "longest 2-D wire {max2:.2} vs 3-D {max3:.2}");
+    let avg = |w: &[f64]| w.iter().sum::<f64>() / w.len() as f64;
+    assert!(avg(w2) > avg(w3), "mean 2-D wire {:.2} vs 3-D {:.2}", avg(w2), avg(w3));
+}
+
+#[test]
+fn custom_topology_beats_optimized_mesh() {
+    let bench = distributed(4);
+    let custom = synthesize(&bench.soc, &bench.comm, &cfg(SynthesisMode::Auto)).unwrap();
+    let mesh = optimized_mesh(
+        &bench,
+        &NocLibrary::lp65(),
+        &MeshConfig { sa_iterations: 10_000, ..MeshConfig::default() },
+    );
+    let best = custom.best_power().expect("feasible");
+    assert!(
+        best.metrics.power.total_mw() < mesh.metrics.power.total_mw(),
+        "custom {:.1} mW should beat mesh {:.1} mW",
+        best.metrics.power.total_mw(),
+        mesh.metrics.power.total_mw()
+    );
+}
+
+#[test]
+fn phase1_no_worse_power_phase2_no_more_ills() {
+    let bench = distributed(6);
+    let p1 = synthesize(&bench.soc, &bench.comm, &cfg(SynthesisMode::Phase1Only)).unwrap();
+    let p2 = synthesize(&bench.soc, &bench.comm, &cfg(SynthesisMode::Phase2Only)).unwrap();
+    let b1 = p1.best_power().expect("phase 1 feasible");
+    let b2 = p2.best_power().expect("phase 2 feasible");
+    assert!(
+        b1.metrics.power.total_mw() <= b2.metrics.power.total_mw() * 1.02,
+        "phase 1 {:.1} mW should not lose to phase 2 {:.1} mW",
+        b1.metrics.power.total_mw(),
+        b2.metrics.power.total_mw()
+    );
+    assert!(
+        b2.metrics.max_inter_layer_links() <= b1.metrics.max_inter_layer_links(),
+        "phase 2 ills {} vs phase 1 {}",
+        b2.metrics.max_inter_layer_links(),
+        b1.metrics.max_inter_layer_links()
+    );
+}
+
+#[test]
+fn mesh_latency_not_better_than_custom() {
+    // §VIII-E reports ~21% latency advantage for the custom topologies.
+    let bench = distributed(6);
+    let custom = synthesize(&bench.soc, &bench.comm, &cfg(SynthesisMode::Auto)).unwrap();
+    let mesh = optimized_mesh(
+        &bench,
+        &NocLibrary::lp65(),
+        &MeshConfig { sa_iterations: 10_000, ..MeshConfig::default() },
+    );
+    let best = custom.best_latency().expect("feasible");
+    assert!(
+        best.metrics.avg_latency_cycles <= mesh.metrics.avg_latency_cycles + 0.25,
+        "custom latency {:.2} vs mesh {:.2}",
+        best.metrics.avg_latency_cycles,
+        mesh.metrics.avg_latency_cycles
+    );
+}

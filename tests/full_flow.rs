@@ -1,0 +1,136 @@
+//! End-to-end integration: full synthesis runs on realistic benchmarks,
+//! spanning benchmarks -> partitioning -> routing -> LP placement ->
+//! floorplan insertion -> evaluation.
+
+use sunfloor_benchmarks::{distributed, media26};
+use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+
+fn quick(range: (usize, usize)) -> SynthesisConfig {
+    SynthesisConfig {
+        switch_count_range: Some(range),
+        switch_count_step: 1,
+        run_layout: true,
+        ..SynthesisConfig::default()
+    }
+}
+
+#[test]
+fn media26_full_flow_produces_consistent_points() {
+    let bench = media26();
+    let outcome = synthesize(&bench.soc, &bench.comm, &quick((3, 6))).unwrap();
+    assert!(!outcome.points.is_empty(), "rejected: {:?}", outcome.rejected);
+
+    for p in &outcome.points {
+        // Every flow routed through existing switches.
+        assert_eq!(p.topology.flow_paths.len(), bench.comm.flow_count());
+        for path in &p.topology.flow_paths {
+            assert!(!path.switches.is_empty());
+            for &s in &path.switches {
+                assert!(s < p.topology.switch_count());
+            }
+        }
+        // Path endpoints match the core attachments.
+        for (fi, f) in bench.comm.flows.iter().enumerate() {
+            let path = &p.topology.flow_paths[fi];
+            assert_eq!(path.switches[0], p.topology.core_attach[f.src], "flow {fi} start");
+            assert_eq!(
+                *path.switches.last().unwrap(),
+                p.topology.core_attach[f.dst],
+                "flow {fi} end"
+            );
+        }
+        // Link bandwidth equals the sum of its flows' bandwidths.
+        for l in &p.topology.links {
+            let sum: f64 =
+                l.flows.iter().map(|&fi| bench.comm.flows[fi].bandwidth_gbps()).sum();
+            assert!((l.bandwidth_gbps - sum).abs() < 1e-9);
+        }
+        // Layout legal on every layer.
+        let layout = p.layout.as_ref().expect("layout enabled");
+        assert_eq!(layout.layers.len(), bench.soc.layers as usize);
+        for plan in &layout.layers {
+            assert!(plan.overlapping_pair().is_none());
+        }
+        // Metrics are sane.
+        assert!(p.metrics.power.total_mw() > 0.0);
+        assert!(p.metrics.avg_latency_cycles >= 1.0);
+        assert!(p.metrics.meets_latency());
+    }
+}
+
+#[test]
+fn media26_requires_at_least_three_switches_at_400mhz() {
+    // The paper: "we could only obtain valid topologies with three or more
+    // switches" for D_26_media at 400 MHz (max switch size 11).
+    let bench = media26();
+    let outcome = synthesize(&bench.soc, &bench.comm, &quick((1, 4))).unwrap();
+    for p in &outcome.points {
+        assert!(
+            p.requested_switches >= 3,
+            "a {}-switch topology should be impossible at 400 MHz",
+            p.requested_switches
+        );
+    }
+    assert!(
+        outcome.points.iter().any(|p| p.requested_switches == 3),
+        "3 switches should be feasible; rejected: {:?}",
+        outcome.rejected
+    );
+}
+
+#[test]
+fn distributed_flow_is_deterministic_end_to_end() {
+    let bench = distributed(4);
+    let cfg = quick((3, 5));
+    let a = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    let b = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    assert_eq!(a.points.len(), b.points.len());
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.topology, y.topology);
+        assert_eq!(x.metrics, y.metrics);
+    }
+}
+
+#[test]
+fn power_vs_switch_count_is_u_shaped_not_flat() {
+    // Figs. 10-11 show power varying with switch count with a clear best
+    // point; verify the sweep produces meaningful variation.
+    let bench = distributed(4);
+    let outcome = synthesize(&bench.soc, &bench.comm, &quick((2, 10))).unwrap();
+    let powers: Vec<f64> =
+        outcome.points.iter().map(|p| p.metrics.power.total_mw()).collect();
+    assert!(powers.len() >= 4, "rejected: {:?}", outcome.rejected);
+    let min = powers.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = powers.iter().copied().fold(0.0f64, f64::max);
+    assert!(max > 1.05 * min, "sweep should discriminate design points: {powers:?}");
+}
+
+#[test]
+fn indirect_switches_appear_only_when_needed() {
+    let bench = media26();
+    let outcome = synthesize(&bench.soc, &bench.comm, &quick((4, 6))).unwrap();
+    for p in &outcome.points {
+        for &s in &p.topology.indirect_switches {
+            // Indirect switches host no cores.
+            assert!(p.topology.cores_of_switch(s).is_empty());
+        }
+    }
+}
+
+#[test]
+fn phase2_fallback_engages_on_tight_budgets() {
+    // With a very tight vertical budget, Phase 1 cannot deliver and Auto
+    // mode must fall back to layer-by-layer Phase 2.
+    let bench = distributed(4);
+    let cfg = SynthesisConfig {
+        max_ill: 6,
+        mode: SynthesisMode::Auto,
+        run_layout: false,
+        switch_count_range: Some((2, 12)),
+        ..SynthesisConfig::default()
+    };
+    let outcome = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    for p in &outcome.points {
+        assert!(p.metrics.max_inter_layer_links() <= 6);
+    }
+}

@@ -1,0 +1,46 @@
+//! Specification file-format round trips on the real benchmarks: the
+//! plain-text core/communication formats must reproduce every generator's
+//! output exactly.
+
+use sunfloor_benchmarks::{all_table1_benchmarks, media26};
+use sunfloor_core::spec::{CommSpec, SocSpec, SpecError};
+
+#[test]
+fn every_benchmark_roundtrips_through_text() {
+    let mut benches = all_table1_benchmarks();
+    benches.push(media26());
+    for b in &benches {
+        let soc_text = b.soc.to_text();
+        let comm_text = b.comm.to_text(&b.soc);
+        let soc = SocSpec::parse(&soc_text)
+            .unwrap_or_else(|e| panic!("{}: core spec reparse failed: {e}", b.name));
+        let comm = CommSpec::parse(&comm_text, &soc)
+            .unwrap_or_else(|e| panic!("{}: comm spec reparse failed: {e}", b.name));
+        assert_eq!(soc, b.soc, "{} core spec drifted", b.name);
+        assert_eq!(comm, b.comm, "{} comm spec drifted", b.name);
+    }
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let bad = "layers 2\ncore a 1 1 0 0 0\ncore b 1 1 nope 0 1\n";
+    match SocSpec::parse(bad) {
+        Err(SpecError::Parse { line, .. }) => assert_eq!(line, 3),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn flow_referencing_missing_core_is_rejected_with_name() {
+    let b = media26();
+    let text = "flow arm warp_drive 10 5 request\n";
+    let err = CommSpec::parse(text, &b.soc).unwrap_err();
+    assert!(err.to_string().contains("warp_drive"), "{err}");
+}
+
+#[test]
+fn truncated_flow_line_is_rejected() {
+    let b = media26();
+    let err = CommSpec::parse("flow arm dsp1\n", &b.soc).unwrap_err();
+    assert!(matches!(err, SpecError::Parse { line: 1, .. }));
+}
