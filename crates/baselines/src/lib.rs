@@ -1,7 +1,7 @@
 //! Comparison baselines used in the SunFloor 3D evaluation.
 //!
 //! * [`synthesize_2d`] — the 2-D custom-topology synthesis flow of Murali et
-//!   al. (paper reference [16]) that §VIII-C compares against: the same
+//!   al. (paper reference \[16\]) that §VIII-C compares against: the same
 //!   partition → route → place pipeline restricted to a single die, which
 //!   is exactly what the original 2-D SunFloor was.
 //! * [`optimized_mesh`] — the standard-topology baseline of §VIII-E: cores

@@ -76,10 +76,10 @@ pub fn optimized_mesh(bench: &Benchmark, lib: &NocLibrary, cfg: &MeshConfig) -> 
     // tile_of[core] = tile index within its own layer.
     let mut tile_of = vec![usize::MAX; soc.core_count()];
     let mut tile_used: Vec<Vec<Option<usize>>> = vec![vec![None; tiles_per_layer]; layers];
-    for l in 0..layers {
+    for (l, layer_tiles) in tile_used.iter_mut().enumerate() {
         for (k, core) in soc.cores_in_layer(l as u32).into_iter().enumerate() {
             tile_of[core] = k;
-            tile_used[l][k] = Some(core);
+            layer_tiles[k] = Some(core);
         }
     }
 

@@ -45,4 +45,7 @@ mod synthetic;
 pub use catalog::{all_table1_benchmarks, Benchmark};
 pub use layout2d::flatten_to_2d;
 pub use media::media26;
-pub use synthetic::{bottleneck, distributed, pipeline, tvopd};
+pub use synthetic::{
+    bottleneck, distributed, pipeline, pipeline_seeded, tvopd, tvopd_seeded, PIPELINE_SEED_BASE,
+    TVOPD_SEED,
+};

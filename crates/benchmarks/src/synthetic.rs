@@ -12,6 +12,13 @@ use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
 /// of the 18 processors spreads `TOTAL/18` over its 4/6/8 flows.
 const DISTRIBUTED_TOTAL_MBS: f64 = 3600.0;
 
+/// Default RNG seed base for [`pipeline`] (the generator adds `n` so each
+/// family member gets a distinct but reproducible roster).
+pub const PIPELINE_SEED_BASE: u64 = 0x65;
+
+/// Default RNG seed for [`tvopd`].
+pub const TVOPD_SEED: u64 = 0x38;
+
 /// `D_36_<flows_per_proc>`: 18 processors and 18 memories; each processor
 /// sends `flows_per_proc` request flows to distinct memories (chosen
 /// deterministically), with total bandwidth constant across the family.
@@ -157,10 +164,22 @@ pub fn bottleneck() -> Benchmark {
 /// Panics if `n < 4`.
 #[must_use]
 pub fn pipeline(n: usize) -> Benchmark {
+    pipeline_seeded(n, PIPELINE_SEED_BASE)
+}
+
+/// [`pipeline`] with an explicit RNG seed base, for callers that need to
+/// control the generator's randomness from their own configuration. The
+/// same `(n, seed_base)` pair always yields the same benchmark.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+#[must_use]
+pub fn pipeline_seeded(n: usize, seed_base: u64) -> Benchmark {
     assert!(n >= 4, "pipeline benchmark needs at least 4 cores");
     let layers: u32 = if n > 40 { 3 } else { 2 };
     let per_layer = n.div_ceil(layers as usize);
-    let mut rng = StdRng::seed_from_u64(0x65_u64 + n as u64);
+    let mut rng = StdRng::seed_from_u64(seed_base.wrapping_add(n as u64));
 
     let cores: Vec<Core> = (0..n)
         .map(|i| Core {
@@ -195,8 +214,13 @@ pub fn pipeline(n: usize) -> Benchmark {
         }
     }
     let comm = CommSpec::new(flows, &soc).expect("valid pipeline flows");
-    floorplan_layers(&mut soc, &comm, 0x65_u64 + n as u64);
-    Benchmark::new(if n == 65 { "D_65_pipe".to_string() } else { format!("D_{n}_pipe") }, soc, comm)
+    floorplan_layers(&mut soc, &comm, seed_base.wrapping_add(n as u64));
+    let name = if seed_base == PIPELINE_SEED_BASE {
+        format!("D_{n}_pipe")
+    } else {
+        format!("D_{n}_pipe_s{seed_base}")
+    };
+    Benchmark::new(name, soc, comm)
 }
 
 /// `D_38_tvopd`: a TV object-plane-decoder-style design — three parallel
@@ -204,7 +228,15 @@ pub fn pipeline(n: usize) -> Benchmark {
 /// display mixer, 38 cores total on 2 layers.
 #[must_use]
 pub fn tvopd() -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(0x38_u64);
+    tvopd_seeded(TVOPD_SEED)
+}
+
+/// [`tvopd`] with an explicit RNG seed, for callers that need to control
+/// the generator's randomness from their own configuration. The same seed
+/// always yields the same benchmark.
+#[must_use]
+pub fn tvopd_seeded(seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut cores = Vec::with_capacity(38);
     // Shared front end and back end.
     cores.push(Core {
@@ -268,8 +300,13 @@ pub fn tvopd() -> Benchmark {
         });
     }
     let comm = CommSpec::new(flows, &soc).expect("valid tvopd flows");
-    floorplan_layers(&mut soc, &comm, 0x38_u64);
-    Benchmark::new("D_38_tvopd", soc, comm)
+    floorplan_layers(&mut soc, &comm, seed);
+    let name = if seed == TVOPD_SEED {
+        "D_38_tvopd".to_string()
+    } else {
+        format!("D_38_tvopd_s{seed}")
+    };
+    Benchmark::new(name, soc, comm)
 }
 
 #[cfg(test)]

@@ -278,6 +278,71 @@ mod tests {
     }
 
     #[test]
+    fn defaults_apply_when_only_required_flags_given() {
+        let o = Options::parse(&args(&["--cores", "a.cores", "--comm", "a.comm"])).unwrap();
+        assert_eq!(o.max_ill, 25);
+        assert_eq!(o.frequencies, vec![400.0]);
+        assert_eq!(o.alpha, 1.0);
+        assert_eq!(o.mode, SynthesisMode::Auto);
+        assert_eq!(o.switches, None);
+        assert!(o.layout);
+        assert_eq!(o.out, None);
+    }
+
+    #[test]
+    fn malformed_max_ill_errors() {
+        let err = Options::parse(&args(&["--cores", "a", "--comm", "b", "--max-ill", "lots"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("--max-ill"), "{err}");
+        let err = Options::parse(&args(&["--cores", "a", "--comm", "b", "--max-ill", "-3"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("--max-ill"), "{err}");
+    }
+
+    #[test]
+    fn malformed_frequency_list_errors() {
+        let err = Options::parse(&args(&[
+            "--cores", "a", "--comm", "b", "--frequency", "400,fast,600",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("fast"), "{err}");
+        let err =
+            Options::parse(&args(&["--cores", "a", "--comm", "b", "--frequency", "400,,600"]))
+                .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn frequency_list_tolerates_spaces() {
+        let o = Options::parse(&args(&[
+            "--cores", "a", "--comm", "b", "--frequency", "400, 500 ,600",
+        ]))
+        .unwrap();
+        assert_eq!(o.frequencies, vec![400.0, 500.0, 600.0]);
+    }
+
+    #[test]
+    fn malformed_switches_range_errors() {
+        for bad in ["4", "4-8", "lo..hi", "2..", "..8"] {
+            let err =
+                Options::parse(&args(&["--cores", "a", "--comm", "b", "--switches", bad]))
+                    .unwrap_err();
+            assert!(
+                matches!(err, CliError::Usage(_)),
+                "`{bad}` should be rejected, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flags_missing_their_value_error() {
+        for flag in ["--cores", "--comm", "--max-ill", "--frequency", "--mode", "--switches"] {
+            let err = Options::parse(&args(&["--cores", "a", "--comm", "b", flag])).unwrap_err();
+            assert!(err.to_string().contains("needs a value"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
     fn bad_mode_errors() {
         let err = Options::parse(&args(&["--cores", "a", "--comm", "b", "--mode", "x"]))
             .unwrap_err();

@@ -118,11 +118,11 @@ pub fn evaluate(
 
     // --- switch power ------------------------------------------------------
     let mut switch_mw = 0.0;
-    for s in 0..nsw {
+    for (s, &gbps) in through_gbps.iter().enumerate().take(nsw) {
         switch_mw += lib.switch.power_mw(
             topo.input_ports(s),
             topo.output_ports(s),
-            through_gbps[s],
+            gbps,
             frequency_mhz,
         );
     }

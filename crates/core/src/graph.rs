@@ -180,8 +180,8 @@ impl CommGraph {
         }
         // Near-zero edges from isolated vertices to everyone in the layer.
         let tiny = (self.max_weight(alpha) * 1e-4).max(1e-9);
-        for v in 0..m {
-            if !connected[v] {
+        for (v, &is_connected) in connected.iter().enumerate() {
+            if !is_connected {
                 for u in 0..m {
                     if u != v {
                         g.add_edge(v, u, tiny);

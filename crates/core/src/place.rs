@@ -47,7 +47,7 @@ impl PlacementWeights {
         }
         let mut ss: Vec<(usize, usize, f64)> =
             acc.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-        ss.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        ss.sort_by_key(|x| (x.0, x.1));
         Self { core_switch: cs, switch_switch: ss }
     }
 }

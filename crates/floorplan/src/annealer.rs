@@ -5,6 +5,11 @@ use crate::seqpair::SequencePair;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Per-block attraction target: `(x, y, weight)` — the block's ideal center
+/// and the cost per mm of Manhattan deviation from it — or `None` for
+/// blocks that are free to land anywhere.
+pub type IdealTarget = Option<(f64, f64, f64)>;
+
 /// Configuration of a simulated-annealing floorplanning run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnnealConfig {
@@ -91,7 +96,7 @@ pub fn anneal(blocks: &[Block], nets: &[Net], cfg: &AnnealConfig) -> Floorplan {
 pub fn anneal_toward(
     blocks: &[Block],
     nets: &[Net],
-    targets: &[Option<(f64, f64, f64)>],
+    targets: &[IdealTarget],
     cfg: &AnnealConfig,
 ) -> Floorplan {
     assert_eq!(targets.len(), blocks.len(), "one target slot per block");
@@ -119,7 +124,7 @@ pub struct ConstrainedInput {
     pub seed: SequencePair,
     /// `ideal[i]` is the LP-computed target center for block `i` with a
     /// penalty weight (cost per mm of Manhattan deviation), if any.
-    pub ideal: Vec<Option<(f64, f64, f64)>>,
+    pub ideal: Vec<IdealTarget>,
     /// Number of leading blocks that are order-frozen cores.
     pub fixed_order_count: usize,
 }
@@ -150,7 +155,7 @@ fn run_sa(
     blocks: &[Block],
     nets: &[Net],
     movable: &[bool],
-    ideal: Option<&[Option<(f64, f64, f64)>]>,
+    ideal: Option<&[IdealTarget]>,
     cfg: &AnnealConfig,
 ) -> Floorplan {
     run_sa_seeded(blocks, nets, movable, ideal, SequencePair::identity(blocks.len()), cfg)
@@ -160,7 +165,7 @@ fn run_sa_seeded(
     blocks: &[Block],
     nets: &[Net],
     movable: &[bool],
-    ideal: Option<&[Option<(f64, f64, f64)>]>,
+    ideal: Option<&[IdealTarget]>,
     seed_sp: SequencePair,
     cfg: &AnnealConfig,
 ) -> Floorplan {

@@ -8,7 +8,7 @@
 //!    minimizing `area + λ·wirelength`.
 //! 2. **NoC component insertion.** After the switch-position LP, switches and
 //!    TSV macros must be inserted near their ideal coordinates without
-//!    disturbing the cores. [`insertion`] implements the paper's custom
+//!    disturbing the cores. [`insert_components`] implements the paper's custom
 //!    routine: look for free space near the ideal location, otherwise
 //!    displace already-placed blocks in x or y by the size of the component,
 //!    iteratively pushing followers until no overlap remains.
@@ -41,7 +41,9 @@ mod geometry;
 mod insertion;
 mod seqpair;
 
-pub use annealer::{anneal, anneal_constrained, anneal_toward, AnnealConfig, ConstrainedInput};
+pub use annealer::{
+    anneal, anneal_constrained, anneal_toward, AnnealConfig, ConstrainedInput, IdealTarget,
+};
 pub use geometry::{Block, Floorplan, Net, PlacedBlock, Rect};
 pub use insertion::{insert_components, InsertRequest, InsertionResult};
 pub use seqpair::SequencePair;

@@ -233,8 +233,8 @@ impl Tableau {
         if needs_phase1 {
             // Phase 1 objective: minimize sum of artificials.
             let mut cost = vec![0.0; self.n_total];
-            for j in self.art_start..self.n_total {
-                cost[j] = 1.0;
+            for c in cost.iter_mut().skip(self.art_start) {
+                *c = 1.0;
             }
             let obj = self.run(&cost, self.n_total)?;
             if obj > 1e-7 {

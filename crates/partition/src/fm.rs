@@ -247,9 +247,9 @@ pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32]) {
     }
     // conn[v][p] = weight from v into block p
     let mut conn = vec![vec![0.0f64; parts]; n];
-    for v in 0..n {
+    for (v, conn_v) in conn.iter_mut().enumerate() {
         for &(u, w) in g.neighbors(v) {
-            conn[v][assignment[u as usize] as usize] += w;
+            conn_v[assignment[u as usize] as usize] += w;
         }
     }
 

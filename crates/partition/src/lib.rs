@@ -208,7 +208,7 @@ impl WeightedGraph {
             );
             fm::kway_swap_refine(self, &mut assignment);
             let cut = self.cut_weight(&assignment);
-            if best.as_ref().map_or(true, |b| cut < b.cut_weight) {
+            if best.as_ref().is_none_or(|b| cut < b.cut_weight) {
                 best = Some(Partitioning { assignment, parts: cfg.parts, cut_weight: cut });
             }
         }

@@ -1,0 +1,189 @@
+//! Offline stand-in for the subset of the `criterion` crate API this
+//! workspace's bench targets use.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! [`Criterion`], [`BenchmarkId`], benchmark groups and the
+//! [`criterion_group!`] / [`criterion_main!`] macros with a simple
+//! wall-clock measurement loop: each benchmark runs a small fixed number of
+//! timed samples and prints min / mean per iteration. There is no
+//! statistical analysis, HTML report or comparison against saved baselines —
+//! the goal is that `cargo bench` compiles, runs and prints useful numbers
+//! without the real dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, recording per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass to populate caches and lazy statics.
+        let _ = routine();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.recorded.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples, recorded: Vec::new() };
+    f(&mut b);
+    if b.recorded.is_empty() {
+        println!("{label:<50} (no samples recorded)");
+        return;
+    }
+    let min = b.recorded.iter().min().copied().unwrap_or_default();
+    let total: Duration = b.recorded.iter().sum();
+    let mean = total / b.recorded.len() as u32;
+    println!(
+        "{label:<50} time: [min {} mean {}] ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        b.recorded.len()
+    );
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`, handing it `input` alongside the [`Bencher`].
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size.min(MAX_SAMPLES), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size.min(MAX_SAMPLES), f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Upper bound on timed samples per benchmark — this shim favours fast
+/// `cargo bench` runs over statistical power.
+const MAX_SAMPLES: usize = 10;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored by this
+    /// shim, so `cargo bench -- <args>` does not error).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: MAX_SAMPLES }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&id.to_string(), MAX_SAMPLES, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,96 @@
+//! Deterministic case runner behind the [`proptest!`](crate::proptest)
+//! macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a property-test case ended early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's assertions failed; the runner panics with this message.
+    Fail(String),
+    /// The case's assumptions did not hold; the case is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// FNV-1a hash of the test name; the per-test RNG seed base.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `f` until `config.cases` cases pass.
+///
+/// Each case draws from a fresh RNG seeded by `(test name, case index)`, so
+/// runs are reproducible across platforms and the failure message's case
+/// index pinpoints the generating seed.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when the rejection rate exceeds 256
+/// rejections per requested case (mirroring real proptest's global reject
+/// limit).
+pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let max_rejects = config.cases.saturating_mul(256) as u64;
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        case += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest `{name}`: too many rejected cases ({rejected}) — \
+                     assumptions are unsatisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case #{case} (seed {seed:#018x}): {msg}")
+            }
+        }
+    }
+}

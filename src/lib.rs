@@ -1,0 +1,17 @@
+//! Workspace facade for the SunFloor 3D reproduction.
+//!
+//! This crate exists so the repository-level integration suites
+//! (`tests/`) and runnable examples (`examples/`) attach to the Cargo
+//! workspace; it re-exports the member crates under one roof for
+//! convenience. Library users should normally depend on the individual
+//! `sunfloor-*` crates directly — start with [`core`]'s
+//! `synthesize` entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sunfloor_baselines as baselines;
+pub use sunfloor_benchmarks as benchmarks;
+pub use sunfloor_core as core;
+pub use sunfloor_models as models;
+pub use sunfloor_sim as sim;
