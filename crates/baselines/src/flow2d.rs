@@ -3,7 +3,7 @@
 
 use sunfloor_benchmarks::Benchmark;
 use sunfloor_core::synthesis::{
-    synthesize, SynthesisConfig, SynthesisError, SynthesisMode, SynthesisOutcome,
+    SynthesisConfig, SynthesisEngine, SynthesisError, SynthesisMode, SynthesisOutcome,
 };
 
 /// Runs the 2-D topology synthesis flow on a single-die benchmark (use
@@ -32,7 +32,7 @@ pub fn synthesize_2d(
         max_ill: u32::MAX,
         ..cfg.clone()
     };
-    synthesize(&bench.soc, &bench.comm, &cfg2d)
+    Ok(SynthesisEngine::new(&bench.soc, &bench.comm, cfg2d)?.run())
 }
 
 #[cfg(test)]
@@ -43,11 +43,11 @@ mod tests {
     #[test]
     fn flow_produces_points_on_flattened_benchmark() {
         let b2 = flatten_to_2d(&distributed(4));
-        let cfg = SynthesisConfig {
-            switch_count_range: Some((3, 8)),
-            run_layout: false,
-            ..SynthesisConfig::default()
-        };
+        let cfg = SynthesisConfig::builder()
+            .switch_count_range(3, 8)
+            .run_layout(false)
+            .build()
+            .unwrap();
         let outcome = synthesize_2d(&b2, &cfg).unwrap();
         assert!(!outcome.points.is_empty(), "rejected: {:?}", outcome.rejected);
         for p in &outcome.points {

@@ -1,18 +1,20 @@
 //! Criterion benchmarks of the full synthesis flow — the paper's runtime
 //! claims (§VIII-E): seconds for few-switch topologies, growing with the
-//! switch count, once per design.
+//! switch count, once per design — plus the serial-vs-parallel engine
+//! comparison that tracks the design-space sweep speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use sunfloor_benchmarks::{bottleneck, distributed, media26};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine, SynthesisMode};
 
 fn single_point_cfg(k: usize) -> SynthesisConfig {
-    SynthesisConfig {
-        switch_count_range: Some((k, k)),
-        run_layout: true,
-        ..SynthesisConfig::default()
-    }
+    SynthesisConfig::builder().switch_count_range(k, k).build().unwrap()
+}
+
+fn run(soc: &sunfloor_core::spec::SocSpec, comm: &sunfloor_core::spec::CommSpec, cfg: &SynthesisConfig) {
+    let outcome = SynthesisEngine::new(soc, comm, cfg.clone()).unwrap().run();
+    black_box(outcome);
 }
 
 fn bench_single_design_point(c: &mut Criterion) {
@@ -22,7 +24,7 @@ fn bench_single_design_point(c: &mut Criterion) {
     for k in [4usize, 8, 12] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let cfg = single_point_cfg(k);
-            b.iter(|| synthesize(black_box(&bench.soc), &bench.comm, &cfg).unwrap());
+            b.iter(|| run(black_box(&bench.soc), &bench.comm, &cfg));
         });
     }
     group.finish();
@@ -37,7 +39,7 @@ fn bench_benchmark_suite(c: &mut Criterion) {
             &bench,
             |b, bench| {
                 let cfg = single_point_cfg(6);
-                b.iter(|| synthesize(black_box(&bench.soc), &bench.comm, &cfg).unwrap());
+                b.iter(|| run(black_box(&bench.soc), &bench.comm, &cfg));
             },
         );
     }
@@ -46,19 +48,46 @@ fn bench_benchmark_suite(c: &mut Criterion) {
 
 fn bench_phase2_flow(c: &mut Criterion) {
     let bench = distributed(4);
-    let cfg = SynthesisConfig {
-        mode: SynthesisMode::Phase2Only,
-        run_layout: false,
-        switch_count_range: Some((1, 4)),
-        ..SynthesisConfig::default()
-    };
+    let cfg = SynthesisConfig::builder()
+        .mode(SynthesisMode::Phase2Only)
+        .run_layout(false)
+        .switch_count_range(1, 4)
+        .build()
+        .unwrap();
     let mut group = c.benchmark_group("synthesis_phase2_d36_4");
     group.sample_size(10);
-    group.bench_function("increments_0_to_4", |b| {
-        b.iter(|| synthesize(black_box(&bench.soc), &bench.comm, &cfg).unwrap());
+    group.bench_function("increments_1_to_4", |b| {
+        b.iter(|| run(black_box(&bench.soc), &bench.comm, &cfg));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_single_design_point, bench_benchmark_suite, bench_phase2_flow);
+/// Serial vs parallel design-space sweep on media26: identical outcomes by
+/// construction, so the group isolates the engine's thread fan-out speedup.
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let bench = media26();
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let mut group = c.benchmark_group("sweep_parallel_media26");
+    group.sample_size(10);
+    for jobs in [1usize, workers] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let cfg = SynthesisConfig::builder()
+                .switch_count_range(2, 10)
+                .run_layout(false)
+                .jobs(jobs)
+                .build()
+                .unwrap();
+            b.iter(|| run(black_box(&bench.soc), &bench.comm, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_design_point,
+    bench_benchmark_suite,
+    bench_phase2_flow,
+    bench_parallel_sweep
+);
 criterion_main!(benches);

@@ -2,12 +2,12 @@
 //! floorplanner across benchmarks (paper §VIII-D), plus the shared
 //! standard-floorplanner helper.
 
-use crate::experiments::{cfg_3d, mw};
+use crate::experiments::{cfg_3d, mw, run_engine};
 use crate::{Artifact, Effort};
 use sunfloor_benchmarks::{all_table1_benchmarks, media26, Benchmark};
 use sunfloor_core::eval::evaluate;
 use sunfloor_core::graph::CommGraph;
-use sunfloor_core::synthesis::{synthesize, DesignPoint, SynthesisMode};
+use sunfloor_core::synthesis::{DesignPoint, SynthesisMode};
 use sunfloor_floorplan::{
     anneal_constrained, AnnealConfig, Block, ConstrainedInput, PlacedBlock, SequencePair,
 };
@@ -96,12 +96,8 @@ pub fn fig19_fig20(effort: Effort) -> Vec<Artifact> {
     let mut area_rows = Vec::new();
     let mut power_rows = Vec::new();
     for bench in &benches {
-        let out = synthesize(
-            &bench.soc,
-            &bench.comm,
-            &cfg_3d(bench, SynthesisMode::Auto, effort),
-        )
-        .expect("valid benchmark");
+        let out =
+            run_engine(&bench.soc, &bench.comm, cfg_3d(bench, SynthesisMode::Auto, effort));
         let Some(best) = out.best_power() else { continue };
         let Some(layout) = &best.layout else { continue };
         let (std_area, std_power) = standard_floorplan(best, bench, effort);

@@ -1,10 +1,10 @@
 //! Figs. 21–22: impact of the `max_ill` constraint on power and latency
 //! (paper §VIII-E, `D_36_4`).
 
-use crate::experiments::{cfg_3d, cyc, mw};
+use crate::experiments::{cfg_3d, cyc, mw, run_engine};
 use crate::{Artifact, Effort};
 use sunfloor_benchmarks::distributed;
-use sunfloor_core::synthesis::{synthesize, SynthesisMode};
+use sunfloor_core::synthesis::SynthesisMode;
 
 /// Sweeps `max_ill` for `D_36_4` and reports best-power and latency per
 /// constraint value. The paper finds: infeasible below ~10 vertical links,
@@ -24,7 +24,7 @@ pub fn fig21_fig22(effort: Effort) -> Vec<Artifact> {
             max_ill,
             ..cfg_3d(&bench, SynthesisMode::Auto, effort)
         };
-        let out = synthesize(&bench.soc, &bench.comm, &cfg).expect("valid benchmark");
+        let out = run_engine(&bench.soc, &bench.comm, cfg);
         match out.best_power() {
             Some(p) => {
                 power_rows.push(vec![

@@ -1,12 +1,12 @@
 //! The `D_26_media` case study: Figs. 10–16 and the Fig. 18 floorplanner
 //! comparison (paper §VIII-A and §VIII-D).
 
-use crate::experiments::{cfg_2d, cfg_3d, mw, standard_floorplan};
+use crate::experiments::{cfg_2d, cfg_3d, mw, run_engine, standard_floorplan};
 use crate::{Artifact, Effort};
 use sunfloor_baselines::synthesize_2d;
 use sunfloor_benchmarks::{flatten_to_2d, media26};
 use sunfloor_core::eval::wire_length_histogram;
-use sunfloor_core::synthesis::{synthesize, DesignPoint, SynthesisMode, SynthesisOutcome};
+use sunfloor_core::synthesis::{DesignPoint, SynthesisMode, SynthesisOutcome};
 
 /// Runs the 2-D and 3-D `D_26_media` sweeps once and derives Figs. 10–16.
 #[must_use]
@@ -15,14 +15,16 @@ pub fn fig10_to_16(effort: Effort) -> Vec<Artifact> {
     let bench2d = flatten_to_2d(&bench3d);
 
     let out2d = synthesize_2d(&bench2d, &cfg_2d(&bench2d, effort)).expect("valid 2-D benchmark");
-    let out3d = synthesize(&bench3d.soc, &bench3d.comm, &cfg_3d(&bench3d, SynthesisMode::Phase1Only, effort))
-        .expect("valid 3-D benchmark");
-    let out_p2 = synthesize(
+    let out3d = run_engine(
         &bench3d.soc,
         &bench3d.comm,
-        &cfg_3d(&bench3d, SynthesisMode::Phase2Only, effort),
-    )
-    .expect("valid 3-D benchmark");
+        cfg_3d(&bench3d, SynthesisMode::Phase1Only, effort),
+    );
+    let out_p2 = run_engine(
+        &bench3d.soc,
+        &bench3d.comm,
+        cfg_3d(&bench3d, SynthesisMode::Phase2Only, effort),
+    );
 
     let mut artifacts = Vec::new();
     artifacts.push(power_sweep_table("fig10", "2-D NoC power vs switch count (D_26_media)", &out2d));
@@ -153,12 +155,11 @@ fn wirelength_table(best2d: &DesignPoint, best3d: &DesignPoint) -> Artifact {
 #[must_use]
 pub fn fig18(effort: Effort) -> Artifact {
     let bench = media26();
-    let out = synthesize(
+    let out = run_engine(
         &bench.soc,
         &bench.comm,
-        &cfg_3d(&bench, SynthesisMode::Phase1Only, effort),
-    )
-    .expect("valid benchmark");
+        cfg_3d(&bench, SynthesisMode::Phase1Only, effort),
+    );
     let mut points: Vec<&DesignPoint> = out.points.iter().collect();
     points.sort_by_key(|p| p.requested_switches);
     let rows = points

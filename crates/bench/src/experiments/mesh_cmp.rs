@@ -1,10 +1,10 @@
 //! Fig. 23: custom topologies vs the optimized mesh (paper §VIII-E).
 
-use crate::experiments::{cfg_3d, cyc, mw};
+use crate::experiments::{cfg_3d, cyc, mw, run_engine};
 use crate::{Artifact, Effort};
 use sunfloor_baselines::{optimized_mesh, MeshConfig};
 use sunfloor_benchmarks::all_table1_benchmarks;
-use sunfloor_core::synthesis::{synthesize, SynthesisMode};
+use sunfloor_core::synthesis::SynthesisMode;
 use sunfloor_models::NocLibrary;
 
 /// Regenerates the mesh comparison: per benchmark, custom best-power
@@ -28,12 +28,8 @@ pub fn fig23(effort: Effort) -> Artifact {
 
     let mut rows = Vec::new();
     for bench in &benches {
-        let custom = synthesize(
-            &bench.soc,
-            &bench.comm,
-            &cfg_3d(bench, SynthesisMode::Auto, effort),
-        )
-        .expect("valid benchmark");
+        let custom =
+            run_engine(&bench.soc, &bench.comm, cfg_3d(bench, SynthesisMode::Auto, effort));
         let mesh = optimized_mesh(bench, &lib, &mesh_cfg);
         let Some(best) = custom.best_power() else {
             rows.push(vec![bench.name.clone(), "infeasible".into()]);

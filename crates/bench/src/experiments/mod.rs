@@ -23,7 +23,8 @@ pub use table1::tab1;
 pub use yield_curve::fig1;
 
 use sunfloor_benchmarks::Benchmark;
-use sunfloor_core::synthesis::{SynthesisConfig, SynthesisMode};
+use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine, SynthesisMode, SynthesisOutcome};
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
@@ -77,6 +78,8 @@ pub fn run(id: &str, effort: Effort) -> Vec<Artifact> {
 
 /// Shared synthesis configuration for 3-D runs: 400 MHz, 32-bit links,
 /// `max_ill = 25` (§VIII-A), with sweep effort scaled per benchmark size.
+/// Candidate evaluation fans out over the machine's cores — outcomes are
+/// identical to a serial run, only faster.
 pub(crate) fn cfg_3d(bench: &Benchmark, mode: SynthesisMode, effort: Effort) -> SynthesisConfig {
     let n = bench.soc.core_count();
     let (hi, step) = match effort {
@@ -89,21 +92,30 @@ pub(crate) fn cfg_3d(bench: &Benchmark, mode: SynthesisMode, effort: Effort) -> 
             }
         }
     };
-    SynthesisConfig {
-        mode,
-        max_ill: 25,
-        switch_count_range: Some((1, hi)),
-        switch_count_step: step,
-        ..SynthesisConfig::default()
-    }
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    SynthesisConfig::builder()
+        .mode(mode)
+        .max_ill(25)
+        .switch_count_range(1, hi)
+        .switch_count_step(step)
+        .jobs(jobs)
+        .build()
+        .expect("experiment config is valid")
 }
 
 /// Shared configuration for the 2-D comparison flow (same sweep effort).
 pub(crate) fn cfg_2d(bench2d: &Benchmark, effort: Effort) -> SynthesisConfig {
-    SynthesisConfig {
-        mode: SynthesisMode::Phase1Only,
-        ..cfg_3d(bench2d, SynthesisMode::Phase1Only, effort)
-    }
+    cfg_3d(bench2d, SynthesisMode::Phase1Only, effort)
+}
+
+/// Runs one synthesis sweep through the engine, panicking on invalid
+/// benchmark specs (ours are valid by construction).
+pub(crate) fn run_engine(
+    soc: &SocSpec,
+    comm: &CommSpec,
+    cfg: SynthesisConfig,
+) -> SynthesisOutcome {
+    SynthesisEngine::new(soc, comm, cfg).expect("valid benchmark").run()
 }
 
 /// Formats a milliwatt value with one decimal.

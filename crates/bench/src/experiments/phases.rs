@@ -1,10 +1,10 @@
 //! Fig. 17: Phase 2 power relative to Phase 1 across benchmarks
 //! (paper §VIII-B).
 
-use crate::experiments::{cfg_3d, mw};
+use crate::experiments::{cfg_3d, mw, run_engine};
 use crate::{Artifact, Effort};
 use sunfloor_benchmarks::all_table1_benchmarks;
-use sunfloor_core::synthesis::{synthesize, SynthesisMode};
+use sunfloor_core::synthesis::SynthesisMode;
 
 /// Regenerates Fig. 17: best-power topologies from Phase 2 (layer-by-layer)
 /// normalized to Phase 1, alongside the inter-layer link usage of each.
@@ -17,18 +17,16 @@ pub fn fig17(effort: Effort) -> Artifact {
 
     let mut rows = Vec::new();
     for bench in &benches {
-        let out1 = synthesize(
+        let out1 = run_engine(
             &bench.soc,
             &bench.comm,
-            &cfg_3d(bench, SynthesisMode::Phase1Only, effort),
-        )
-        .expect("valid benchmark");
-        let out2 = synthesize(
+            cfg_3d(bench, SynthesisMode::Phase1Only, effort),
+        );
+        let out2 = run_engine(
             &bench.soc,
             &bench.comm,
-            &cfg_3d(bench, SynthesisMode::Phase2Only, effort),
-        )
-        .expect("valid benchmark");
+            cfg_3d(bench, SynthesisMode::Phase2Only, effort),
+        );
         let (Some(p1), Some(p2)) = (out1.best_power(), out2.best_power()) else {
             rows.push(vec![bench.name.clone(), "infeasible".into()]);
             continue;

@@ -2,11 +2,11 @@
 //! to build a topology with few switches and the run time can go up 2 or 3
 //! minutes for topologies with many switches."
 
-use crate::experiments::cfg_3d;
+use crate::experiments::{cfg_3d, run_engine};
 use crate::{Artifact, Effort};
 use std::time::Instant;
 use sunfloor_benchmarks::{media26, pipeline};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisMode};
 
 /// Times single-design-point synthesis at several switch counts on the
 /// 26-core and 65-core benchmarks.
@@ -28,7 +28,7 @@ pub fn runtime_study(effort: Effort) -> Artifact {
                 ..cfg_3d(bench, SynthesisMode::Auto, effort)
             };
             let start = Instant::now();
-            let out = synthesize(&bench.soc, &bench.comm, &cfg).expect("valid benchmark");
+            let out = run_engine(&bench.soc, &bench.comm, cfg);
             let elapsed = start.elapsed();
             rows.push(vec![
                 bench.name.clone(),

@@ -1,10 +1,10 @@
 //! Table I: 2-D vs 3-D NoC comparison over six benchmarks (paper §VIII-C).
 
-use crate::experiments::{cfg_2d, cfg_3d, cyc, mw};
+use crate::experiments::{cfg_2d, cfg_3d, cyc, mw, run_engine};
 use crate::{Artifact, Effort};
 use sunfloor_baselines::synthesize_2d;
 use sunfloor_benchmarks::{all_table1_benchmarks, flatten_to_2d};
-use sunfloor_core::synthesis::{synthesize, SynthesisMode};
+use sunfloor_core::synthesis::SynthesisMode;
 
 /// Regenerates Table I: per benchmark, the least-power design points of the
 /// 2-D flow and the 3-D flow — link power, switch power, total power (mW)
@@ -20,12 +20,8 @@ pub fn tab1(effort: Effort) -> Artifact {
     for bench in &benches {
         let b2 = flatten_to_2d(bench);
         let out2 = synthesize_2d(&b2, &cfg_2d(&b2, effort)).expect("valid 2-D benchmark");
-        let out3 = synthesize(
-            &bench.soc,
-            &bench.comm,
-            &cfg_3d(bench, SynthesisMode::Auto, effort),
-        )
-        .expect("valid 3-D benchmark");
+        let out3 =
+            run_engine(&bench.soc, &bench.comm, cfg_3d(bench, SynthesisMode::Auto, effort));
         let (Some(p2), Some(p3)) = (out2.best_power(), out3.best_power()) else {
             rows.push(vec![bench.name.clone(), "infeasible".into()]);
             continue;

@@ -10,9 +10,17 @@
 //!   --alpha <0..1>        bandwidth/latency weight            [1.0]
 //!   --mode <auto|phase1|phase2>                               [auto]
 //!   --switches <lo..hi>   restrict the switch-count sweep
+//!   --step <n>            stride of the switch-count sweep    [1]
+//!   --jobs <n>            parallel candidate evaluation       [1]
+//!   --seed <u64>          partitioner RNG seed (reproducible runs)
 //!   --no-layout           skip floorplan insertion
 //!   --out <dir>           write best-point artifacts (DOT, SVG, report)
 //! ```
+//!
+//! `--jobs` fans the design-space sweep out over scoped worker threads;
+//! results are committed in deterministic candidate order, so any `--jobs`
+//! value produces the same report. `--seed` pins the partitioner RNG so a
+//! run can be reproduced exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +29,12 @@ use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::PathBuf;
+use std::collections::BTreeMap;
 use sunfloor_core::export::{layout_to_svg, topology_to_dot};
 use sunfloor_core::spec::{CommSpec, SocSpec};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_core::synthesis::{
+    Candidate, RejectReason, SweepEvent, SynthesisConfig, SynthesisEngine, SynthesisMode,
+};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +53,12 @@ pub struct Options {
     pub mode: SynthesisMode,
     /// Optional switch-count range.
     pub switches: Option<(usize, usize)>,
+    /// Stride of the switch-count sweep.
+    pub step: usize,
+    /// Worker threads for candidate evaluation.
+    pub jobs: usize,
+    /// Optional partitioner RNG seed.
+    pub seed: Option<u64>,
     /// Run floorplan insertion.
     pub layout: bool,
     /// Output directory for artifacts.
@@ -83,6 +100,9 @@ impl Options {
         let mut alpha = 1.0f64;
         let mut mode = SynthesisMode::Auto;
         let mut switches = None;
+        let mut step = 1usize;
+        let mut jobs = 1usize;
+        let mut seed = None;
         let mut layout = true;
         let mut out = None;
 
@@ -139,6 +159,31 @@ impl Options {
                     })?;
                     switches = Some((lo, hi));
                 }
+                "--step" => {
+                    step = value("--step")?.parse().map_err(|_| {
+                        CliError::Usage("--step expects a positive integer".into())
+                    })?;
+                    if step == 0 {
+                        return Err(CliError::Usage(
+                            "--step expects a positive integer".into(),
+                        ));
+                    }
+                }
+                "--jobs" => {
+                    jobs = value("--jobs")?.parse().map_err(|_| {
+                        CliError::Usage("--jobs expects a positive integer".into())
+                    })?;
+                    if jobs == 0 {
+                        return Err(CliError::Usage(
+                            "--jobs expects a positive integer".into(),
+                        ));
+                    }
+                }
+                "--seed" => {
+                    seed = Some(value("--seed")?.parse().map_err(|_| {
+                        CliError::Usage("--seed expects an unsigned 64-bit integer".into())
+                    })?);
+                }
                 "--no-layout" => layout = false,
                 "--out" => out = Some(PathBuf::from(value("--out")?)),
                 other => {
@@ -155,6 +200,9 @@ impl Options {
             alpha,
             mode,
             switches,
+            step,
+            jobs,
+            seed,
             layout,
             out,
         })
@@ -180,16 +228,31 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
     )
     .map_err(|e| boxed(Box::new(e)))?;
 
-    let cfg = SynthesisConfig {
-        frequencies_mhz: opts.frequencies.clone(),
-        max_ill: opts.max_ill,
-        alpha: opts.alpha,
-        mode: opts.mode,
-        switch_count_range: opts.switches,
-        run_layout: opts.layout,
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&soc, &comm, &cfg).map_err(|e| boxed(Box::new(e)))?;
+    let mut builder = SynthesisConfig::builder()
+        .frequencies_mhz(opts.frequencies.iter().copied())
+        .max_ill(opts.max_ill)
+        .alpha(opts.alpha)
+        .mode(opts.mode)
+        .switch_count_step(opts.step)
+        .jobs(opts.jobs)
+        .run_layout(opts.layout);
+    if let Some((lo, hi)) = opts.switches {
+        builder = builder.switch_count_range(lo, hi);
+    }
+    if let Some(seed) = opts.seed {
+        builder = builder.rng_seed(seed);
+    }
+    let cfg = builder.build().map_err(|e| CliError::Usage(e.to_string()))?;
+    let engine = SynthesisEngine::new(&soc, &comm, cfg).map_err(|e| boxed(Box::new(e)))?;
+    // Collect the terminal rejection per candidate (a θ-escalating
+    // candidate burns several attempts but dies exactly once) so the
+    // infeasibility summary counts candidates, not attempts.
+    let mut terminal_rejects: Vec<(Candidate, RejectReason)> = Vec::new();
+    let outcome = engine.run_with_observer(&mut |e: &SweepEvent| {
+        if let SweepEvent::CandidateRejected { candidate, reason } = e {
+            terminal_rejects.push((*candidate, reason.clone()));
+        }
+    });
 
     let mut report = format!(
         "{} cores, {} layers, {} flows — {} feasible points, {} rejected\n",
@@ -229,11 +292,19 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         }
     } else {
         report.push_str("\nno feasible topology under the given constraints\n");
-        for r in outcome.rejected.iter().take(5) {
-            report.push_str(&format!(
-                "  rejected {} switches @ {} MHz: {}\n",
-                r.requested_switches, r.frequency_mhz, r.reason
-            ));
+        // Group the candidates by their terminal typed reason so the
+        // dominant constraint is obvious at a glance.
+        let mut by_kind: BTreeMap<&'static str, (usize, &Candidate, &RejectReason)> =
+            BTreeMap::new();
+        for (candidate, reason) in &terminal_rejects {
+            by_kind
+                .entry(reason.kind())
+                .and_modify(|(count, _, _)| *count += 1)
+                .or_insert((1, candidate, reason));
+        }
+        report.push_str("rejections by reason:\n");
+        for (kind, (count, example, reason)) in &by_kind {
+            report.push_str(&format!("  {kind:<22} {count:>4}  e.g. {example}: {reason}\n"));
         }
     }
     Ok(report)
@@ -252,7 +323,7 @@ mod tests {
         let o = Options::parse(&args(&[
             "--cores", "a.cores", "--comm", "a.comm", "--max-ill", "12", "--frequency",
             "400,500", "--alpha", "0.7", "--mode", "phase2", "--switches", "2..8",
-            "--no-layout", "--out", "outdir",
+            "--step", "2", "--jobs", "4", "--seed", "99", "--no-layout", "--out", "outdir",
         ]))
         .unwrap();
         assert_eq!(o.max_ill, 12);
@@ -260,6 +331,9 @@ mod tests {
         assert_eq!(o.alpha, 0.7);
         assert_eq!(o.mode, SynthesisMode::Phase2Only);
         assert_eq!(o.switches, Some((2, 8)));
+        assert_eq!(o.step, 2);
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.seed, Some(99));
         assert!(!o.layout);
         assert_eq!(o.out, Some(PathBuf::from("outdir")));
     }
@@ -285,6 +359,9 @@ mod tests {
         assert_eq!(o.alpha, 1.0);
         assert_eq!(o.mode, SynthesisMode::Auto);
         assert_eq!(o.switches, None);
+        assert_eq!(o.step, 1);
+        assert_eq!(o.jobs, 1);
+        assert_eq!(o.seed, None);
         assert!(o.layout);
         assert_eq!(o.out, None);
     }
@@ -335,8 +412,38 @@ mod tests {
     }
 
     #[test]
+    fn malformed_jobs_errors() {
+        for bad in ["many", "-2", "1.5", "0"] {
+            let err = Options::parse(&args(&["--cores", "a", "--comm", "b", "--jobs", bad]))
+                .unwrap_err();
+            assert!(err.to_string().contains("--jobs"), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_seed_errors() {
+        for bad in ["random", "-1", "0x10", "1.0"] {
+            let err = Options::parse(&args(&["--cores", "a", "--comm", "b", "--seed", bad]))
+                .unwrap_err();
+            assert!(err.to_string().contains("--seed"), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_step_errors() {
+        for bad in ["wide", "-3", "2.5", "0"] {
+            let err = Options::parse(&args(&["--cores", "a", "--comm", "b", "--step", bad]))
+                .unwrap_err();
+            assert!(err.to_string().contains("--step"), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
     fn flags_missing_their_value_error() {
-        for flag in ["--cores", "--comm", "--max-ill", "--frequency", "--mode", "--switches"] {
+        for flag in [
+            "--cores", "--comm", "--max-ill", "--frequency", "--mode", "--switches", "--step",
+            "--jobs", "--seed",
+        ] {
             let err = Options::parse(&args(&["--cores", "a", "--comm", "b", flag])).unwrap_err();
             assert!(err.to_string().contains("needs a value"), "{flag}: {err}");
         }
@@ -376,5 +483,79 @@ mod tests {
         assert!(report.contains("best-power topology"), "{report}");
         assert!(out.join("topology.dot").exists());
         assert!(out.join("report.txt").exists());
+    }
+
+    fn write_specs(tag: &str) -> (PathBuf, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("sunfloor_cli_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cores = dir.join("t.cores");
+        let comm = dir.join("t.comm");
+        std::fs::write(
+            &cores,
+            "layers 2\ncore cpu 2 2 0 0 0\ncore mem 2 2 0 0 1\ncore io 1 1 3 0 0\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &comm,
+            "flow cpu mem 300 8 request\nflow mem cpu 300 8 response\nflow cpu io 40 10 request\n",
+        )
+        .unwrap();
+        (cores, comm)
+    }
+
+    #[test]
+    fn parallel_run_report_matches_serial() {
+        let (cores, comm) = write_specs("jobs");
+        let base = [
+            "--cores",
+            cores.to_str().unwrap(),
+            "--comm",
+            comm.to_str().unwrap(),
+            "--seed",
+            "7",
+            "--no-layout",
+        ];
+        let serial = run(&Options::parse(&args(&base)).unwrap()).unwrap();
+        let mut with_jobs: Vec<&str> = base.to_vec();
+        with_jobs.extend(["--jobs", "3"]);
+        let parallel = run(&Options::parse(&args(&with_jobs)).unwrap()).unwrap();
+        assert_eq!(serial, parallel, "--jobs must not change the report");
+    }
+
+    #[test]
+    fn infeasible_run_groups_rejections_by_reason() {
+        let (cores, comm) = write_specs("reject");
+        // max_ill 0 forbids every vertical link; the 2-layer design cannot
+        // route at all.
+        let opts = Options::parse(&args(&[
+            "--cores",
+            cores.to_str().unwrap(),
+            "--comm",
+            comm.to_str().unwrap(),
+            "--max-ill",
+            "0",
+            "--no-layout",
+        ]))
+        .unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.contains("no feasible topology"), "{report}");
+        assert!(report.contains("rejections by reason:"), "{report}");
+    }
+
+    #[test]
+    fn invalid_builder_config_surfaces_as_usage_error() {
+        let (cores, comm) = write_specs("alpha");
+        let opts = Options::parse(&args(&[
+            "--cores",
+            cores.to_str().unwrap(),
+            "--comm",
+            comm.to_str().unwrap(),
+            "--alpha",
+            "3.0",
+        ]))
+        .unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("alpha"), "{err}");
     }
 }

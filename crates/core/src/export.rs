@@ -105,7 +105,7 @@ pub fn layout_to_svg(layout: &Layout) -> String {
 mod tests {
     use super::*;
     use crate::spec::{CommSpec, Core, Flow};
-    use crate::synthesis::{synthesize, SynthesisConfig};
+    use crate::synthesis::{SynthesisConfig, SynthesisEngine};
 
     fn design() -> (SocSpec, Topology, Layout) {
         let soc = SocSpec::new(
@@ -133,7 +133,8 @@ mod tests {
             &soc,
         )
         .unwrap();
-        let outcome = synthesize(&soc, &comm, &SynthesisConfig::default()).unwrap();
+        let outcome =
+            SynthesisEngine::new(&soc, &comm, SynthesisConfig::default()).unwrap().run();
         let p = outcome.best_power().unwrap();
         (soc, p.topology.clone(), p.layout.clone().expect("layout enabled"))
     }

@@ -24,9 +24,12 @@
 //!
 //! # Quickstart
 //!
+//! Build a validated [`SynthesisConfig`] with the builder, hand it to a
+//! [`SynthesisEngine`] and run the sweep:
+//!
 //! ```
 //! use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
-//! use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+//! use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Two cores stacked on two layers, one flow between them.
@@ -47,12 +50,26 @@
 //!     }],
 //!     &soc,
 //! )?;
-//! let outcome = synthesize(&soc, &comm, &SynthesisConfig::default())?;
+//! // The builder validates eagerly: a bad sweep is a typed `ConfigError`
+//! // here, not a surprise mid-run.
+//! let cfg = SynthesisConfig::builder()
+//!     .frequency_mhz(400.0)
+//!     .max_ill(25)
+//!     .build()?;
+//! let outcome = SynthesisEngine::new(&soc, &comm, cfg)?.run();
 //! let best = outcome.best_power().expect("a feasible topology");
 //! assert!(best.metrics.meets_latency());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Design-space sweeps parallelize with
+//! [`.jobs(n)`](synthesis::SynthesisConfigBuilder::jobs) (candidates are
+//! independent; results are committed in deterministic order, so serial and
+//! parallel runs agree bit-for-bit), stream progress through
+//! [`run_with_observer`](synthesis::SynthesisEngine::run_with_observer),
+//! and stop early with a [`StopPolicy`] (first-feasible, point budget, or
+//! wall-clock deadline).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,7 +92,10 @@ pub use layout::{layout_design, Layout};
 pub use paths::{compute_paths, PathConfig, PathError};
 pub use spec::{CommSpec, Core, Flow, MessageType, SocSpec, SpecError};
 pub use synthesis::{
-    synthesize, DesignPoint, PhaseKind, RejectedPoint, SynthesisConfig, SynthesisError,
-    SynthesisMode, SynthesisOutcome,
+    Candidate, ConfigError, DesignPoint, Parallelism, PhaseKind, RejectReason, RejectedPoint,
+    StopPolicy, SweepEvent, SweepObserver, SweepParam, SynthesisConfig, SynthesisConfigBuilder,
+    SynthesisEngine, SynthesisError, SynthesisMode, SynthesisOutcome,
 };
+#[allow(deprecated)]
+pub use synthesis::synthesize;
 pub use topology::{FlowPath, Link, Topology};

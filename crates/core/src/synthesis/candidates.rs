@@ -1,0 +1,182 @@
+//! Explicit enumeration of the design-space candidates the engine sweeps:
+//! every (frequency × sweep-parameter) pair of Fig. 3's nested loops.
+
+use super::config::SynthesisConfig;
+use super::outcome::PhaseKind;
+use crate::phase2;
+use crate::spec::SocSpec;
+use std::fmt;
+
+/// The per-candidate sweep parameter: what the inner loop of Fig. 3 varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Phase 1: the switch count requested from the min-cut partitioner.
+    SwitchCount(usize),
+    /// Phase 2: the per-layer increment over the minimum switch count of
+    /// Algorithm 2.
+    Increment(usize),
+}
+
+impl SweepParam {
+    /// The raw sweep value.
+    #[must_use]
+    pub fn value(self) -> usize {
+        match self {
+            Self::SwitchCount(v) | Self::Increment(v) => v,
+        }
+    }
+
+    /// Which phase evaluates this parameter.
+    #[must_use]
+    pub fn phase(self) -> PhaseKind {
+        match self {
+            Self::SwitchCount(_) => PhaseKind::Phase1,
+            Self::Increment(_) => PhaseKind::Phase2,
+        }
+    }
+}
+
+/// One point of the design-space sweep: a frequency paired with a sweep
+/// parameter. Candidates are independent of each other (the θ-escalation
+/// loop runs inside a candidate), which is what lets the engine evaluate
+/// them in parallel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Operating frequency, MHz.
+    pub frequency_mhz: f64,
+    /// The sweep parameter evaluated at that frequency.
+    pub sweep: SweepParam,
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sweep {
+            SweepParam::SwitchCount(k) => {
+                write!(f, "{k} switches @ {} MHz (phase 1)", self.frequency_mhz)
+            }
+            SweepParam::Increment(i) => {
+                write!(f, "increment {i} @ {} MHz (phase 2)", self.frequency_mhz)
+            }
+        }
+    }
+}
+
+/// Phase 1 candidates at one frequency: the requested switch counts
+/// `lo..=hi` (clamped to `1..=cores`) by `switch_count_step`.
+pub(crate) fn phase1_candidates(
+    cfg: &SynthesisConfig,
+    soc: &SocSpec,
+    freq: f64,
+) -> Vec<Candidate> {
+    let n = soc.core_count();
+    let (lo, hi) = match cfg.switch_count_range {
+        Some((lo, hi)) => (lo.max(1), hi.min(n)),
+        None => (1, n),
+    };
+    (lo..=hi)
+        .step_by(cfg.switch_count_step.max(1))
+        .map(|k| Candidate { frequency_mhz: freq, sweep: SweepParam::SwitchCount(k) })
+        .collect()
+}
+
+/// Phase 2 candidates at one frequency: the per-layer increments. A
+/// configured `switch_count_range` maps conservatively onto increments —
+/// both bounds are honored (the lower bound used to be silently dropped),
+/// with the upper bound clamped to Algorithm 2's maximum increment.
+pub(crate) fn phase2_candidates(
+    cfg: &SynthesisConfig,
+    soc: &SocSpec,
+    freq: f64,
+) -> Vec<Candidate> {
+    let max_sw = cfg.library.switch.max_size_for_frequency(freq);
+    let max_inc = phase2::max_increment(soc, max_sw);
+    let (lo, hi) = match cfg.switch_count_range {
+        Some((lo, hi)) => (lo, max_inc.min(hi)),
+        None => (0, max_inc),
+    };
+    if lo > hi {
+        return Vec::new();
+    }
+    (lo..=hi)
+        .step_by(cfg.switch_count_step.max(1))
+        .map(|inc| Candidate { frequency_mhz: freq, sweep: SweepParam::Increment(inc) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Core;
+
+    fn soc(cores: usize, layers: u32) -> SocSpec {
+        SocSpec::new(
+            (0..cores)
+                .map(|i| Core {
+                    name: format!("c{i}"),
+                    width: 1.0,
+                    height: 1.0,
+                    x: 0.0,
+                    y: 0.0,
+                    layer: i as u32 % layers,
+                })
+                .collect(),
+            layers,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn phase1_defaults_to_full_core_range() {
+        let cfg = SynthesisConfig::default();
+        let cands = phase1_candidates(&cfg, &soc(6, 2), 400.0);
+        let counts: Vec<usize> = cands.iter().map(|c| c.sweep.value()).collect();
+        assert_eq!(counts, vec![1, 2, 3, 4, 5, 6]);
+        assert!(cands.iter().all(|c| c.sweep.phase() == PhaseKind::Phase1));
+    }
+
+    #[test]
+    fn phase1_honors_range_and_stride() {
+        let cfg = SynthesisConfig::builder()
+            .switch_count_range(2, 9)
+            .switch_count_step(3)
+            .build()
+            .unwrap();
+        let counts: Vec<usize> = phase1_candidates(&cfg, &soc(12, 2), 400.0)
+            .iter()
+            .map(|c| c.sweep.value())
+            .collect();
+        assert_eq!(counts, vec![2, 5, 8]);
+    }
+
+    /// Regression: the Phase 2 sweep used to drop the lower bound of
+    /// `switch_count_range` (`let _ = lo;`), so a requested `4..8` silently
+    /// explored increments `0..=8`. Both bounds must be honored now.
+    #[test]
+    fn phase2_honors_lower_bound_of_switch_range() {
+        let cfg = SynthesisConfig::builder().switch_count_range(4, 8).build().unwrap();
+        let s = soc(16, 2);
+        let incs: Vec<usize> =
+            phase2_candidates(&cfg, &s, 400.0).iter().map(|c| c.sweep.value()).collect();
+        assert!(!incs.is_empty(), "a 16-core stack admits increments beyond 4");
+        assert!(incs.iter().all(|&i| i >= 4), "lower bound dropped: {incs:?}");
+        assert!(incs.iter().all(|&i| i <= 8), "upper bound dropped: {incs:?}");
+        assert_eq!(incs[0], 4, "sweep must start at the requested lower bound");
+    }
+
+    #[test]
+    fn phase2_range_beyond_max_increment_is_empty() {
+        let cfg = SynthesisConfig::builder().switch_count_range(50, 60).build().unwrap();
+        assert!(phase2_candidates(&cfg, &soc(4, 2), 400.0).is_empty());
+    }
+
+    #[test]
+    fn phase2_defaults_to_zero_through_max_increment() {
+        let cfg = SynthesisConfig::default();
+        let s = soc(8, 2);
+        let max_inc =
+            phase2::max_increment(&s, cfg.library.switch.max_size_for_frequency(400.0));
+        let incs: Vec<usize> =
+            phase2_candidates(&cfg, &s, 400.0).iter().map(|c| c.sweep.value()).collect();
+        assert_eq!(incs, (0..=max_inc).collect::<Vec<_>>());
+    }
+}

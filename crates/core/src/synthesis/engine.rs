@@ -1,0 +1,567 @@
+//! The streaming synthesis engine: explicit candidate enumeration, optional
+//! scoped-thread fan-out, early-stop policies and an observable event
+//! stream — the redesigned driver behind the Fig. 3 flow.
+
+use super::candidates::{phase1_candidates, phase2_candidates, Candidate, SweepParam};
+use super::config::{SynthesisConfig, SynthesisMode};
+use super::diagnostics::{RejectReason, SweepEvent, SweepObserver, SynthesisError};
+use super::outcome::{DesignPoint, PhaseKind, RejectedPoint, SynthesisOutcome};
+use crate::eval::evaluate;
+use crate::graph::CommGraph;
+use crate::layout::layout_design;
+use crate::paths::{compute_paths, PathConfig, PathError};
+use crate::phase1::{self, Connectivity};
+use crate::phase2;
+use crate::place::place_switches;
+use crate::spec::{CommSpec, SocSpec};
+use crate::topology::Topology;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// When the engine stops the sweep before exhausting every candidate.
+///
+/// The policy is applied to the ordered result stream, so for the
+/// deterministic policies ([`StopPolicy::FirstFeasible`] and
+/// [`StopPolicy::PointBudget`]) serial and parallel runs stop at the same
+/// candidate and produce identical outcomes. [`StopPolicy::Deadline`] is
+/// wall-clock based and therefore inherently run-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopPolicy {
+    /// Evaluate every candidate (the paper's full trade-off sweep).
+    #[default]
+    Exhaustive,
+    /// Stop as soon as the first candidate (in sweep order) is feasible.
+    FirstFeasible,
+    /// Stop once this many feasible points have been collected.
+    PointBudget(usize),
+    /// Stop once this much wall-clock time has elapsed since `run` began
+    /// (checked between candidates; an in-flight candidate finishes).
+    Deadline(Duration),
+}
+
+impl StopPolicy {
+    fn met(self, outcome: &SynthesisOutcome, started: Instant) -> bool {
+        match self {
+            Self::Exhaustive => false,
+            Self::FirstFeasible => !outcome.points.is_empty(),
+            Self::PointBudget(n) => outcome.points.len() >= n,
+            Self::Deadline(limit) => started.elapsed() >= limit,
+        }
+    }
+}
+
+/// Everything one candidate produced: the attempts it burned through
+/// (base + θ escalations), the θ values it escalated to, and the feasible
+/// point, if any. Computed on a worker thread, committed in order by the
+/// driver.
+struct CandidateEvaluation {
+    candidate: Candidate,
+    /// Rejected attempts in the order tried (terminal one last, unless the
+    /// candidate was accepted).
+    attempts: Vec<RejectedPoint>,
+    /// θ values the escalation loop tried, in order.
+    thetas: Vec<f64>,
+    point: Option<DesignPoint>,
+}
+
+impl CandidateEvaluation {
+    fn new(candidate: Candidate) -> Self {
+        Self { candidate, attempts: Vec::new(), thetas: Vec::new(), point: None }
+    }
+}
+
+/// The redesigned synthesis driver (paper Fig. 3).
+///
+/// Construction validates the configuration and the specifications eagerly;
+/// [`SynthesisEngine::run`] then evaluates the explicit candidate list —
+/// serially or fanned out over scoped worker threads per
+/// [`super::Parallelism`] — committing results in deterministic candidate
+/// order, so serial and parallel runs produce identical
+/// [`SynthesisOutcome`]s.
+///
+/// ```
+/// use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
+/// use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let soc = SocSpec::new(
+///     vec![
+///         Core { name: "cpu".into(), width: 2.0, height: 2.0, x: 0.0, y: 0.0, layer: 0 },
+///         Core { name: "mem".into(), width: 2.0, height: 2.0, x: 0.0, y: 0.0, layer: 1 },
+///     ],
+///     2,
+/// )?;
+/// let comm = CommSpec::new(
+///     vec![Flow { src: 0, dst: 1, bandwidth_mbs: 400.0, max_latency_cycles: 6.0,
+///                 message_type: MessageType::Request }],
+///     &soc,
+/// )?;
+/// let cfg = SynthesisConfig::builder().jobs(2).build()?;
+/// let outcome = SynthesisEngine::new(&soc, &comm, cfg)?.run();
+/// assert!(outcome.best_power().is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub struct SynthesisEngine<'a> {
+    soc: &'a SocSpec,
+    graph: CommGraph,
+    cfg: SynthesisConfig,
+    /// Frequencies of the sweep that admit at least a 2-port switch.
+    frequencies: Vec<f64>,
+}
+
+impl<'a> SynthesisEngine<'a> {
+    /// Validates the specifications and the configuration and prepares the
+    /// sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::Spec`] for inconsistent specifications,
+    /// [`SynthesisError::Config`] for an invalid configuration and
+    /// [`SynthesisError::NoUsableFrequency`] when no swept frequency admits
+    /// any switch.
+    pub fn new(
+        soc: &'a SocSpec,
+        comm: &CommSpec,
+        cfg: SynthesisConfig,
+    ) -> Result<Self, SynthesisError> {
+        soc.validate()?;
+        comm.validate(soc)?;
+        cfg.validate()?;
+        let frequencies: Vec<f64> = cfg
+            .frequencies_mhz
+            .iter()
+            .copied()
+            .filter(|&f| cfg.library.switch.max_size_for_frequency(f) >= 2)
+            .collect();
+        if frequencies.is_empty() {
+            return Err(SynthesisError::NoUsableFrequency);
+        }
+        let graph = CommGraph::new(soc, comm);
+        Ok(Self { soc, graph, cfg, frequencies })
+    }
+
+    /// The configuration the engine runs with.
+    #[must_use]
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.cfg
+    }
+
+    /// The explicit candidate list of the primary sweep, in evaluation
+    /// order: for every usable frequency, the Phase 1 switch counts
+    /// ([`SynthesisMode::Auto`] / [`SynthesisMode::Phase1Only`]) or the
+    /// Phase 2 increments ([`SynthesisMode::Phase2Only`]). In `Auto` mode
+    /// the engine additionally enumerates the Phase 2 increments for a
+    /// frequency whose Phase 1 sweep yielded no feasible point.
+    #[must_use]
+    pub fn candidates(&self) -> Vec<Candidate> {
+        self.frequencies.iter().flat_map(|&f| self.primary_candidates(f)).collect()
+    }
+
+    /// The primary candidate list at one frequency — the single source both
+    /// [`Self::candidates`] and the run loop enumerate from.
+    fn primary_candidates(&self, freq: f64) -> Vec<Candidate> {
+        match self.cfg.mode {
+            SynthesisMode::Auto | SynthesisMode::Phase1Only => {
+                phase1_candidates(&self.cfg, self.soc, freq)
+            }
+            SynthesisMode::Phase2Only => phase2_candidates(&self.cfg, self.soc, freq),
+        }
+    }
+
+    /// Runs the full sweep (no early stop, no observer).
+    #[must_use]
+    pub fn run(&self) -> SynthesisOutcome {
+        self.run_inner(StopPolicy::Exhaustive, None)
+    }
+
+    /// Runs the sweep until `policy` says stop.
+    #[must_use]
+    pub fn run_with_policy(&self, policy: StopPolicy) -> SynthesisOutcome {
+        self.run_inner(policy, None)
+    }
+
+    /// Runs the full sweep, streaming [`SweepEvent`]s to `observer`.
+    #[must_use]
+    pub fn run_with_observer(&self, observer: &mut dyn SweepObserver) -> SynthesisOutcome {
+        self.run_inner(StopPolicy::Exhaustive, Some(observer))
+    }
+
+    /// Runs the sweep with both an early-stop policy and an observer.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        policy: StopPolicy,
+        observer: &mut dyn SweepObserver,
+    ) -> SynthesisOutcome {
+        self.run_inner(policy, Some(observer))
+    }
+
+    fn run_inner(
+        &self,
+        policy: StopPolicy,
+        mut observer: Option<&mut dyn SweepObserver>,
+    ) -> SynthesisOutcome {
+        let started = Instant::now();
+        let mut outcome = SynthesisOutcome::default();
+        for &freq in &self.frequencies {
+            let primary = self.primary_candidates(freq);
+            let before = outcome.points.len();
+            if self.sweep(&primary, policy, &mut observer, &mut outcome, started) {
+                return outcome;
+            }
+            // The two-phase method of §IV: when Phase 1 delivers nothing at
+            // this frequency, retry layer-by-layer.
+            if self.cfg.mode == SynthesisMode::Auto && outcome.points.len() == before {
+                let fallback = phase2_candidates(&self.cfg, self.soc, freq);
+                if self.sweep(&fallback, policy, &mut observer, &mut outcome, started) {
+                    return outcome;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Evaluates one candidate batch, committing results (and streaming
+    /// events) in candidate order as evaluations complete. Returns `true`
+    /// when `policy` stopped the run.
+    ///
+    /// Serially, each candidate is committed the moment it finishes. In
+    /// parallel, `jobs` scoped workers pull candidates from a shared queue
+    /// (a slow candidate never idles the others) and deposit results into
+    /// per-candidate slots; the driver thread commits slot `i` as soon as
+    /// it fills, so the observer still sees a live, in-order stream. An
+    /// early stop raises a flag that keeps workers from claiming further
+    /// candidates, bounding wasted work to the in-flight ones.
+    fn sweep(
+        &self,
+        candidates: &[Candidate],
+        policy: StopPolicy,
+        observer: &mut Option<&mut dyn SweepObserver>,
+        outcome: &mut SynthesisOutcome,
+        started: Instant,
+    ) -> bool {
+        let jobs = self.cfg.parallelism.effective_jobs().min(candidates.len());
+        if jobs <= 1 {
+            for &candidate in candidates {
+                if policy.met(outcome, started) {
+                    return true;
+                }
+                let ev = self.evaluate_candidate(candidate);
+                self.commit(ev, observer, outcome);
+            }
+            return false;
+        }
+
+        let stop = AtomicBool::new(false);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<(Mutex<Option<CandidateEvaluation>>, Condvar)> =
+            candidates.iter().map(|_| (Mutex::new(None), Condvar::new())).collect();
+        let mut stopped = false;
+        thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&candidate) = candidates.get(i) else { break };
+                    let ev = self.evaluate_candidate(candidate);
+                    let (lock, cvar) = &slots[i];
+                    *lock.lock().expect("no poisoned slot") = Some(ev);
+                    cvar.notify_all();
+                });
+            }
+            // Commit in candidate order, each slot as soon as it fills. A
+            // claimed index is always filled before its worker exits, and
+            // indices are claimed in order, so waiting on slot `i` cannot
+            // deadlock.
+            for (i, (lock, cvar)) in slots.iter().enumerate() {
+                if policy.met(outcome, started) {
+                    stop.store(true, Ordering::Relaxed);
+                    stopped = true;
+                    break;
+                }
+                let mut guard = lock.lock().expect("no poisoned slot");
+                while guard.is_none() {
+                    guard = cvar.wait(guard).expect("no poisoned slot");
+                }
+                let ev = guard.take().expect("slot filled");
+                drop(guard);
+                debug_assert_eq!(ev.candidate, candidates[i]);
+                self.commit(ev, observer, outcome);
+            }
+        });
+        stopped
+    }
+
+    /// Appends one candidate's results to the outcome and replays its event
+    /// stream: `CandidateStarted`, any `ThetaEscalated`, then exactly one
+    /// terminal `CandidateAccepted` / `CandidateRejected`.
+    fn commit(
+        &self,
+        ev: CandidateEvaluation,
+        observer: &mut Option<&mut dyn SweepObserver>,
+        outcome: &mut SynthesisOutcome,
+    ) {
+        let emit = |observer: &mut Option<&mut dyn SweepObserver>, event: SweepEvent| {
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_event(&event);
+            }
+        };
+        emit(observer, SweepEvent::CandidateStarted { candidate: ev.candidate });
+        for &theta in &ev.thetas {
+            emit(observer, SweepEvent::ThetaEscalated { candidate: ev.candidate, theta });
+        }
+        let terminal_reason =
+            if ev.point.is_none() { ev.attempts.last().map(|a| a.reason.clone()) } else { None };
+        outcome.rejected.extend(ev.attempts);
+        match ev.point {
+            Some(point) => {
+                outcome.points.push(point);
+                emit(
+                    observer,
+                    SweepEvent::CandidateAccepted {
+                        candidate: ev.candidate,
+                        point_index: outcome.points.len() - 1,
+                    },
+                );
+            }
+            None => {
+                emit(
+                    observer,
+                    SweepEvent::CandidateRejected {
+                        candidate: ev.candidate,
+                        reason: terminal_reason.unwrap_or(RejectReason::RoutingFailed),
+                    },
+                );
+            }
+        }
+    }
+
+    fn evaluate_candidate(&self, candidate: Candidate) -> CandidateEvaluation {
+        match candidate.sweep {
+            SweepParam::SwitchCount(k) => self.evaluate_phase1(candidate, k),
+            SweepParam::Increment(inc) => self.evaluate_phase2(candidate, inc),
+        }
+    }
+
+    /// Algorithm 1 for one candidate: the base PG attempt, then the θ
+    /// escalation loop until the constraints are met or θ runs out.
+    fn evaluate_phase1(&self, candidate: Candidate, count: usize) -> CandidateEvaluation {
+        let cfg = &self.cfg;
+        let freq = candidate.frequency_mhz;
+        let mut ev = CandidateEvaluation::new(candidate);
+        let reject = |theta: Option<f64>, reason: RejectReason| RejectedPoint {
+            requested_switches: count,
+            frequency_mhz: freq,
+            phase: PhaseKind::Phase1,
+            theta,
+            reason,
+        };
+
+        match phase1::connectivity(
+            &self.graph,
+            self.soc,
+            count,
+            cfg.alpha,
+            None,
+            cfg.theta_max,
+            cfg.rng_seed,
+        ) {
+            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase1, false) {
+                Ok(point) => {
+                    ev.point = Some(point);
+                    return ev;
+                }
+                Err(reason) => ev.attempts.push(reject(None, reason)),
+            },
+            Err(e) => {
+                // The partitioner cannot produce this split at any θ:
+                // terminal, no escalation.
+                ev.attempts.push(reject(None, e.into()));
+                return ev;
+            }
+        }
+
+        // θ loop (Algorithm 1, steps 11–20).
+        let mut theta = cfg.theta_min;
+        while theta <= cfg.theta_max + 1e-9 {
+            ev.thetas.push(theta);
+            if let Ok(conn) = phase1::connectivity(
+                &self.graph,
+                self.soc,
+                count,
+                cfg.alpha,
+                Some(theta),
+                cfg.theta_max,
+                cfg.rng_seed,
+            ) {
+                match self.try_candidate(freq, &conn, PhaseKind::Phase1, false) {
+                    Ok(point) => {
+                        ev.point = Some(point);
+                        return ev;
+                    }
+                    Err(reason) => ev.attempts.push(reject(Some(theta), reason)),
+                }
+            }
+            theta += cfg.theta_step;
+        }
+        ev
+    }
+
+    /// Algorithm 2 for one candidate: a single layer-by-layer attempt at
+    /// the given per-layer increment.
+    fn evaluate_phase2(&self, candidate: Candidate, increment: usize) -> CandidateEvaluation {
+        let cfg = &self.cfg;
+        let freq = candidate.frequency_mhz;
+        let max_sw = cfg.library.switch.max_size_for_frequency(freq);
+        let mut ev = CandidateEvaluation::new(candidate);
+        match phase2::connectivity(&self.graph, self.soc, increment, max_sw, cfg.alpha, cfg.rng_seed)
+        {
+            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase2, true) {
+                Ok(point) => ev.point = Some(point),
+                Err(reason) => ev.attempts.push(RejectedPoint {
+                    requested_switches: conn.switch_count(),
+                    frequency_mhz: freq,
+                    phase: PhaseKind::Phase2,
+                    theta: None,
+                    reason,
+                }),
+            },
+            Err(e) => ev.attempts.push(RejectedPoint {
+                requested_switches: increment,
+                frequency_mhz: freq,
+                phase: PhaseKind::Phase2,
+                theta: None,
+                reason: e.into(),
+            }),
+        }
+        ev
+    }
+
+    /// Routes, places, lays out and evaluates one connectivity candidate,
+    /// applying the indirect-switch fallback on routing failure.
+    fn try_candidate(
+        &self,
+        freq: f64,
+        conn: &Connectivity,
+        phase: PhaseKind,
+        adjacent_only: bool,
+    ) -> Result<DesignPoint, RejectReason> {
+        let cfg = &self.cfg;
+        let soc = self.soc;
+        let core_layers: Vec<u32> = soc.cores.iter().map(|c| c.layer).collect();
+        let max_sw = cfg.library.switch.max_size_for_frequency(freq);
+        let path_cfg = PathConfig {
+            max_ill: cfg.max_ill,
+            soft_ill_margin: cfg.soft_ill_margin,
+            max_switch_size: max_sw,
+            soft_switch_margin: cfg.soft_switch_margin,
+            adjacent_layers_only: adjacent_only,
+            frequency_mhz: freq,
+            deadlock_retries: 24,
+        };
+
+        // Routing with the indirect-switch fallback (§VI): when no route
+        // exists, add one unattached switch per layer (a pure transit
+        // switch) and retry.
+        let mut switch_layer = conn.switch_layer.clone();
+        let mut est_pos = conn.est_positions.clone();
+        let mut indirect: Vec<usize> = Vec::new();
+        let mut topo: Option<Topology> = None;
+        let mut last_err: Option<PathError> = None;
+
+        for round in 0..=cfg.indirect_switch_rounds {
+            match compute_paths(
+                &self.graph,
+                &conn.core_attach,
+                &switch_layer,
+                &est_pos,
+                &core_layers,
+                soc.layers,
+                &cfg.library,
+                &path_cfg,
+                cfg.alpha,
+            ) {
+                Ok(mut t) => {
+                    t.indirect_switches = indirect.clone();
+                    topo = Some(t);
+                    break;
+                }
+                Err(e @ (PathError::NoRoute { .. } | PathError::DeadlockUnavoidable { .. }))
+                    if round < cfg.indirect_switch_rounds =>
+                {
+                    last_err = Some(e);
+                    // Add one transit switch per populated layer at the
+                    // layer centroid.
+                    for layer in 0..soc.layers {
+                        let members = soc.cores_in_layer(layer);
+                        if members.is_empty() {
+                            continue;
+                        }
+                        let (mut cx, mut cy) = (0.0, 0.0);
+                        for &c in &members {
+                            let (x, y) = soc.cores[c].center();
+                            cx += x;
+                            cy += y;
+                        }
+                        indirect.push(switch_layer.len());
+                        switch_layer.push(layer);
+                        est_pos
+                            .push((cx / members.len() as f64, cy / members.len() as f64));
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let mut topo = topo.ok_or_else(|| {
+            last_err.map_or(RejectReason::RoutingFailed, RejectReason::from)
+        })?;
+
+        // Switch placement LP (§VII).
+        place_switches(&mut topo, soc, &self.graph).map_err(RejectReason::from)?;
+
+        // Physical insertion + final evaluation.
+        let layout = if cfg.run_layout {
+            Some(layout_design(&mut topo, soc, &cfg.library, cfg.layout_search_radius_mm))
+        } else {
+            None
+        };
+        let metrics = evaluate(&topo, soc, &self.graph, &cfg.library, freq);
+
+        // Final constraint screening (Fig. 3's last step).
+        if metrics.max_inter_layer_links() > cfg.max_ill {
+            return Err(RejectReason::IllExceeded {
+                got: metrics.max_inter_layer_links(),
+                limit: cfg.max_ill,
+            });
+        }
+        for s in 0..topo.switch_count() {
+            if topo.switch_size(s) > max_sw {
+                return Err(RejectReason::SwitchTooLarge {
+                    switch: s,
+                    ports: topo.switch_size(s),
+                    limit: max_sw,
+                    frequency_mhz: freq,
+                });
+            }
+        }
+        if !metrics.meets_latency() {
+            return Err(RejectReason::LatencyViolated {
+                excess_cycles: metrics.worst_latency_violation,
+            });
+        }
+
+        Ok(DesignPoint {
+            requested_switches: conn.switch_count(),
+            topology: topo,
+            metrics,
+            layout,
+            phase,
+            theta: conn.theta,
+        })
+    }
+}

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use sunfloor_core::graph::CommGraph;
 use sunfloor_core::paths::{compute_paths, PathConfig};
 use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 use sunfloor_models::NocLibrary;
 
 /// A random small SoC: `n` cores spread over `layers` layers on a loose
@@ -131,17 +131,18 @@ proptest! {
     /// satisfies its own metrics invariants.
     #[test]
     fn synthesis_points_are_self_consistent((soc, comm) in arb_design()) {
-        let cfg = SynthesisConfig {
-            run_layout: false,
-            switch_count_range: Some((1, soc.core_count().min(4))),
-            ..SynthesisConfig::default()
-        };
-        let outcome = synthesize(&soc, &comm, &cfg).unwrap();
+        let cfg = SynthesisConfig::builder()
+            .run_layout(false)
+            .switch_count_range(1, soc.core_count().min(4))
+            .build()
+            .unwrap();
+        let max_ill = cfg.max_ill;
+        let outcome = SynthesisEngine::new(&soc, &comm, cfg).unwrap().run();
         for p in &outcome.points {
             prop_assert!(p.metrics.power.total_mw() > 0.0);
             prop_assert!(p.metrics.avg_latency_cycles >= 1.0);
             prop_assert!(p.metrics.meets_latency());
-            prop_assert!(p.metrics.max_inter_layer_links() <= cfg.max_ill);
+            prop_assert!(p.metrics.max_inter_layer_links() <= max_ill);
             let layers: Vec<u32> = soc.cores.iter().map(|c| c.layer).collect();
             prop_assert_eq!(
                 &p.metrics.inter_layer_links,

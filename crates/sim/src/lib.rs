@@ -19,7 +19,7 @@
 //!
 //! ```
 //! use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
-//! use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+//! use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 //! use sunfloor_sim::{SimConfig, Simulator};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,7 +35,7 @@
 //!                 message_type: MessageType::Request }],
 //!     &soc,
 //! )?;
-//! let outcome = synthesize(&soc, &comm, &SynthesisConfig::default())?;
+//! let outcome = SynthesisEngine::new(&soc, &comm, SynthesisConfig::default())?.run();
 //! let best = outcome.best_power().expect("feasible");
 //! let report = Simulator::new(&best.topology, &soc, &comm, 400.0, &SimConfig::default())
 //!     .run();

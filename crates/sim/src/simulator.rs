@@ -391,7 +391,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use sunfloor_core::spec::{Core, Flow, MessageType};
-    use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+    use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 
     fn synth(bw0: f64, bw1: f64) -> (SocSpec, CommSpec, Topology) {
         let soc = SocSpec::new(
@@ -424,12 +424,12 @@ mod tests {
             &soc,
         )
         .unwrap();
-        let cfg = SynthesisConfig {
-            run_layout: false,
-            switch_count_range: Some((2, 2)),
-            ..SynthesisConfig::default()
-        };
-        let outcome = synthesize(&soc, &comm, &cfg).unwrap();
+        let cfg = SynthesisConfig::builder()
+            .run_layout(false)
+            .switch_count_range(2, 2)
+            .build()
+            .unwrap();
+        let outcome = SynthesisEngine::new(&soc, &comm, cfg).unwrap().run();
         let topo = outcome.best_power().unwrap().topology.clone();
         (soc, comm, topo)
     }

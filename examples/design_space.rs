@@ -1,25 +1,42 @@
 //! Design-space exploration: how the TSV budget (`max_ill`) and the
 //! operating frequency move the best achievable power and latency on the
-//! distributed `D_36_4` benchmark — the paper's §VIII-E study.
+//! distributed `D_36_4` benchmark — the paper's §VIII-E study — driven
+//! through the parallel sweep engine with a progress observer.
 //!
 //! Run with `cargo run --release --example design_space`.
 
 use sunfloor_benchmarks::distributed;
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_core::synthesis::{
+    StopPolicy, SweepEvent, SynthesisConfig, SynthesisConfigBuilder, SynthesisEngine,
+    SynthesisMode,
+};
+
+fn base_cfg() -> SynthesisConfigBuilder {
+    // Candidates are independent, so fan the sweep out over every core;
+    // outcomes are bit-for-bit identical to a serial run.
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    SynthesisConfig::builder().mode(SynthesisMode::Auto).switch_count_range(2, 14).jobs(jobs)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = distributed(4);
+    let mut evaluated = 0usize;
+    let mut accepted = 0usize;
 
     println!("== TSV budget sweep (400 MHz) ==");
     println!("  max_ill  best_power_mW  latency_cyc  switches");
     for max_ill in [6u32, 10, 14, 18, 22, 26] {
-        let cfg = SynthesisConfig {
-            mode: SynthesisMode::Auto,
-            max_ill,
-            switch_count_range: Some((2, 14)),
-            ..SynthesisConfig::default()
-        };
-        let outcome = synthesize(&bench.soc, &bench.comm, &cfg)?;
+        let cfg = base_cfg().max_ill(max_ill).build()?;
+        let engine = SynthesisEngine::new(&bench.soc, &bench.comm, cfg)?;
+        // Stream the sweep: count terminal events as candidates resolve.
+        let outcome = engine.run_with_observer(&mut |e: &SweepEvent| match e {
+            SweepEvent::CandidateAccepted { .. } => {
+                evaluated += 1;
+                accepted += 1;
+            }
+            SweepEvent::CandidateRejected { .. } => evaluated += 1,
+            _ => {}
+        });
         match outcome.best_power() {
             Some(p) => println!(
                 "  {:>7}  {:>13.1}  {:>11.2}  {:>8}",
@@ -31,17 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("  {max_ill:>7}  infeasible"),
         }
     }
+    println!("  ({accepted} of {evaluated} candidates feasible across the budget sweep)");
 
     println!("\n== frequency sweep (max_ill = 25) ==");
     println!("  MHz   max_switch_size  best_power_mW  latency_cyc");
     for freq in [300.0f64, 400.0, 500.0, 650.0] {
-        let cfg = SynthesisConfig {
-            frequencies_mhz: vec![freq],
-            switch_count_range: Some((2, 14)),
-            ..SynthesisConfig::default()
-        };
+        let cfg = base_cfg().frequency_mhz(freq).build()?;
         let max_sw = cfg.library.switch.max_size_for_frequency(freq);
-        let outcome = synthesize(&bench.soc, &bench.comm, &cfg)?;
+        let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg)?.run();
         match outcome.best_power() {
             Some(p) => println!(
                 "  {freq:>4.0}  {max_sw:>15}  {:>13.1}  {:>11.2}",
@@ -50,6 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
             None => println!("  {freq:>4.0}  {max_sw:>15}  infeasible"),
         }
+    }
+
+    // Early stop: when any feasible topology will do, the first-feasible
+    // policy ends the sweep at the first accepted candidate.
+    let quick = SynthesisEngine::new(&bench.soc, &bench.comm, base_cfg().build()?)?
+        .run_with_policy(StopPolicy::FirstFeasible);
+    if let Some(p) = quick.points.first() {
+        println!(
+            "\nfirst feasible point (early stop): {} switches, {:.1} mW",
+            p.metrics.switch_count,
+            p.metrics.power.total_mw()
+        );
     }
     Ok(())
 }

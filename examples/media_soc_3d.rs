@@ -4,7 +4,7 @@
 //! Run with `cargo run --release --example media_soc_3d`.
 
 use sunfloor_benchmarks::media26;
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine, SynthesisMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = media26();
@@ -17,13 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bench.comm.total_bandwidth_mbs()
     );
 
-    let cfg = SynthesisConfig {
-        mode: SynthesisMode::Phase1Only,
-        max_ill: 25,
-        switch_count_range: Some((1, 12)),
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&bench.soc, &bench.comm, &cfg)?;
+    let cfg = SynthesisConfig::builder()
+        .mode(SynthesisMode::Phase1Only)
+        .max_ill(25)
+        .switch_count_range(1, 12)
+        .jobs(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+        .build()?;
+    let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg)?.run();
 
     println!("\n  switches  total_mW  latency_cyc  max_ill  area_mm2");
     let mut points: Vec<_> = outcome.points.iter().collect();

@@ -3,7 +3,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A toy stack: CPU + accelerator on the bottom die, two memories above.
@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &soc,
     )?;
 
-    let outcome = synthesize(&soc, &comm, &SynthesisConfig::default())?;
+    // The builder validates eagerly; the engine then sweeps the candidate
+    // design points.
+    let cfg = SynthesisConfig::builder().frequency_mhz(400.0).max_ill(25).build()?;
+    let outcome = SynthesisEngine::new(&soc, &comm, cfg)?.run();
     println!(
         "explored {} feasible design points ({} rejected)",
         outcome.points.len(),

@@ -5,18 +5,17 @@
 //! Run with `cargo run --release --example simulate_noc`.
 
 use sunfloor_benchmarks::bottleneck;
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine, SynthesisMode};
 use sunfloor_sim::{SimConfig, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = bottleneck();
-    let cfg = SynthesisConfig {
-        mode: SynthesisMode::Auto,
-        switch_count_range: Some((2, 10)),
-        run_layout: false,
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&bench.soc, &bench.comm, &cfg)?;
+    let cfg = SynthesisConfig::builder()
+        .mode(SynthesisMode::Auto)
+        .switch_count_range(2, 10)
+        .run_layout(false)
+        .build()?;
+    let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg)?.run();
     let best = outcome.best_power().expect("feasible point");
     println!(
         "synthesized {} switches; analytic zero-load latency {:.2} cycles",

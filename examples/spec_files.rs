@@ -8,7 +8,7 @@
 use std::fs;
 use sunfloor_benchmarks::distributed;
 use sunfloor_core::spec::{CommSpec, SocSpec};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = distributed(4);
@@ -34,11 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Synthesize from the parsed copies.
-    let cfg = SynthesisConfig {
-        switch_count_range: Some((3, 8)),
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&soc, &comm, &cfg)?;
+    let cfg = SynthesisConfig::builder().switch_count_range(3, 8).build()?;
+    let outcome = SynthesisEngine::new(&soc, &comm, cfg)?.run();
     let best = outcome.best_power().expect("feasible point");
     println!(
         "best topology from file-based flow: {} switches, {:.1} mW, {:.2} cycles",

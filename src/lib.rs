@@ -5,7 +5,7 @@
 //! workspace; it re-exports the member crates under one roof for
 //! convenience. Library users should normally depend on the individual
 //! `sunfloor-*` crates directly — start with [`core`]'s
-//! `synthesize` entry point.
+//! `SynthesisConfig::builder()` + `SynthesisEngine` entry points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,16 +5,23 @@
 
 use sunfloor_baselines::{optimized_mesh, synthesize_2d, MeshConfig};
 use sunfloor_benchmarks::{distributed, flatten_to_2d};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::synthesis::{
+    SynthesisConfig, SynthesisEngine, SynthesisMode, SynthesisOutcome,
+};
 use sunfloor_models::NocLibrary;
 
 fn cfg(mode: SynthesisMode) -> SynthesisConfig {
-    SynthesisConfig {
-        mode,
-        run_layout: false,
-        switch_count_range: Some((2, 12)),
-        ..SynthesisConfig::default()
-    }
+    SynthesisConfig::builder()
+        .mode(mode)
+        .run_layout(false)
+        .switch_count_range(2, 12)
+        .build()
+        .unwrap()
+}
+
+fn run(soc: &SocSpec, comm: &CommSpec, cfg: SynthesisConfig) -> SynthesisOutcome {
+    SynthesisEngine::new(soc, comm, cfg).unwrap().run()
 }
 
 #[test]
@@ -23,7 +30,7 @@ fn three_d_saves_interconnect_power_over_two_d() {
     // distributed benchmarks, with the gap concentrated in link power.
     let b3 = distributed(4);
     let b2 = flatten_to_2d(&b3);
-    let out3 = synthesize(&b3.soc, &b3.comm, &cfg(SynthesisMode::Auto)).unwrap();
+    let out3 = run(&b3.soc, &b3.comm, cfg(SynthesisMode::Auto));
     let out2 = synthesize_2d(&b2, &cfg(SynthesisMode::Phase1Only)).unwrap();
     let p3 = out3.best_power().expect("3-D feasible");
     let p2 = out2.best_power().expect("2-D feasible");
@@ -47,7 +54,7 @@ fn two_d_has_longer_wires_than_three_d() {
     // Fig. 12: the 2-D wire-length distribution has a longer tail.
     let b3 = distributed(4);
     let b2 = flatten_to_2d(&b3);
-    let out3 = synthesize(&b3.soc, &b3.comm, &cfg(SynthesisMode::Auto)).unwrap();
+    let out3 = run(&b3.soc, &b3.comm, cfg(SynthesisMode::Auto));
     let out2 = synthesize_2d(&b2, &cfg(SynthesisMode::Phase1Only)).unwrap();
     let w3 = &out3.best_power().unwrap().metrics.wire_lengths_mm;
     let w2 = &out2.best_power().unwrap().metrics.wire_lengths_mm;
@@ -61,7 +68,7 @@ fn two_d_has_longer_wires_than_three_d() {
 #[test]
 fn custom_topology_beats_optimized_mesh() {
     let bench = distributed(4);
-    let custom = synthesize(&bench.soc, &bench.comm, &cfg(SynthesisMode::Auto)).unwrap();
+    let custom = run(&bench.soc, &bench.comm, cfg(SynthesisMode::Auto));
     let mesh = optimized_mesh(
         &bench,
         &NocLibrary::lp65(),
@@ -79,8 +86,8 @@ fn custom_topology_beats_optimized_mesh() {
 #[test]
 fn phase1_no_worse_power_phase2_no_more_ills() {
     let bench = distributed(6);
-    let p1 = synthesize(&bench.soc, &bench.comm, &cfg(SynthesisMode::Phase1Only)).unwrap();
-    let p2 = synthesize(&bench.soc, &bench.comm, &cfg(SynthesisMode::Phase2Only)).unwrap();
+    let p1 = run(&bench.soc, &bench.comm, cfg(SynthesisMode::Phase1Only));
+    let p2 = run(&bench.soc, &bench.comm, cfg(SynthesisMode::Phase2Only));
     let b1 = p1.best_power().expect("phase 1 feasible");
     let b2 = p2.best_power().expect("phase 2 feasible");
     assert!(
@@ -101,7 +108,7 @@ fn phase1_no_worse_power_phase2_no_more_ills() {
 fn mesh_latency_not_better_than_custom() {
     // §VIII-E reports ~21% latency advantage for the custom topologies.
     let bench = distributed(6);
-    let custom = synthesize(&bench.soc, &bench.comm, &cfg(SynthesisMode::Auto)).unwrap();
+    let custom = run(&bench.soc, &bench.comm, cfg(SynthesisMode::Auto));
     let mesh = optimized_mesh(
         &bench,
         &NocLibrary::lp65(),

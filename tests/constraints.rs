@@ -4,19 +4,21 @@
 
 use sunfloor_benchmarks::{bottleneck, distributed, tvopd};
 use sunfloor_core::spec::MessageType;
-use sunfloor_core::synthesis::{synthesize, PhaseKind, SynthesisConfig, SynthesisMode};
+use sunfloor_core::synthesis::{
+    PhaseKind, RejectReason, SynthesisConfig, SynthesisEngine, SynthesisMode,
+};
 
 #[test]
 fn max_ill_respected_across_budgets() {
     let bench = distributed(4);
     for max_ill in [8u32, 14, 25] {
-        let cfg = SynthesisConfig {
-            max_ill,
-            run_layout: false,
-            switch_count_range: Some((2, 10)),
-            ..SynthesisConfig::default()
-        };
-        let outcome = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+        let cfg = SynthesisConfig::builder()
+            .max_ill(max_ill)
+            .run_layout(false)
+            .switch_count_range(2, 10)
+            .build()
+            .unwrap();
+        let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap().run();
         for p in &outcome.points {
             assert!(
                 p.metrics.max_inter_layer_links() <= max_ill,
@@ -37,14 +39,14 @@ fn max_ill_respected_across_budgets() {
 fn switch_size_limit_scales_with_frequency() {
     let bench = bottleneck();
     for freq in [400.0f64, 550.0, 700.0] {
-        let cfg = SynthesisConfig {
-            frequencies_mhz: vec![freq],
-            run_layout: false,
-            switch_count_range: Some((2, 12)),
-            ..SynthesisConfig::default()
-        };
+        let cfg = SynthesisConfig::builder()
+            .frequency_mhz(freq)
+            .run_layout(false)
+            .switch_count_range(2, 12)
+            .build()
+            .unwrap();
         let max_sw = cfg.library.switch.max_size_for_frequency(freq);
-        let outcome = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+        let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap().run();
         for p in &outcome.points {
             for s in 0..p.topology.switch_count() {
                 assert!(
@@ -59,12 +61,12 @@ fn switch_size_limit_scales_with_frequency() {
 #[test]
 fn phase2_links_stay_within_adjacent_layers() {
     let bench = tvopd();
-    let cfg = SynthesisConfig {
-        mode: SynthesisMode::Phase2Only,
-        run_layout: false,
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    let cfg = SynthesisConfig::builder()
+        .mode(SynthesisMode::Phase2Only)
+        .run_layout(false)
+        .build()
+        .unwrap();
+    let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap().run();
     assert!(!outcome.points.is_empty(), "rejected: {:?}", outcome.rejected);
     for p in &outcome.points {
         assert_eq!(p.phase, PhaseKind::Phase2);
@@ -81,12 +83,12 @@ fn phase2_links_stay_within_adjacent_layers() {
 #[test]
 fn request_and_response_never_share_links() {
     let bench = bottleneck(); // has explicit response flows
-    let cfg = SynthesisConfig {
-        run_layout: false,
-        switch_count_range: Some((2, 8)),
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    let cfg = SynthesisConfig::builder()
+        .run_layout(false)
+        .switch_count_range(2, 8)
+        .build()
+        .unwrap();
+    let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap().run();
     assert!(!outcome.points.is_empty());
     for p in &outcome.points {
         for l in &p.topology.links {
@@ -118,13 +120,13 @@ fn request_and_response_never_share_links() {
 #[test]
 fn link_capacity_never_exceeded() {
     let bench = distributed(8);
-    let cfg = SynthesisConfig {
-        run_layout: false,
-        switch_count_range: Some((2, 10)),
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    let cfg = SynthesisConfig::builder()
+        .run_layout(false)
+        .switch_count_range(2, 10)
+        .build()
+        .unwrap();
     let capacity = cfg.library.link.capacity_gbps(400.0);
+    let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap().run();
     for p in &outcome.points {
         for l in &p.topology.links {
             assert!(
@@ -148,15 +150,19 @@ fn infeasible_latency_budget_rejects_points_with_reasons() {
     for f in &mut bench.comm.flows {
         f.max_latency_cycles = 0.5;
     }
-    let cfg = SynthesisConfig {
-        run_layout: false,
-        switch_count_range: Some((2, 6)),
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    let cfg = SynthesisConfig::builder()
+        .run_layout(false)
+        .switch_count_range(2, 6)
+        .build()
+        .unwrap();
+    let outcome = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap().run();
     assert!(outcome.points.is_empty());
-    assert!(outcome
+    // The rejection reason is typed now — and its Display still carries the
+    // legacy "latency" message text.
+    let latency_reject = outcome
         .rejected
         .iter()
-        .any(|r| r.reason.contains("latency")), "reasons: {:?}", outcome.rejected);
+        .find(|r| matches!(r.reason, RejectReason::LatencyViolated { .. }));
+    let reject = latency_reject.unwrap_or_else(|| panic!("reasons: {:?}", outcome.rejected));
+    assert!(reject.reason.to_string().contains("latency"));
 }

@@ -1,41 +1,72 @@
 //! Reproducibility of the full flow: every random choice in the tool is
 //! seeded from configuration, so identical inputs must produce identical
-//! outputs — bit-for-bit, run after run.
+//! outputs — bit-for-bit, run after run, whatever the thread count.
 
 use sunfloor_benchmarks::{media26, pipeline_seeded, tvopd_seeded};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 
-/// Two identical `synthesize` runs on `media26` produce identical outcomes:
-/// the same feasible points (metrics, topologies, layouts) and the same
+fn run(cfg: SynthesisConfig) -> sunfloor_core::synthesis::SynthesisOutcome {
+    let bench = media26();
+    SynthesisEngine::new(&bench.soc, &bench.comm, cfg).expect("valid benchmark").run()
+}
+
+/// Two identical engine runs on `media26` produce identical outcomes: the
+/// same feasible points (metrics, topologies, layouts) and the same
 /// rejections, in the same order.
 #[test]
 fn synthesize_media26_is_deterministic() {
-    let bench = media26();
-    let cfg = SynthesisConfig {
-        switch_count_range: Some((2, 4)),
-        run_layout: true,
-        ..SynthesisConfig::default()
+    let cfg = || {
+        SynthesisConfig::builder()
+            .switch_count_range(2, 4)
+            .run_layout(true)
+            .build()
+            .unwrap()
     };
-    let first = synthesize(&bench.soc, &bench.comm, &cfg).expect("first run");
-    let second = synthesize(&bench.soc, &bench.comm, &cfg).expect("second run");
+    let first = run(cfg());
+    let second = run(cfg());
     assert_eq!(first, second, "identical configs must reproduce identical outcomes");
     assert!(!first.points.is_empty(), "media26 must yield feasible points");
+}
+
+/// A parallel sweep commits results in candidate order, so it must be
+/// bit-for-bit identical to the serial sweep — points, rejections and their
+/// ordering — for any worker count.
+#[test]
+fn parallel_sweep_on_media26_matches_serial_bit_for_bit() {
+    let cfg = |jobs: usize| {
+        SynthesisConfig::builder()
+            .switch_count_range(2, 6)
+            .run_layout(false)
+            .jobs(jobs)
+            .build()
+            .unwrap()
+    };
+    let serial = run(cfg(1));
+    assert!(!serial.points.is_empty(), "media26 must yield feasible points");
+    for jobs in [2usize, 4, 8] {
+        let parallel = run(cfg(jobs));
+        assert_eq!(
+            serial, parallel,
+            "jobs={jobs} must not change points, rejections or their order"
+        );
+    }
 }
 
 /// Changing only the config seed is allowed to change the outcome, but each
 /// seed remains self-consistent.
 #[test]
 fn synthesize_media26_seeds_are_self_consistent() {
-    let bench = media26();
     for seed in [1u64, 0xDEAD_BEEF] {
-        let cfg = SynthesisConfig {
-            switch_count_range: Some((3, 3)),
-            run_layout: false,
-            rng_seed: seed,
-            ..SynthesisConfig::default()
+        let cfg = || {
+            SynthesisConfig::builder()
+                .switch_count_range(3, 3)
+                .run_layout(false)
+                .rng_seed(seed)
+                .build()
+                .unwrap()
         };
-        let a = synthesize(&bench.soc, &bench.comm, &cfg).expect("run a");
-        let b = synthesize(&bench.soc, &bench.comm, &cfg).expect("run b");
+        let a = run(cfg());
+        let b = run(cfg());
         assert_eq!(a, b, "seed {seed:#x} must reproduce itself");
     }
 }

@@ -3,21 +3,26 @@
 //! floorplan insertion -> evaluation.
 
 use sunfloor_benchmarks::{distributed, media26};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig, SynthesisMode};
+use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine, SynthesisMode, SynthesisOutcome};
 
 fn quick(range: (usize, usize)) -> SynthesisConfig {
-    SynthesisConfig {
-        switch_count_range: Some(range),
-        switch_count_step: 1,
-        run_layout: true,
-        ..SynthesisConfig::default()
-    }
+    SynthesisConfig::builder()
+        .switch_count_range(range.0, range.1)
+        .switch_count_step(1)
+        .run_layout(true)
+        .build()
+        .unwrap()
+}
+
+fn run(soc: &SocSpec, comm: &CommSpec, cfg: SynthesisConfig) -> SynthesisOutcome {
+    SynthesisEngine::new(soc, comm, cfg).unwrap().run()
 }
 
 #[test]
 fn media26_full_flow_produces_consistent_points() {
     let bench = media26();
-    let outcome = synthesize(&bench.soc, &bench.comm, &quick((3, 6))).unwrap();
+    let outcome = run(&bench.soc, &bench.comm, quick((3, 6)));
     assert!(!outcome.points.is_empty(), "rejected: {:?}", outcome.rejected);
 
     for p in &outcome.points {
@@ -63,7 +68,7 @@ fn media26_requires_at_least_three_switches_at_400mhz() {
     // The paper: "we could only obtain valid topologies with three or more
     // switches" for D_26_media at 400 MHz (max switch size 11).
     let bench = media26();
-    let outcome = synthesize(&bench.soc, &bench.comm, &quick((1, 4))).unwrap();
+    let outcome = run(&bench.soc, &bench.comm, quick((1, 4)));
     for p in &outcome.points {
         assert!(
             p.requested_switches >= 3,
@@ -81,9 +86,8 @@ fn media26_requires_at_least_three_switches_at_400mhz() {
 #[test]
 fn distributed_flow_is_deterministic_end_to_end() {
     let bench = distributed(4);
-    let cfg = quick((3, 5));
-    let a = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
-    let b = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    let a = run(&bench.soc, &bench.comm, quick((3, 5)));
+    let b = run(&bench.soc, &bench.comm, quick((3, 5)));
     assert_eq!(a.points.len(), b.points.len());
     for (x, y) in a.points.iter().zip(&b.points) {
         assert_eq!(x.topology, y.topology);
@@ -96,7 +100,7 @@ fn power_vs_switch_count_is_u_shaped_not_flat() {
     // Figs. 10-11 show power varying with switch count with a clear best
     // point; verify the sweep produces meaningful variation.
     let bench = distributed(4);
-    let outcome = synthesize(&bench.soc, &bench.comm, &quick((2, 10))).unwrap();
+    let outcome = run(&bench.soc, &bench.comm, quick((2, 10)));
     let powers: Vec<f64> =
         outcome.points.iter().map(|p| p.metrics.power.total_mw()).collect();
     assert!(powers.len() >= 4, "rejected: {:?}", outcome.rejected);
@@ -108,7 +112,7 @@ fn power_vs_switch_count_is_u_shaped_not_flat() {
 #[test]
 fn indirect_switches_appear_only_when_needed() {
     let bench = media26();
-    let outcome = synthesize(&bench.soc, &bench.comm, &quick((4, 6))).unwrap();
+    let outcome = run(&bench.soc, &bench.comm, quick((4, 6)));
     for p in &outcome.points {
         for &s in &p.topology.indirect_switches {
             // Indirect switches host no cores.
@@ -122,14 +126,14 @@ fn phase2_fallback_engages_on_tight_budgets() {
     // With a very tight vertical budget, Phase 1 cannot deliver and Auto
     // mode must fall back to layer-by-layer Phase 2.
     let bench = distributed(4);
-    let cfg = SynthesisConfig {
-        max_ill: 6,
-        mode: SynthesisMode::Auto,
-        run_layout: false,
-        switch_count_range: Some((2, 12)),
-        ..SynthesisConfig::default()
-    };
-    let outcome = synthesize(&bench.soc, &bench.comm, &cfg).unwrap();
+    let cfg = SynthesisConfig::builder()
+        .max_ill(6)
+        .mode(SynthesisMode::Auto)
+        .run_layout(false)
+        .switch_count_range(2, 12)
+        .build()
+        .unwrap();
+    let outcome = run(&bench.soc, &bench.comm, cfg);
     for p in &outcome.points {
         assert!(p.metrics.max_inter_layer_links() <= 6);
     }

@@ -4,19 +4,20 @@
 //! zero-load number plus serialization.
 
 use sunfloor_benchmarks::{bottleneck, distributed};
-use sunfloor_core::synthesis::{synthesize, SynthesisConfig};
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 use sunfloor_sim::{SimConfig, Simulator};
 
 fn synth_best(
     bench: &sunfloor_benchmarks::Benchmark,
 ) -> sunfloor_core::synthesis::DesignPoint {
-    let cfg = SynthesisConfig {
-        run_layout: false,
-        switch_count_range: Some((2, 8)),
-        ..SynthesisConfig::default()
-    };
-    synthesize(&bench.soc, &bench.comm, &cfg)
+    let cfg = SynthesisConfig::builder()
+        .run_layout(false)
+        .switch_count_range(2, 8)
+        .build()
+        .unwrap();
+    SynthesisEngine::new(&bench.soc, &bench.comm, cfg)
         .unwrap()
+        .run()
         .best_power()
         .expect("feasible point")
         .clone()
