@@ -8,8 +8,11 @@ use std::hint::black_box;
 use sunfloor_baselines::{optimized_mesh, MeshConfig};
 use sunfloor_benchmarks::{distributed, media26};
 use sunfloor_core::graph::CommGraph;
+use sunfloor_core::paths::{PathAllocator, PathConfig};
 use sunfloor_core::phase1;
-use sunfloor_floorplan::{insert_components, Block, InsertRequest, PlacedBlock};
+use sunfloor_floorplan::{
+    anneal, insert_components, AnnealConfig, Block, InsertRequest, Net, PlacedBlock,
+};
 use sunfloor_lp::PlacementProblem;
 use sunfloor_models::NocLibrary;
 use sunfloor_partition::PartitionConfig;
@@ -86,6 +89,65 @@ fn bench_phase1_connectivity(c: &mut Criterion) {
     });
 }
 
+/// The indexed routing core: one full flow-routing pass per iteration with
+/// a reused [`PathAllocator`], the per-candidate hot path of the sweep.
+fn bench_router(c: &mut Criterion) {
+    let bench = media26();
+    let graph = CommGraph::new(&bench.soc, &bench.comm);
+    let lib = NocLibrary::lp65();
+    let core_layers: Vec<u32> = bench.soc.cores.iter().map(|c| c.layer).collect();
+    let mut group = c.benchmark_group("route_flows_media26");
+    for k in [4usize, 8] {
+        let conn =
+            phase1::connectivity(&graph, &bench.soc, k, 0.6, None, 15.0, 0xC0FFEE).unwrap();
+        let cfg = PathConfig::new(25, lib.switch.max_size_for_frequency(400.0), 400.0);
+        let mut alloc = PathAllocator::new();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                alloc
+                    .compute_paths(
+                        black_box(&graph),
+                        &conn.core_attach,
+                        &conn.switch_layer,
+                        &conn.est_positions,
+                        &core_layers,
+                        bench.soc.layers,
+                        &lib,
+                        &cfg,
+                        0.6,
+                    )
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The clone-free simulated annealer: mutate-and-undo moves, cached per-net
+/// bounding boxes and a reused packing scratch.
+fn bench_annealer(c: &mut Criterion) {
+    let blocks: Vec<Block> = (0..20)
+        .map(|i| {
+            Block::new(
+                format!("b{i}"),
+                1.0 + f64::from(i % 4) * 0.7,
+                1.0 + f64::from(i % 3) * 0.9,
+            )
+        })
+        .collect();
+    let nets: Vec<Net> =
+        (0..10).map(|i| Net::two_pin(i, (i + 7) % 20, 1.0 + i as f64)).collect();
+    let mut group = c.benchmark_group("anneal_20blocks");
+    group.sample_size(10);
+    for iters in [5_000u32, 30_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let cfg = AnnealConfig::default().with_iterations(iters).with_seed(42);
+            b.iter(|| anneal(black_box(&blocks), &nets, &cfg));
+        });
+    }
+    group.finish();
+}
+
 fn bench_mesh_mapping(c: &mut Criterion) {
     let bench = distributed(4);
     let lib = NocLibrary::lp65();
@@ -101,6 +163,8 @@ criterion_group!(
     bench_placement_lp,
     bench_insertion,
     bench_phase1_connectivity,
+    bench_router,
+    bench_annealer,
     bench_mesh_mapping
 );
 criterion_main!(benches);

@@ -35,7 +35,10 @@ fn main() -> ExitCode {
     // Expand `all` into one pass per experiment family so artifacts stream
     // out as each family completes (the media figures share one sweep).
     let ids: Vec<&str> = if ids.contains(&"all") {
-        vec!["fig1", "media", "tab1", "fig17", "ill", "fig23", "fig18", "floorplans", "runtime"]
+        vec![
+            "fig1", "media", "tab1", "fig17", "ill", "fig23", "fig18", "floorplans", "runtime",
+            "bench",
+        ]
     } else {
         ids
     };

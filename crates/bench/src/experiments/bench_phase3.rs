@@ -1,0 +1,173 @@
+//! The `bench` experiment: wall-clock measurements of the synthesis hot
+//! paths, written as a `BENCH_phase3.json` artifact so the repository's
+//! performance trajectory is tracked in-tree and future optimization PRs
+//! have a recorded baseline to beat.
+//!
+//! Measured on the `D_26_media` case study:
+//!
+//! * the full design-space sweep (`sweep_parallel` shape: switch counts
+//!   2–10, serial and fanned out over every core),
+//! * one flow-routing pass through the indexed [`PathAllocator`] core
+//!   (reported as flows routed per second),
+//! * one Phase-1 min-cut partition,
+//! * one switch-placement LP solve,
+//! * a 20-block simulated-annealing floorplanning run (reported as SA
+//!   iterations per second).
+
+use crate::{Artifact, Effort};
+use std::fmt::Write as _;
+use std::time::Instant;
+use sunfloor_benchmarks::media26;
+use sunfloor_core::graph::CommGraph;
+use sunfloor_core::paths::{PathAllocator, PathConfig};
+use sunfloor_core::phase1;
+use sunfloor_core::place::place_switches;
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
+use sunfloor_floorplan::{anneal, AnnealConfig, Block, Net};
+use sunfloor_models::NocLibrary;
+
+/// File the measurements are persisted to (repo root when run via
+/// `cargo run -p sunfloor-bench --bin experiments -- bench`).
+pub const BENCH_ARTIFACT_PATH: &str = "BENCH_phase3.json";
+
+/// Times `f` over `reps` repetitions (after one warm-up call) and returns
+/// seconds per repetition.
+fn time_per_rep<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+/// Runs the hot-path measurements and writes [`BENCH_ARTIFACT_PATH`].
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn bench_phase3(effort: Effort) -> Artifact {
+    let (sweep_reps, route_reps, sa_iters) = match effort {
+        Effort::Quick => (1u32, 20u32, 5_000u32),
+        Effort::Full => (3, 200, 30_000),
+    };
+    let bench = media26();
+    let graph = CommGraph::new(&bench.soc, &bench.comm);
+    let lib = NocLibrary::lp65();
+    let core_layers: Vec<u32> = bench.soc.cores.iter().map(|c| c.layer).collect();
+    let jobs = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+
+    // Full sweep, serial and parallel (the `sweep_parallel` criterion
+    // shape: switch counts 2–10 at 400 MHz, no layout).
+    let sweep_cfg = |jobs: usize| {
+        SynthesisConfig::builder()
+            .switch_count_range(2, 10)
+            .run_layout(false)
+            .jobs(jobs)
+            .build()
+            .expect("valid sweep config")
+    };
+    let serial_engine =
+        SynthesisEngine::new(&bench.soc, &bench.comm, sweep_cfg(1)).expect("valid benchmark");
+    let candidates = serial_engine.candidates().len();
+    let sweep_serial_s = time_per_rep(sweep_reps, || serial_engine.run());
+    let parallel_engine =
+        SynthesisEngine::new(&bench.soc, &bench.comm, sweep_cfg(jobs)).expect("valid benchmark");
+    let sweep_parallel_s = time_per_rep(sweep_reps, || parallel_engine.run());
+
+    // Phase-1 partition and one routing pass at 8 switches.
+    let partition_s = time_per_rep(route_reps, || {
+        phase1::connectivity(&graph, &bench.soc, 8, 0.6, None, 15.0, 0xC0FFEE).unwrap()
+    });
+    let conn = phase1::connectivity(&graph, &bench.soc, 8, 0.6, None, 15.0, 0xC0FFEE).unwrap();
+    let path_cfg = PathConfig::new(25, lib.switch.max_size_for_frequency(400.0), 400.0);
+    let mut alloc = PathAllocator::new();
+    let route_s = time_per_rep(route_reps, || {
+        alloc
+            .compute_paths(
+                &graph,
+                &conn.core_attach,
+                &conn.switch_layer,
+                &conn.est_positions,
+                &core_layers,
+                bench.soc.layers,
+                &lib,
+                &path_cfg,
+                0.6,
+            )
+            .unwrap()
+    });
+    let flows = graph.edge_list().len();
+    let flows_per_s = flows as f64 / route_s;
+
+    // Switch-placement LP on the routed topology.
+    let routed = alloc
+        .compute_paths(
+            &graph,
+            &conn.core_attach,
+            &conn.switch_layer,
+            &conn.est_positions,
+            &core_layers,
+            bench.soc.layers,
+            &lib,
+            &path_cfg,
+            0.6,
+        )
+        .unwrap();
+    let place_s = time_per_rep(route_reps, || {
+        let mut topo = routed.clone();
+        place_switches(&mut topo, &bench.soc, &graph).unwrap();
+        topo
+    });
+
+    // Sequence-pair simulated annealing (the floorplanner role).
+    let blocks: Vec<Block> = (0..20)
+        .map(|i| {
+            Block::new(
+                format!("b{i}"),
+                1.0 + f64::from(i % 4) * 0.7,
+                1.0 + f64::from(i % 3) * 0.9,
+            )
+        })
+        .collect();
+    let nets: Vec<Net> = (0..10).map(|i| Net::two_pin(i, (i + 7) % 20, 1.0 + i as f64)).collect();
+    let sa_cfg = AnnealConfig::default().with_iterations(sa_iters).with_seed(42);
+    let sa_s = time_per_rep(3, || anneal(&blocks, &nets, &sa_cfg));
+    let sa_iters_per_s = f64::from(sa_iters) / sa_s;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"phase\": 3,");
+    let _ = writeln!(json, "  \"benchmark\": \"media26\",");
+    let _ = writeln!(
+        json,
+        "  \"effort\": \"{}\",",
+        if effort == Effort::Quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"sweep\": {{");
+    let _ = writeln!(json, "    \"candidates\": {candidates},");
+    let _ = writeln!(json, "    \"serial_s\": {sweep_serial_s:.6},");
+    let _ = writeln!(json, "    \"parallel_s\": {sweep_parallel_s:.6},");
+    let _ = writeln!(json, "    \"jobs\": {jobs}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"partition_phase1_k8_s\": {partition_s:.9},");
+    let _ = writeln!(json, "  \"routing\": {{");
+    let _ = writeln!(json, "    \"flows\": {flows},");
+    let _ = writeln!(json, "    \"per_pass_s\": {route_s:.9},");
+    let _ = writeln!(json, "    \"flows_per_s\": {flows_per_s:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"placement_lp_k8_s\": {place_s:.9},");
+    let _ = writeln!(json, "  \"annealer\": {{");
+    let _ = writeln!(json, "    \"iterations\": {sa_iters},");
+    let _ = writeln!(json, "    \"per_run_s\": {sa_s:.6},");
+    let _ = writeln!(json, "    \"iterations_per_s\": {sa_iters_per_s:.0}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(BENCH_ARTIFACT_PATH, &json) {
+        eprintln!("warning: could not write {BENCH_ARTIFACT_PATH}: {e}");
+    }
+
+    Artifact::Text {
+        id: "bench_phase3".to_string(),
+        title: "Hot-path wall-clock baseline (media26)".to_string(),
+        body: json,
+    }
+}

@@ -197,6 +197,37 @@ impl CommGraph {
     pub fn edge_list(&self) -> &[CommEdge] {
         &self.edges
     }
+
+    /// Flow indices in decreasing Definition-3 criticality (ties broken by
+    /// flow index, so the order is deterministic) — the routing order of
+    /// §VI.
+    #[must_use]
+    pub fn flows_by_criticality(&self, alpha: f64) -> Vec<usize> {
+        let mut order = Vec::new();
+        let mut weights = Vec::new();
+        self.flows_by_criticality_into(alpha, &mut order, &mut weights);
+        order
+    }
+
+    /// [`Self::flows_by_criticality`] into caller-provided buffers (`order`
+    /// receives the result; `weights` is pure scratch), so hot loops — the
+    /// per-candidate router — reuse both allocations.
+    pub fn flows_by_criticality_into(
+        &self,
+        alpha: f64,
+        order: &mut Vec<usize>,
+        weights: &mut Vec<f64>,
+    ) {
+        order.clear();
+        order.extend(0..self.edges.len());
+        // Weights are precomputed once: the comparator runs O(n log n)
+        // times and `edge_weight` is not free.
+        weights.clear();
+        weights.extend(
+            self.edges.iter().map(|e| self.edge_weight(e.bandwidth_mbs, e.latency_cycles, alpha)),
+        );
+        order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+    }
 }
 
 #[cfg(test)]

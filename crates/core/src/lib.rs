@@ -89,13 +89,11 @@ pub mod topology;
 pub use eval::{evaluate, DesignMetrics, PowerBreakdown};
 pub use graph::{CommEdge, CommGraph};
 pub use layout::{layout_design, Layout};
-pub use paths::{compute_paths, PathConfig, PathError};
+pub use paths::{compute_paths, PathAllocator, PathConfig, PathError};
 pub use spec::{CommSpec, Core, Flow, MessageType, SocSpec, SpecError};
 pub use synthesis::{
     Candidate, ConfigError, DesignPoint, Parallelism, PhaseKind, RejectReason, RejectedPoint,
     StopPolicy, SweepEvent, SweepObserver, SweepParam, SynthesisConfig, SynthesisConfigBuilder,
     SynthesisEngine, SynthesisError, SynthesisMode, SynthesisOutcome,
 };
-#[allow(deprecated)]
-pub use synthesis::synthesize;
 pub use topology::{FlowPath, Link, Topology};

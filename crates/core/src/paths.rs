@@ -21,11 +21,23 @@
 //! link-to-link dependencies keep the class CDG acyclic. When a path would
 //! close a cycle, the offending turn is banned for the flow and routing is
 //! retried.
+//!
+//! # Performance
+//!
+//! Routing sits on the per-candidate hot path of the design-space sweep, so
+//! the router is written to be allocation-free across candidate
+//! evaluations: a reusable [`PathAllocator`] owns every scratch structure —
+//! generation-stamped Dijkstra state, the dense per-class link index, the
+//! pairwise distance matrix, the banned-turn matrix and the incremental
+//! cycle-detection state — and only grows them monotonically. Cycle checks
+//! use Pearce–Kelly incremental topological-order maintenance, so inserting
+//! one dependency edge costs near-constant amortized time instead of a
+//! from-scratch DFS over the whole CDG.
 
 use crate::graph::CommGraph;
 use crate::spec::MessageType;
 use crate::topology::{FlowPath, Link, Topology};
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 use sunfloor_models::NocLibrary;
@@ -132,12 +144,297 @@ impl fmt::Display for PathError {
 
 impl Error for PathError {}
 
+/// Dijkstra heap entry.
+///
+/// The ordering is *total* — costs compare with [`f64::total_cmp`], never a
+/// `partial_cmp(..).unwrap()` — so a degenerate edge cost (NaN from a
+/// pathological power model input) re-orders the heap instead of panicking
+/// the sweep.
+#[derive(Debug, PartialEq)]
+struct HeapEntry(f64, usize);
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.total_cmp(&self.0) // reverse: min-heap
+    }
+}
+
+/// Per-message-class channel-dependency graph with incremental cycle
+/// detection (Pearce–Kelly topological-order maintenance).
+///
+/// Nodes are *stable link indices* (tombstoned links keep their slot).
+/// Inserting the edge `a → b` either confirms the graph stays acyclic —
+/// restoring the topological-order invariant by re-ranking only the
+/// affected region — or reports the cycle without modifying the graph.
+#[derive(Debug, Default)]
+struct ClassCdg {
+    /// Out-edges per node.
+    adj: Vec<Vec<usize>>,
+    /// In-edges per node (needed for the backward half of the re-rank).
+    radj: Vec<Vec<usize>>,
+    /// Topological rank of each node: `ord[u] < ord[v]` for every edge
+    /// `u → v`.
+    ord: Vec<usize>,
+    /// Live node count this routing run (`adj`/`radj`/`ord` beyond it are
+    /// stale capacity from earlier runs).
+    nodes: usize,
+    /// DFS visit stamps (generation-tagged so clearing is O(1)).
+    mark: Vec<u32>,
+    mark_gen: u32,
+    /// Scratch: forward/backward affected sets and the DFS stack.
+    fwd: Vec<usize>,
+    back: Vec<usize>,
+    stack: Vec<usize>,
+    pool: Vec<usize>,
+}
+
+impl ClassCdg {
+    /// Resets to an empty graph, keeping every allocation.
+    fn clear(&mut self) {
+        for list in &mut self.adj[..self.nodes] {
+            list.clear();
+        }
+        for list in &mut self.radj[..self.nodes] {
+            list.clear();
+        }
+        self.nodes = 0;
+    }
+
+    /// Makes sure node `v` exists; new nodes are appended at the end of the
+    /// topological order (they have no edges yet, so any rank is valid).
+    fn ensure_node(&mut self, v: usize) {
+        while self.nodes <= v {
+            if self.adj.len() <= self.nodes {
+                self.adj.push(Vec::new());
+                self.radj.push(Vec::new());
+                self.ord.push(0);
+                self.mark.push(0);
+            }
+            self.adj[self.nodes].clear();
+            self.radj[self.nodes].clear();
+            self.ord[self.nodes] = self.nodes;
+            self.nodes += 1;
+        }
+    }
+
+    /// Inserts `a → b`. Returns `Ok(true)` when the edge was added,
+    /// `Ok(false)` when it was already present, and `Err(())` (leaving the
+    /// graph untouched) when the insertion would close a cycle.
+    fn insert(&mut self, a: usize, b: usize) -> Result<bool, ()> {
+        self.ensure_node(a.max(b));
+        if a == b {
+            return Err(());
+        }
+        if self.adj[a].contains(&b) {
+            return Ok(false);
+        }
+        if self.ord[a] < self.ord[b] {
+            self.adj[a].push(b);
+            self.radj[b].push(a);
+            return Ok(true);
+        }
+
+        // ord[b] < ord[a]: the affected region is every node ranked in
+        // [ord[b], ord[a]]. Forward-reachable nodes from `b` inside it must
+        // move after backward-reaching nodes of `a`.
+        let lb = self.ord[b];
+        let ub = self.ord[a];
+
+        // Forward DFS from b, restricted to ord <= ub. Reaching `a` means
+        // b →* a exists, so a → b closes a cycle.
+        self.mark_gen += 1;
+        let fwd_gen = self.mark_gen;
+        self.fwd.clear();
+        self.stack.clear();
+        self.stack.push(b);
+        self.mark[b] = fwd_gen;
+        while let Some(u) = self.stack.pop() {
+            if u == a {
+                return Err(());
+            }
+            self.fwd.push(u);
+            for i in 0..self.adj[u].len() {
+                let w = self.adj[u][i];
+                if self.mark[w] != fwd_gen && self.ord[w] <= ub {
+                    self.mark[w] = fwd_gen;
+                    self.stack.push(w);
+                }
+            }
+        }
+
+        // Backward DFS from a, restricted to ord >= lb.
+        self.mark_gen += 1;
+        let back_gen = self.mark_gen;
+        self.back.clear();
+        self.stack.clear();
+        self.stack.push(a);
+        self.mark[a] = back_gen;
+        while let Some(u) = self.stack.pop() {
+            self.back.push(u);
+            for i in 0..self.radj[u].len() {
+                let w = self.radj[u][i];
+                if self.mark[w] != back_gen && self.ord[w] >= lb {
+                    self.mark[w] = back_gen;
+                    self.stack.push(w);
+                }
+            }
+        }
+
+        // Re-rank: the union of ranks held by both sets, redistributed so
+        // every backward node precedes every forward node, preserving the
+        // relative order inside each set.
+        self.back.sort_unstable_by_key(|&v| self.ord[v]);
+        self.fwd.sort_unstable_by_key(|&v| self.ord[v]);
+        self.pool.clear();
+        self.pool.extend(self.back.iter().map(|&v| self.ord[v]));
+        self.pool.extend(self.fwd.iter().map(|&v| self.ord[v]));
+        self.pool.sort_unstable();
+        for (slot, &v) in self.back.iter().chain(self.fwd.iter()).enumerate() {
+            self.ord[v] = self.pool[slot];
+        }
+
+        self.adj[a].push(b);
+        self.radj[b].push(a);
+        Ok(true)
+    }
+
+    /// Removes the edge `a → b` (used to roll back a rejected path's
+    /// dependencies). The topological order stays valid: deleting edges
+    /// never invalidates it.
+    fn remove(&mut self, a: usize, b: usize) {
+        if let Some(p) = self.adj[a].iter().rposition(|&w| w == b) {
+            self.adj[a].swap_remove(p);
+        }
+        if let Some(p) = self.radj[b].iter().rposition(|&w| w == a) {
+            self.radj[b].swap_remove(p);
+        }
+    }
+}
+
+/// Reusable routing workspace: every scratch structure the router needs,
+/// kept alive across candidate evaluations so the per-candidate hot path
+/// performs no allocation beyond the returned [`Topology`] itself.
+///
+/// One allocator per thread; the synthesis engine hands each sweep worker
+/// its own. The convenience free function [`compute_paths`] creates a
+/// throwaway allocator for one-off calls.
+#[derive(Debug, Default)]
+pub struct PathAllocator {
+    // Dijkstra scratch (generation-stamped: resetting is O(1)).
+    dist: Vec<f64>,
+    prev: Vec<usize>,
+    dij_stamp: Vec<u32>,
+    dij_gen: u32,
+    heap: BinaryHeap<HeapEntry>,
+    // Dense per-class live-link index: `link_of[(class·n + u)·n + v]` is the
+    // link slot or `usize::MAX`.
+    link_of: Vec<usize>,
+    // Pairwise Manhattan distances between switch position estimates.
+    dist_mat: Vec<f64>,
+    // Banned turns for the current flow attempt (generation-stamped).
+    banned: Vec<u32>,
+    banned_gen: u32,
+    // Per-class CDGs with incremental cycle detection.
+    cdg: [ClassCdg; 2],
+    // Per-run budgets.
+    ill: Vec<u32>,
+    in_ports: Vec<u32>,
+    out_ports: Vec<u32>,
+    // Flow routing order (plus its weight scratch) and link-id scratch.
+    order: Vec<usize>,
+    weights: Vec<f64>,
+    link_ids: Vec<usize>,
+    cdg_added: Vec<(usize, usize)>,
+}
+
+impl PathAllocator {
+    /// A fresh allocator with empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the switch-indexed scratch to `nsw` switches and resets the
+    /// per-run state.
+    fn reset(&mut self, nsw: usize, boundaries: usize) {
+        if self.dist.len() < nsw {
+            self.dist.resize(nsw, f64::INFINITY);
+            self.prev.resize(nsw, usize::MAX);
+            self.dij_stamp.resize(nsw, 0);
+        }
+        self.link_of.clear();
+        self.link_of.resize(2 * nsw * nsw, usize::MAX);
+        self.dist_mat.clear();
+        self.dist_mat.resize(nsw * nsw, 0.0);
+        if self.banned.len() < nsw * nsw {
+            self.banned.resize(nsw * nsw, 0);
+        }
+        for cdg in &mut self.cdg {
+            cdg.clear();
+        }
+        self.ill.clear();
+        self.ill.resize(boundaries, 0);
+        self.in_ports.clear();
+        self.in_ports.resize(nsw, 0);
+        self.out_ports.clear();
+        self.out_ports.resize(nsw, 0);
+    }
+
+    /// Routes all flows over the switches, producing a complete
+    /// [`Topology`] — the reusable-workspace form of [`compute_paths`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError`] when any flow cannot be routed within the hard
+    /// constraints or without deadlock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_paths(
+        &mut self,
+        graph: &CommGraph,
+        core_attach: &[usize],
+        switch_layer: &[u32],
+        est_switch_pos: &[(f64, f64)],
+        core_layers: &[u32],
+        layers: u32,
+        lib: &NocLibrary,
+        cfg: &PathConfig,
+        alpha: f64,
+    ) -> Result<Topology, PathError> {
+        let mut router = Router::new(
+            self,
+            graph,
+            core_attach,
+            switch_layer,
+            est_switch_pos,
+            core_layers,
+            layers,
+            lib,
+            cfg,
+        )?;
+        router.route_all(alpha)?;
+        Ok(router.finish())
+    }
+}
+
 /// Routes all flows over the switches, producing a complete [`Topology`].
 ///
 /// `switch_layer` and `core_attach` come from Phase 1 / Phase 2
 /// partitioning; `est_switch_pos` are position estimates (core-centroid
 /// based) used for link-power costs before the placement LP runs;
 /// `core_layers` gives each core's 3-D layer and `layers` the stack height.
+///
+/// Creates a throwaway [`PathAllocator`]; callers routing many candidates
+/// (the synthesis engine's sweep workers) keep one allocator per thread and
+/// call [`PathAllocator::compute_paths`] instead so scratch memory is
+/// reused.
 ///
 /// # Errors
 ///
@@ -155,7 +452,7 @@ pub fn compute_paths(
     cfg: &PathConfig,
     alpha: f64,
 ) -> Result<Topology, PathError> {
-    let mut router = Router::new(
+    PathAllocator::new().compute_paths(
         graph,
         core_attach,
         switch_layer,
@@ -164,32 +461,35 @@ pub fn compute_paths(
         layers,
         lib,
         cfg,
-    )?;
-    router.route_all(alpha)?;
-    Ok(router.finish())
+        alpha,
+    )
+}
+
+fn class_index(class: MessageType) -> usize {
+    match class {
+        MessageType::Request => 0,
+        MessageType::Response => 1,
+    }
 }
 
 struct Router<'a> {
+    alloc: &'a mut PathAllocator,
     graph: &'a CommGraph,
     lib: &'a NocLibrary,
     cfg: &'a PathConfig,
     topo: Topology,
-    /// Crossings used per adjacent-layer boundary.
-    ill: Vec<u32>,
-    in_ports: Vec<u32>,
-    out_ports: Vec<u32>,
-    /// Live links indexed by (from, to, class).
-    link_of: HashMap<(usize, usize, MessageType), usize>,
-    /// CDG per message class over *stable* link indices (dead links keep
-    /// their slot as tombstones until `finish`).
-    cdg: HashMap<MessageType, HashSet<(usize, usize)>>,
+    nsw: usize,
     capacity_gbps: f64,
     soft_inf: f64,
+    /// Marginal port power of opening a new link (frequency-dependent,
+    /// identical for every edge).
+    new_port_cost: f64,
 }
 
 impl<'a> Router<'a> {
     #[allow(clippy::too_many_arguments)]
     fn new(
+        alloc: &'a mut PathAllocator,
         graph: &'a CommGraph,
         core_attach: &[usize],
         switch_layer: &[u32],
@@ -201,6 +501,7 @@ impl<'a> Router<'a> {
     ) -> Result<Self, PathError> {
         let nsw = switch_layer.len();
         let boundaries = layers.saturating_sub(1) as usize;
+        alloc.reset(nsw, boundaries);
         let topo = Topology {
             switch_layer: switch_layer.to_vec(),
             switch_pos: est_switch_pos.to_vec(),
@@ -212,17 +513,16 @@ impl<'a> Router<'a> {
 
         // Vertical budget consumed by core attachments, counted up front
         // (pruning rule 3 of §V-C).
-        let mut ill = vec![0u32; boundaries];
         for (core, &sw) in core_attach.iter().enumerate() {
             let (cl, sl) = (core_layers[core], switch_layer[sw]);
             let (lo, hi) = if cl <= sl { (cl, sl) } else { (sl, cl) };
             for b in lo..hi {
                 // One TSV macro per boundary: the NI bundles both
                 // directions of the attachment through it (§III).
-                ill[b as usize] += 1;
+                alloc.ill[b as usize] += 1;
             }
         }
-        for (b, &used) in ill.iter().enumerate() {
+        for (b, &used) in alloc.ill.iter().enumerate() {
             if used > cfg.max_ill {
                 return Err(PathError::IllBudgetExhausted {
                     boundary: b,
@@ -232,13 +532,11 @@ impl<'a> Router<'a> {
             }
         }
 
-        let mut in_ports = vec![0u32; nsw];
-        let mut out_ports = vec![0u32; nsw];
         for &sw in core_attach {
-            in_ports[sw] += 1;
-            out_ports[sw] += 1;
+            alloc.in_ports[sw] += 1;
+            alloc.out_ports[sw] += 1;
         }
-        for (s, (&ip, &op)) in in_ports.iter().zip(&out_ports).enumerate() {
+        for (s, (&ip, &op)) in alloc.in_ports.iter().zip(&alloc.out_ports).enumerate() {
             let needed = ip.max(op);
             if needed > cfg.max_switch_size {
                 return Err(PathError::SwitchTooSmall {
@@ -251,48 +549,58 @@ impl<'a> Router<'a> {
 
         let capacity_gbps = lib.link.capacity_gbps(cfg.frequency_mhz);
 
-        // SOFT_INF = ten times the maximum cost of any flow (§VI): bound the
-        // flow cost by routing the heaviest flow over the placement diameter.
+        // Pairwise Manhattan distances between position estimates, and the
+        // placement diameter for the SOFT_INF bound below.
         let mut max_d = 1.0f64;
-        for a in est_switch_pos {
-            for b in est_switch_pos {
-                max_d = max_d.max((a.0 - b.0).abs() + (a.1 - b.1).abs());
+        for (u, a) in est_switch_pos.iter().enumerate() {
+            for (v, b) in est_switch_pos.iter().enumerate() {
+                let d = (a.0 - b.0).abs() + (a.1 - b.1).abs();
+                alloc.dist_mat[u * nsw + v] = d;
+                max_d = max_d.max(d);
             }
         }
+
+        // SOFT_INF = ten times the maximum cost of any flow (§VI): bound the
+        // flow cost by routing the heaviest flow over the placement diameter.
         let max_bw = graph.max_bandwidth_mbs() * 8.0 / 1000.0;
         let max_flow_cost = lib.link.power_mw(max_d, max_bw, cfg.frequency_mhz)
             + lib.switch.power_mw(4, 4, max_bw, cfg.frequency_mhz);
         let soft_inf = 10.0 * max_flow_cost;
 
+        let new_port_cost = 2.0
+            * (lib.switch.dyn_mw_per_port_mhz * cfg.frequency_mhz + lib.switch.leak_mw_per_port);
+
         Ok(Self {
+            alloc,
             graph,
             lib,
             cfg,
             topo,
-            ill,
-            in_ports,
-            out_ports,
-            link_of: HashMap::new(),
-            cdg: HashMap::new(),
+            nsw,
             capacity_gbps,
             soft_inf,
+            new_port_cost,
         })
     }
 
-    fn route_all(&mut self, alpha: f64) -> Result<(), PathError> {
-        // Decreasing criticality; ties broken by flow index for determinism.
-        let mut order: Vec<usize> = (0..self.graph.edge_list().len()).collect();
-        order.sort_by(|&a, &b| {
-            let ea = &self.graph.edge_list()[a];
-            let eb = &self.graph.edge_list()[b];
-            let wa = self.graph.edge_weight(ea.bandwidth_mbs, ea.latency_cycles, alpha);
-            let wb = self.graph.edge_weight(eb.bandwidth_mbs, eb.latency_cycles, alpha);
-            wb.total_cmp(&wa).then(a.cmp(&b))
-        });
+    fn live_link(&self, u: usize, v: usize, class: MessageType) -> Option<usize> {
+        let li = self.alloc.link_of[(class_index(class) * self.nsw + u) * self.nsw + v];
+        (li != usize::MAX).then_some(li)
+    }
 
-        for idx in order {
-            self.route_flow(idx)?;
+    fn route_all(&mut self, alpha: f64) -> Result<(), PathError> {
+        let mut order = std::mem::take(&mut self.alloc.order);
+        let mut weights = std::mem::take(&mut self.alloc.weights);
+        self.graph.flows_by_criticality_into(alpha, &mut order, &mut weights);
+        self.alloc.weights = weights;
+        for i in 0..order.len() {
+            let idx = order[i];
+            if let Err(e) = self.route_flow(idx) {
+                self.alloc.order = order;
+                return Err(e);
+            }
         }
+        self.alloc.order = order;
         Ok(())
     }
 
@@ -307,9 +615,10 @@ impl<'a> Router<'a> {
             return Ok(());
         }
 
-        let mut banned_turns: HashSet<(usize, usize)> = HashSet::new();
+        // Fresh banned-turn set for this flow: bump the generation.
+        self.alloc.banned_gen += 1;
         for attempt in 0..=self.cfg.deadlock_retries {
-            let Some(path) = self.dijkstra(s_sw, d_sw, bw_gbps, e.class, &banned_turns) else {
+            let Some(path) = self.dijkstra(s_sw, d_sw, bw_gbps, e.class) else {
                 return if attempt == 0 {
                     Err(PathError::NoRoute { flow: flow_idx })
                 } else {
@@ -317,19 +626,15 @@ impl<'a> Router<'a> {
                 };
             };
 
-            let link_ids = self.realize_links(&path, e.class, bw_gbps, flow_idx);
-            let deps: Vec<(usize, usize)> = link_ids.windows(2).map(|w| (w[0], w[1])).collect();
-
-            if let Some(bad) = self.first_cycle_closing_dep(e.class, &deps) {
+            self.realize_links(&path, e.class, bw_gbps, flow_idx);
+            if let Some(bad_second) = self.try_insert_deps(e.class) {
+                let link_ids = std::mem::take(&mut self.alloc.link_ids);
                 self.unrealize_flow(flow_idx, &link_ids, bw_gbps);
+                self.alloc.link_ids = link_ids;
                 // Ban the second leg of the offending turn.
-                let (_, b) = bad;
-                banned_turns.insert((self.topo.links[b].from, self.topo.links[b].to));
+                let link = &self.topo.links[bad_second];
+                self.alloc.banned[link.from * self.nsw + link.to] = self.alloc.banned_gen;
                 continue;
-            }
-            let class_cdg = self.cdg.entry(e.class).or_default();
-            for d in deps {
-                class_cdg.insert(d);
             }
             self.topo.flow_paths[flow_idx] = FlowPath { switches: path };
             return Ok(());
@@ -337,63 +642,86 @@ impl<'a> Router<'a> {
         Err(PathError::DeadlockUnavoidable { flow: flow_idx })
     }
 
+    /// Inserts the current path's link-to-link dependencies (held in
+    /// `alloc.link_ids`) into the class CDG one at a time. On the first
+    /// dependency that would close a cycle, rolls the batch back and returns
+    /// the *second* link of the offending turn.
+    fn try_insert_deps(&mut self, class: MessageType) -> Option<usize> {
+        let ci = class_index(class);
+        let mut added = std::mem::take(&mut self.alloc.cdg_added);
+        added.clear();
+        let mut bad = None;
+        for i in 1..self.alloc.link_ids.len() {
+            let (a, b) = (self.alloc.link_ids[i - 1], self.alloc.link_ids[i]);
+            match self.alloc.cdg[ci].insert(a, b) {
+                Ok(true) => added.push((a, b)),
+                Ok(false) => {}
+                Err(()) => {
+                    bad = Some(b);
+                    break;
+                }
+            }
+        }
+        if bad.is_some() {
+            for &(a, b) in added.iter().rev() {
+                self.alloc.cdg[ci].remove(a, b);
+            }
+        }
+        self.alloc.cdg_added = added;
+        bad
+    }
+
     fn dijkstra(
-        &self,
+        &mut self,
         src: usize,
         dst: usize,
         bw_gbps: f64,
         class: MessageType,
-        banned_turns: &HashSet<(usize, usize)>,
     ) -> Option<Vec<usize>> {
-        #[derive(PartialEq)]
-        struct Entry(f64, usize);
-        impl Eq for Entry {}
-        impl PartialOrd for Entry {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Entry {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                other.0.total_cmp(&self.0) // reverse: min-heap
-            }
-        }
+        let nsw = self.nsw;
+        // Generation-stamped reset: untouched entries read as INFINITY.
+        self.alloc.dij_gen += 1;
+        let gen = self.alloc.dij_gen;
+        self.alloc.dist[src] = 0.0;
+        self.alloc.prev[src] = usize::MAX;
+        self.alloc.dij_stamp[src] = gen;
+        self.alloc.heap.clear();
+        self.alloc.heap.push(HeapEntry(0.0, src));
 
-        let nsw = self.topo.switch_count();
-        let mut dist = vec![f64::INFINITY; nsw];
-        let mut prev = vec![usize::MAX; nsw];
-        dist[src] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(Entry(0.0, src));
-
-        while let Some(Entry(d, u)) = heap.pop() {
-            if d > dist[u] {
+        while let Some(HeapEntry(d, u)) = self.alloc.heap.pop() {
+            if d > self.alloc.dist[u] {
                 continue;
             }
             if u == dst {
                 break;
             }
             for v in 0..nsw {
-                if v == u || banned_turns.contains(&(u, v)) {
+                if v == u || self.alloc.banned[u * nsw + v] == self.alloc.banned_gen {
                     continue;
                 }
                 let Some(cost) = self.edge_cost(u, v, bw_gbps, class) else { continue };
                 let nd = d + cost;
-                if nd + 1e-15 < dist[v] {
-                    dist[v] = nd;
-                    prev[v] = u;
-                    heap.push(Entry(nd, v));
+                let dv = if self.alloc.dij_stamp[v] == gen {
+                    self.alloc.dist[v]
+                } else {
+                    f64::INFINITY
+                };
+                if nd + 1e-15 < dv {
+                    self.alloc.dist[v] = nd;
+                    self.alloc.prev[v] = u;
+                    self.alloc.dij_stamp[v] = gen;
+                    self.alloc.heap.push(HeapEntry(nd, v));
                 }
             }
         }
 
-        if !dist[dst].is_finite() {
+        if self.alloc.dij_stamp[dst] != gen || !self.alloc.dist[dst].is_finite() {
             return None;
         }
         let mut path = vec![dst];
         let mut cur = dst;
         while cur != src {
-            cur = prev[cur];
+            cur = self.alloc.prev[cur];
             path.push(cur);
         }
         path.reverse();
@@ -410,14 +738,13 @@ impl<'a> Router<'a> {
             return None; // Algorithm 3 step 3
         }
 
-        let dx = (self.topo.switch_pos[u].0 - self.topo.switch_pos[v].0).abs()
-            + (self.topo.switch_pos[u].1 - self.topo.switch_pos[v].1).abs();
+        let dx = self.alloc.dist_mat[u * self.nsw + v];
         let wire = self.lib.link.power_mw(dx.max(0.05), bw_gbps, self.cfg.frequency_mhz)
             + self.lib.tsv.power_mw(delta, bw_gbps)
             + self.lib.switch.energy_pj_per_bit * bw_gbps;
 
         // Reuse an existing same-class link with spare capacity?
-        if let Some(&li) = self.link_of.get(&(u, v, class)) {
+        if let Some(li) = self.live_link(u, v, class) {
             if self.topo.links[li].bandwidth_gbps + bw_gbps <= self.capacity_gbps {
                 return Some(wire);
             }
@@ -429,7 +756,7 @@ impl<'a> Router<'a> {
         let mut penalty = 0.0;
         let (lo, hi) = if lu <= lv { (lu, lv) } else { (lv, lu) };
         for b in lo..hi {
-            let used = self.ill[b as usize];
+            let used = self.alloc.ill[b as usize];
             if used >= self.cfg.max_ill {
                 return None;
             }
@@ -438,39 +765,30 @@ impl<'a> Router<'a> {
             }
         }
         // …and port-growth checks (steps 7–10).
-        if self.out_ports[u] + 1 > self.cfg.max_switch_size
-            || self.in_ports[v] + 1 > self.cfg.max_switch_size
+        if self.alloc.out_ports[u] + 1 > self.cfg.max_switch_size
+            || self.alloc.in_ports[v] + 1 > self.cfg.max_switch_size
         {
             return None;
         }
-        if self.out_ports[u] + 1 > self.cfg.soft_max_switch_size()
-            || self.in_ports[v] + 1 > self.cfg.soft_max_switch_size()
+        if self.alloc.out_ports[u] + 1 > self.cfg.soft_max_switch_size()
+            || self.alloc.in_ports[v] + 1 > self.cfg.soft_max_switch_size()
         {
             penalty += self.soft_inf;
         }
 
-        let new_ports = 2.0
-            * (self.lib.switch.dyn_mw_per_port_mhz * self.cfg.frequency_mhz
-                + self.lib.switch.leak_mw_per_port);
-        Some(wire + new_ports + penalty)
+        Some(wire + self.new_port_cost + penalty)
     }
 
     /// Ensures all links along `path` exist (creating them as needed), adds
-    /// the flow's bandwidth, and returns the link indices used, in order.
-    fn realize_links(
-        &mut self,
-        path: &[usize],
-        class: MessageType,
-        bw_gbps: f64,
-        flow_idx: usize,
-    ) -> Vec<usize> {
-        let mut ids = Vec::with_capacity(path.len().saturating_sub(1));
+    /// the flow's bandwidth, and leaves the link indices used, in order, in
+    /// `alloc.link_ids`.
+    fn realize_links(&mut self, path: &[usize], class: MessageType, bw_gbps: f64, flow_idx: usize) {
+        let mut ids = std::mem::take(&mut self.alloc.link_ids);
+        ids.clear();
         for w in path.windows(2) {
             let (u, v) = (w[0], w[1]);
             let existing = self
-                .link_of
-                .get(&(u, v, class))
-                .copied()
+                .live_link(u, v, class)
                 .filter(|&li| self.topo.links[li].bandwidth_gbps + bw_gbps <= self.capacity_gbps);
             let li = match existing {
                 Some(li) => li,
@@ -483,13 +801,13 @@ impl<'a> Router<'a> {
                         flows: Vec::new(),
                         class,
                     });
-                    self.link_of.insert((u, v, class), li);
-                    self.out_ports[u] += 1;
-                    self.in_ports[v] += 1;
+                    self.alloc.link_of[(class_index(class) * self.nsw + u) * self.nsw + v] = li;
+                    self.alloc.out_ports[u] += 1;
+                    self.alloc.in_ports[v] += 1;
                     let (lu, lv) = (self.topo.switch_layer[u], self.topo.switch_layer[v]);
                     let (lo, hi) = if lu <= lv { (lu, lv) } else { (lv, lu) };
                     for b in lo..hi {
-                        self.ill[b as usize] += 1;
+                        self.alloc.ill[b as usize] += 1;
                     }
                     li
                 }
@@ -498,7 +816,7 @@ impl<'a> Router<'a> {
             self.topo.links[li].flows.push(flow_idx);
             ids.push(li);
         }
-        ids
+        self.alloc.link_ids = ids;
     }
 
     /// Rolls a flow back out of the given links. Links that become empty are
@@ -514,79 +832,34 @@ impl<'a> Router<'a> {
             if link.flows.is_empty() {
                 let (u, v, class) = (link.from, link.to, link.class);
                 link.bandwidth_gbps = 0.0;
-                if self.link_of.get(&(u, v, class)) == Some(&li) {
-                    self.link_of.remove(&(u, v, class));
-                    self.out_ports[u] -= 1;
-                    self.in_ports[v] -= 1;
+                let slot = (class_index(class) * self.nsw + u) * self.nsw + v;
+                if self.alloc.link_of[slot] == li {
+                    self.alloc.link_of[slot] = usize::MAX;
+                    self.alloc.out_ports[u] -= 1;
+                    self.alloc.in_ports[v] -= 1;
                     let (lu, lv) = (self.topo.switch_layer[u], self.topo.switch_layer[v]);
                     let (lo, hi) = if lu <= lv { (lu, lv) } else { (lv, lu) };
                     for b in lo..hi {
-                        self.ill[b as usize] -= 1;
+                        self.alloc.ill[b as usize] -= 1;
                     }
                 }
             }
         }
     }
 
-    /// Adds `deps` one at a time to a copy of the class CDG and returns the
-    /// first dependency whose insertion closes a cycle, if any.
-    fn first_cycle_closing_dep(
-        &self,
-        class: MessageType,
-        deps: &[(usize, usize)],
-    ) -> Option<(usize, usize)> {
-        let base = self.cdg.get(&class);
-        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
-        if let Some(set) = base {
-            for &(a, b) in set {
-                adj.entry(a).or_default().push(b);
-            }
-        }
-        for &(a, b) in deps {
-            // Does a path b ->* a already exist? Then adding a->b closes a
-            // cycle.
-            if reachable(&adj, b, a) {
-                return Some((a, b));
-            }
-            adj.entry(a).or_default().push(b);
-        }
-        None
-    }
-
     /// Compacts tombstoned links and returns the finished topology.
-    fn finish(mut self) -> Topology {
-        self.topo.links.retain(|l| !l.flows.is_empty());
-        self.topo
+    fn finish(self) -> Topology {
+        let mut topo = self.topo;
+        topo.links.retain(|l| !l.flows.is_empty());
+        topo
     }
-}
-
-/// Iterative DFS reachability in a sparse adjacency map.
-fn reachable(adj: &HashMap<usize, Vec<usize>>, from: usize, to: usize) -> bool {
-    if from == to {
-        return true;
-    }
-    let mut stack = vec![from];
-    let mut seen = HashSet::new();
-    seen.insert(from);
-    while let Some(u) = stack.pop() {
-        if let Some(next) = adj.get(&u) {
-            for &v in next {
-                if v == to {
-                    return true;
-                }
-                if seen.insert(v) {
-                    stack.push(v);
-                }
-            }
-        }
-    }
-    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::{CommSpec, Core, Flow, SocSpec};
+    use std::collections::{HashMap, HashSet};
 
     /// 4 cores on 2 layers, 2 switches (one per layer), star traffic.
     fn setup() -> (SocSpec, CommSpec, CommGraph) {
@@ -657,6 +930,42 @@ mod tests {
             for &fi in &l.flows {
                 assert_eq!(g.edge_list()[fi].class, l.class, "class mixing on a link");
             }
+        }
+    }
+
+    #[test]
+    fn reused_allocator_matches_fresh_allocator() {
+        let (soc, _, g) = setup();
+        let cfg = PathConfig::new(25, 11, 400.0);
+        let layers: Vec<u32> = soc.cores.iter().map(|c| c.layer).collect();
+        let fresh = compute_paths(
+            &g,
+            &[0, 0, 1, 1],
+            &[0, 1],
+            &[(1.0, 1.0), (2.0, 1.0)],
+            &layers,
+            2,
+            &lib(),
+            &cfg,
+            1.0,
+        )
+        .unwrap();
+        let mut alloc = PathAllocator::new();
+        for _ in 0..3 {
+            let again = alloc
+                .compute_paths(
+                    &g,
+                    &[0, 0, 1, 1],
+                    &[0, 1],
+                    &[(1.0, 1.0), (2.0, 1.0)],
+                    &layers,
+                    2,
+                    &lib(),
+                    &cfg,
+                    1.0,
+                )
+                .unwrap();
+            assert_eq!(fresh, again, "allocator reuse must not change the topology");
         }
     }
 
@@ -903,5 +1212,87 @@ mod tests {
             }
             assert_eq!(drained, nodes.len(), "CDG for {class:?} has a cycle");
         }
+    }
+
+    /// The incremental Pearce–Kelly CDG agrees with a from-scratch
+    /// reachability check on randomized edge streams.
+    #[test]
+    fn incremental_cdg_matches_dfs_oracle() {
+        fn reaches(adj: &[Vec<usize>], from: usize, to: usize) -> bool {
+            let mut seen = vec![false; adj.len()];
+            let mut stack = vec![from];
+            seen[from] = true;
+            while let Some(u) = stack.pop() {
+                if u == to {
+                    return true;
+                }
+                for &w in &adj[u] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            false
+        }
+
+        // Deterministic pseudo-random edge stream (xorshift).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        const N: usize = 24;
+        let mut cdg = ClassCdg::default();
+        cdg.ensure_node(N - 1);
+        let mut oracle: Vec<Vec<usize>> = vec![Vec::new(); N];
+        let mut accepted = 0;
+        for _ in 0..600 {
+            let a = (next() % N as u64) as usize;
+            let b = (next() % N as u64) as usize;
+            if a == b {
+                continue;
+            }
+            let closes_cycle = reaches(&oracle, b, a);
+            match cdg.insert(a, b) {
+                Ok(_) => {
+                    assert!(!closes_cycle, "accepted {a}->{b} but oracle sees a cycle");
+                    if !oracle[a].contains(&b) {
+                        oracle[a].push(b);
+                    }
+                    accepted += 1;
+                    // Topological-order invariant holds for every edge.
+                    for (u, outs) in oracle.iter().enumerate() {
+                        for &v in outs {
+                            assert!(cdg.ord[u] < cdg.ord[v], "order violated on {u}->{v}");
+                        }
+                    }
+                }
+                Err(()) => {
+                    assert!(closes_cycle, "rejected {a}->{b} but oracle sees no cycle");
+                }
+            }
+        }
+        assert!(accepted > 50, "stream should accept a healthy number of edges");
+    }
+
+    /// Rolling an edge batch back restores the graph exactly.
+    #[test]
+    fn cdg_rollback_restores_previous_edges() {
+        let mut cdg = ClassCdg::default();
+        cdg.ensure_node(3);
+        assert_eq!(cdg.insert(0, 1), Ok(true));
+        assert_eq!(cdg.insert(1, 2), Ok(true));
+        // 2 -> 0 closes the cycle through 0 -> 1 -> 2.
+        assert_eq!(cdg.insert(2, 0), Err(()));
+        // Batch: add 2 -> 3 then fail on 3 -> 0; roll back 2 -> 3.
+        assert_eq!(cdg.insert(2, 3), Ok(true));
+        assert_eq!(cdg.insert(3, 0), Err(()));
+        cdg.remove(2, 3);
+        assert!(!cdg.adj[2].contains(&3));
+        // 3 is free again: 0 -> 3 must now be insertable.
+        assert_eq!(cdg.insert(0, 3), Ok(true));
     }
 }

@@ -9,7 +9,7 @@ use super::outcome::{DesignPoint, PhaseKind, RejectedPoint, SynthesisOutcome};
 use crate::eval::evaluate;
 use crate::graph::CommGraph;
 use crate::layout::layout_design;
-use crate::paths::{compute_paths, PathConfig, PathError};
+use crate::paths::{PathAllocator, PathConfig, PathError};
 use crate::phase1::{self, Connectivity};
 use crate::phase2;
 use crate::place::place_switches;
@@ -245,11 +245,13 @@ impl<'a> SynthesisEngine<'a> {
     ) -> bool {
         let jobs = self.cfg.parallelism.effective_jobs().min(candidates.len());
         if jobs <= 1 {
+            // One reusable routing workspace for the whole serial sweep.
+            let mut alloc = PathAllocator::new();
             for &candidate in candidates {
                 if policy.met(outcome, started) {
                     return true;
                 }
-                let ev = self.evaluate_candidate(candidate);
+                let ev = self.evaluate_candidate(candidate, &mut alloc);
                 self.commit(ev, observer, outcome);
             }
             return false;
@@ -262,16 +264,21 @@ impl<'a> SynthesisEngine<'a> {
         let mut stopped = false;
         thread::scope(|s| {
             for _ in 0..jobs {
-                s.spawn(|| loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
+                s.spawn(|| {
+                    // Per-worker routing workspace, reused across every
+                    // candidate this worker claims.
+                    let mut alloc = PathAllocator::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&candidate) = candidates.get(i) else { break };
+                        let ev = self.evaluate_candidate(candidate, &mut alloc);
+                        let (lock, cvar) = &slots[i];
+                        *lock.lock().expect("no poisoned slot") = Some(ev);
+                        cvar.notify_all();
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&candidate) = candidates.get(i) else { break };
-                    let ev = self.evaluate_candidate(candidate);
-                    let (lock, cvar) = &slots[i];
-                    *lock.lock().expect("no poisoned slot") = Some(ev);
-                    cvar.notify_all();
                 });
             }
             // Commit in candidate order, each slot as soon as it fills. A
@@ -341,16 +348,25 @@ impl<'a> SynthesisEngine<'a> {
         }
     }
 
-    fn evaluate_candidate(&self, candidate: Candidate) -> CandidateEvaluation {
+    fn evaluate_candidate(
+        &self,
+        candidate: Candidate,
+        alloc: &mut PathAllocator,
+    ) -> CandidateEvaluation {
         match candidate.sweep {
-            SweepParam::SwitchCount(k) => self.evaluate_phase1(candidate, k),
-            SweepParam::Increment(inc) => self.evaluate_phase2(candidate, inc),
+            SweepParam::SwitchCount(k) => self.evaluate_phase1(candidate, k, alloc),
+            SweepParam::Increment(inc) => self.evaluate_phase2(candidate, inc, alloc),
         }
     }
 
     /// Algorithm 1 for one candidate: the base PG attempt, then the θ
     /// escalation loop until the constraints are met or θ runs out.
-    fn evaluate_phase1(&self, candidate: Candidate, count: usize) -> CandidateEvaluation {
+    fn evaluate_phase1(
+        &self,
+        candidate: Candidate,
+        count: usize,
+        alloc: &mut PathAllocator,
+    ) -> CandidateEvaluation {
         let cfg = &self.cfg;
         let freq = candidate.frequency_mhz;
         let mut ev = CandidateEvaluation::new(candidate);
@@ -371,7 +387,7 @@ impl<'a> SynthesisEngine<'a> {
             cfg.theta_max,
             cfg.rng_seed,
         ) {
-            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase1, false) {
+            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase1, false, alloc) {
                 Ok(point) => {
                     ev.point = Some(point);
                     return ev;
@@ -399,7 +415,7 @@ impl<'a> SynthesisEngine<'a> {
                 cfg.theta_max,
                 cfg.rng_seed,
             ) {
-                match self.try_candidate(freq, &conn, PhaseKind::Phase1, false) {
+                match self.try_candidate(freq, &conn, PhaseKind::Phase1, false, alloc) {
                     Ok(point) => {
                         ev.point = Some(point);
                         return ev;
@@ -414,14 +430,19 @@ impl<'a> SynthesisEngine<'a> {
 
     /// Algorithm 2 for one candidate: a single layer-by-layer attempt at
     /// the given per-layer increment.
-    fn evaluate_phase2(&self, candidate: Candidate, increment: usize) -> CandidateEvaluation {
+    fn evaluate_phase2(
+        &self,
+        candidate: Candidate,
+        increment: usize,
+        alloc: &mut PathAllocator,
+    ) -> CandidateEvaluation {
         let cfg = &self.cfg;
         let freq = candidate.frequency_mhz;
         let max_sw = cfg.library.switch.max_size_for_frequency(freq);
         let mut ev = CandidateEvaluation::new(candidate);
         match phase2::connectivity(&self.graph, self.soc, increment, max_sw, cfg.alpha, cfg.rng_seed)
         {
-            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase2, true) {
+            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase2, true, alloc) {
                 Ok(point) => ev.point = Some(point),
                 Err(reason) => ev.attempts.push(RejectedPoint {
                     requested_switches: conn.switch_count(),
@@ -450,6 +471,7 @@ impl<'a> SynthesisEngine<'a> {
         conn: &Connectivity,
         phase: PhaseKind,
         adjacent_only: bool,
+        alloc: &mut PathAllocator,
     ) -> Result<DesignPoint, RejectReason> {
         let cfg = &self.cfg;
         let soc = self.soc;
@@ -475,7 +497,7 @@ impl<'a> SynthesisEngine<'a> {
         let mut last_err: Option<PathError> = None;
 
         for round in 0..=cfg.indirect_switch_rounds {
-            match compute_paths(
+            match alloc.compute_paths(
                 &self.graph,
                 &conn.core_attach,
                 &switch_layer,

@@ -44,35 +44,10 @@ pub use diagnostics::{RejectReason, SweepEvent, SweepObserver, SynthesisError};
 pub use engine::{StopPolicy, SynthesisEngine};
 pub use outcome::{DesignPoint, PhaseKind, RejectedPoint, SynthesisOutcome};
 
-use crate::spec::{CommSpec, SocSpec};
-
-/// Runs the full SunFloor 3D synthesis flow.
-///
-/// Thin compatibility shim over [`SynthesisEngine`]; it will be removed one
-/// release after the engine API landed.
-///
-/// # Errors
-///
-/// Returns [`SynthesisError`] for invalid inputs; an empty
-/// [`SynthesisOutcome::points`] (with populated `rejected`) means the
-/// constraints admit no topology.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a validated config with `SynthesisConfig::builder()` and run it through \
-            `SynthesisEngine::new(soc, comm, cfg)?.run()`"
-)]
-pub fn synthesize(
-    soc: &SocSpec,
-    comm: &CommSpec,
-    cfg: &SynthesisConfig,
-) -> Result<SynthesisOutcome, SynthesisError> {
-    Ok(SynthesisEngine::new(soc, comm, cfg.clone())?.run())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{Core, Flow, MessageType};
+    use crate::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
 
     /// A small 8-core, 2-layer SoC with mixed traffic.
     fn small_soc() -> (SocSpec, CommSpec) {
@@ -397,12 +372,4 @@ mod tests {
         assert!(outcome.rejected.is_empty());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_the_engine() {
-        let (soc, comm) = small_soc();
-        let via_shim = synthesize(&soc, &comm, &quick_cfg()).unwrap();
-        let via_engine = run(&soc, &comm, quick_cfg());
-        assert_eq!(via_shim, via_engine);
-    }
 }

@@ -1,7 +1,7 @@
 //! Simulated-annealing floorplanner over sequence pairs.
 
 use crate::geometry::{Block, Floorplan, Net};
-use crate::seqpair::SequencePair;
+use crate::seqpair::{PackScratch, SequencePair};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -161,6 +161,121 @@ fn run_sa(
     run_sa_seeded(blocks, nets, movable, ideal, SequencePair::identity(blocks.len()), cfg)
 }
 
+/// Cached per-net weighted-HPWL contributions with delta updates.
+///
+/// The packed placement changes for many blocks on some moves and for few
+/// on others; only nets incident to a block whose position or effective
+/// size changed are re-measured. The *total* is always re-summed over the
+/// cached per-net values in net order, so it is bit-identical to a
+/// from-scratch [`Floorplan::hpwl`] evaluation — the accept/reject
+/// decisions (and thus the final floorplan for a given seed) cannot drift.
+struct NetCache {
+    /// `weight · HPWL` per net at the currently accepted placement.
+    cost: Vec<f64>,
+    /// Nets incident to each block.
+    nets_of: Vec<Vec<usize>>,
+    /// Per-net dirty stamp for the current candidate (generation-tagged).
+    stamp: Vec<u32>,
+    gen: u32,
+    /// Undo log of `(net, previous value)` for the current candidate.
+    undo: Vec<(usize, f64)>,
+}
+
+impl NetCache {
+    fn new(n_blocks: usize, nets: &[Net]) -> Self {
+        let mut nets_of = vec![Vec::new(); n_blocks];
+        for (k, net) in nets.iter().enumerate() {
+            for &p in &net.pins {
+                if !nets_of[p].contains(&k) {
+                    nets_of[p].push(k);
+                }
+            }
+        }
+        Self { cost: vec![0.0; nets.len()], nets_of, stamp: vec![0; nets.len()], gen: 0, undo: Vec::new() }
+    }
+
+    /// Net `k`'s weighted HPWL over block centers — the exact per-net term
+    /// of [`Floorplan::hpwl`].
+    fn measure(net: &Net, x: &[f64], y: &[f64], w: &[f64], h: &[f64]) -> f64 {
+        if net.pins.len() < 2 {
+            return 0.0;
+        }
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &p in &net.pins {
+            let cx = x[p] + w[p] / 2.0;
+            let cy = y[p] + h[p] / 2.0;
+            min_x = min_x.min(cx);
+            max_x = max_x.max(cx);
+            min_y = min_y.min(cy);
+            max_y = max_y.max(cy);
+        }
+        net.weight * ((max_x - min_x) + (max_y - min_y))
+    }
+
+    fn rebuild_all(&mut self, nets: &[Net], x: &[f64], y: &[f64], w: &[f64], h: &[f64]) {
+        for (k, net) in nets.iter().enumerate() {
+            self.cost[k] = Self::measure(net, x, y, w, h);
+        }
+    }
+
+    /// Re-measures every net incident to a moved block against the
+    /// candidate placement, logging old values for [`Self::revert`].
+    #[allow(clippy::too_many_arguments)]
+    fn update_for_move(
+        &mut self,
+        moved: impl Iterator<Item = usize>,
+        nets: &[Net],
+        x: &[f64],
+        y: &[f64],
+        w: &[f64],
+        h: &[f64],
+    ) {
+        self.gen += 1;
+        self.undo.clear();
+        for b in moved {
+            for i in 0..self.nets_of[b].len() {
+                let k = self.nets_of[b][i];
+                if self.stamp[k] == self.gen {
+                    continue;
+                }
+                self.stamp[k] = self.gen;
+                self.undo.push((k, self.cost[k]));
+                self.cost[k] = Self::measure(&nets[k], x, y, w, h);
+            }
+        }
+    }
+
+    /// Sum of the cached per-net values, in net order — bit-identical to a
+    /// fresh `hpwl` accumulation.
+    fn total(&self) -> f64 {
+        let mut total = 0.0;
+        for &c in &self.cost {
+            total += c;
+        }
+        total
+    }
+
+    /// Rolls the last [`Self::update_for_move`] back (candidate rejected).
+    fn revert(&mut self) {
+        for &(k, old) in self.undo.iter().rev() {
+            self.cost[k] = old;
+        }
+        self.undo.clear();
+    }
+}
+
+/// One annealing move, recorded so a rejected candidate can be undone
+/// in place instead of cloning the whole state up front.
+enum Move {
+    /// Reinsert in one permutation: `(pos-perm?, from, to)`.
+    Perm(bool, usize, usize),
+    /// Reinserts in both permutations, in application order.
+    Both((usize, usize), (usize, usize)),
+    /// Rotation flip of a block.
+    Rot(usize),
+}
+
 fn run_sa_seeded(
     blocks: &[Block],
     nets: &[Net],
@@ -174,93 +289,178 @@ fn run_sa_seeded(
     let mut sp = seed_sp;
     let mut rotated = vec![false; n];
 
-    let cost = |sp: &SequencePair, rotated: &[bool]| -> (f64, Floorplan) {
-        let plan = sp.pack(blocks, rotated);
-        let mut c = plan.area() + cfg.lambda_wirelength * plan.hpwl(nets);
-        let (w, h) = plan.bounding_box();
-        if w > 0.0 && h > 0.0 {
-            let aspect = if w > h { w / h } else { h / w };
-            c += cfg.lambda_aspect * plan.area() * (aspect - 1.0);
-        }
-        if let Some((ow, oh)) = cfg.outline {
-            let (w, h) = plan.bounding_box();
-            let over = (w - ow).max(0.0) + (h - oh).max(0.0);
-            c += 50.0 * over * over + 100.0 * over;
-        }
-        if let Some(targets) = ideal {
-            for (b, t) in plan.blocks.iter().zip(targets) {
-                if let Some((tx, ty, weight)) = t {
-                    let (cx, cy) = b.center();
-                    c += weight * ((cx - tx).abs() + (cy - ty).abs());
-                }
-            }
-        }
-        (c, plan)
-    };
-
-    let (mut cur_cost, mut cur_plan) = cost(&sp, &rotated);
+    // Reusable packing scratch (candidate coordinates) plus the accepted
+    // state's coordinate arrays: the loop never clones a `Floorplan` and
+    // never allocates after this setup.
+    let mut scratch = PackScratch::default();
+    let mut cache = NetCache::new(n, nets);
+    let (mut cur_x, mut cur_y, mut cur_w, mut cur_h);
+    let mut cur_cost;
+    {
+        sp.pack_into(blocks, &rotated, &mut scratch);
+        cache.rebuild_all(nets, &scratch.x, &scratch.y, &scratch.w, &scratch.h);
+        cur_cost = cost_of(&scratch.x, &scratch.y, &scratch.w, &scratch.h, cache.total(), ideal, cfg);
+        cur_x = scratch.x.clone();
+        cur_y = scratch.y.clone();
+        cur_w = scratch.w.clone();
+        cur_h = scratch.h.clone();
+    }
     let mut best_cost = cur_cost;
-    let mut best_plan = cur_plan.clone();
+    let mut best_sp = sp.clone();
+    let mut best_rot = rotated.clone();
+
+    let build_best = |best_sp: &SequencePair, best_rot: &[bool]| best_sp.pack(blocks, best_rot);
 
     if n < 2 {
-        return best_plan;
+        return build_best(&best_sp, &best_rot);
     }
 
     // Temperature schedule: start where ~an average move is accepted with
     // p≈0.8, decay geometrically to near-greedy.
     let movable_idx: Vec<usize> = (0..n).filter(|&i| movable[i]).collect();
     if movable_idx.is_empty() {
-        return best_plan;
+        return build_best(&best_sp, &best_rot);
     }
     let mut temp = (cur_cost * 0.1).max(1e-6);
     let t_final = temp * 1e-4;
     let alpha = (t_final / temp).powf(1.0 / f64::from(cfg.iterations.max(2)));
 
     for _ in 0..cfg.iterations {
-        let mut cand_sp = sp.clone();
-        let mut cand_rot = rotated.clone();
         let m = movable_idx[rng.gen_range(0..movable_idx.len())];
-        match rng.gen_range(0..4u8) {
-            0 => reinsert(&mut cand_sp.pos, m, &mut rng),
-            1 => reinsert(&mut cand_sp.neg, m, &mut rng),
+        // Mutate in place, remembering how to undo.
+        let mv = match rng.gen_range(0..4u8) {
+            0 => {
+                let (f, t) = reinsert(&mut sp.pos, m, &mut rng);
+                Move::Perm(true, f, t)
+            }
+            1 => {
+                let (f, t) = reinsert(&mut sp.neg, m, &mut rng);
+                Move::Perm(false, f, t)
+            }
             2 => {
-                reinsert(&mut cand_sp.pos, m, &mut rng);
-                reinsert(&mut cand_sp.neg, m, &mut rng);
+                let p = reinsert(&mut sp.pos, m, &mut rng);
+                let q = reinsert(&mut sp.neg, m, &mut rng);
+                Move::Both(p, q)
             }
             _ => {
                 if blocks[m].rotatable {
-                    cand_rot[m] = !cand_rot[m];
+                    rotated[m] = !rotated[m];
+                    Move::Rot(m)
                 } else {
-                    reinsert(&mut cand_sp.pos, m, &mut rng);
+                    let (f, t) = reinsert(&mut sp.pos, m, &mut rng);
+                    Move::Perm(true, f, t)
                 }
             }
-        }
+        };
 
-        let (cand_cost, cand_plan) = cost(&cand_sp, &cand_rot);
+        sp.pack_into(blocks, &rotated, &mut scratch);
+        // Only nets touching a block whose position or footprint changed
+        // need re-measuring.
+        let moved = (0..n).filter(|&b| {
+            scratch.x[b] != cur_x[b]
+                || scratch.y[b] != cur_y[b]
+                || scratch.w[b] != cur_w[b]
+                || scratch.h[b] != cur_h[b]
+        });
+        cache.update_for_move(moved, nets, &scratch.x, &scratch.y, &scratch.w, &scratch.h);
+        let cand_cost =
+            cost_of(&scratch.x, &scratch.y, &scratch.w, &scratch.h, cache.total(), ideal, cfg);
+
         let delta = cand_cost - cur_cost;
         if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
-            sp = cand_sp;
-            rotated = cand_rot;
+            // Accept: the candidate arrays become the current state.
+            std::mem::swap(&mut cur_x, &mut scratch.x);
+            std::mem::swap(&mut cur_y, &mut scratch.y);
+            std::mem::swap(&mut cur_w, &mut scratch.w);
+            std::mem::swap(&mut cur_h, &mut scratch.h);
             cur_cost = cand_cost;
-            cur_plan = cand_plan;
+            cache.undo.clear();
             if cur_cost < best_cost {
                 best_cost = cur_cost;
-                best_plan = cur_plan.clone();
+                best_sp.pos.clone_from(&sp.pos);
+                best_sp.neg.clone_from(&sp.neg);
+                best_rot.clone_from(&rotated);
+            }
+        } else {
+            // Reject: undo the move and the net-cache deltas.
+            cache.revert();
+            match mv {
+                Move::Perm(true, f, t) => undo_reinsert(&mut sp.pos, f, t),
+                Move::Perm(false, f, t) => undo_reinsert(&mut sp.neg, f, t),
+                Move::Both((pf, pt), (nf, nt)) => {
+                    undo_reinsert(&mut sp.neg, nf, nt);
+                    undo_reinsert(&mut sp.pos, pf, pt);
+                }
+                Move::Rot(b) => rotated[b] = !rotated[b],
             }
         }
         temp *= alpha;
     }
-    best_plan
+    build_best(&best_sp, &best_rot)
+}
+
+/// The annealing cost of a packed placement — the same terms, computed in
+/// the same order, as the original clone-per-iteration implementation:
+/// bounding-box area, weighted wirelength, aspect penalty, fixed-outline
+/// penalty and ideal-position deviation.
+fn cost_of(
+    x: &[f64],
+    y: &[f64],
+    w: &[f64],
+    h: &[f64],
+    hpwl_total: f64,
+    ideal: Option<&[IdealTarget]>,
+    cfg: &AnnealConfig,
+) -> f64 {
+    let n = x.len();
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for b in 0..n {
+        min_x = min_x.min(x[b]);
+        min_y = min_y.min(y[b]);
+        max_x = max_x.max(x[b] + w[b]);
+        max_y = max_y.max(y[b] + h[b]);
+    }
+    let (bw, bh) = if n == 0 { (0.0, 0.0) } else { (max_x - min_x, max_y - min_y) };
+    let area = bw * bh;
+
+    let mut c = area + cfg.lambda_wirelength * hpwl_total;
+    if bw > 0.0 && bh > 0.0 {
+        let aspect = if bw > bh { bw / bh } else { bh / bw };
+        c += cfg.lambda_aspect * area * (aspect - 1.0);
+    }
+    if let Some((ow, oh)) = cfg.outline {
+        let over = (bw - ow).max(0.0) + (bh - oh).max(0.0);
+        c += 50.0 * over * over + 100.0 * over;
+    }
+    if let Some(targets) = ideal {
+        for (b, t) in targets.iter().enumerate() {
+            if let Some((tx, ty, weight)) = t {
+                let cx = x[b] + w[b] / 2.0;
+                let cy = y[b] + h[b] / 2.0;
+                c += weight * ((cx - tx).abs() + (cy - ty).abs());
+            }
+        }
+    }
+    c
 }
 
 /// Removes block `b` from the permutation and reinserts it at a random
 /// position — a move that preserves the relative order of all other blocks,
 /// which is what keeps the cores' arrangement intact in constrained mode.
-fn reinsert(perm: &mut Vec<usize>, b: usize, rng: &mut StdRng) {
+/// Returns `(from, to)` so the move can be undone without cloning.
+fn reinsert(perm: &mut Vec<usize>, b: usize, rng: &mut StdRng) -> (usize, usize) {
     let from = perm.iter().position(|&x| x == b).expect("block in permutation");
     perm.remove(from);
     let to = rng.gen_range(0..=perm.len());
     perm.insert(to, b);
+    (from, to)
+}
+
+/// Inverse of [`reinsert`]: the block sits at `to`; put it back at `from`.
+fn undo_reinsert(perm: &mut Vec<usize>, from: usize, to: usize) {
+    let b = perm.remove(to);
+    perm.insert(from, b);
 }
 
 #[cfg(test)]

@@ -46,4 +46,4 @@ pub use annealer::{
 };
 pub use geometry::{Block, Floorplan, Net, PlacedBlock, Rect};
 pub use insertion::{insert_components, InsertRequest, InsertionResult};
-pub use seqpair::SequencePair;
+pub use seqpair::{PackScratch, SequencePair};

@@ -74,70 +74,129 @@ impl SequencePair {
     /// Packs `blocks` (with per-block rotation flags) to the tightest
     /// lower-left placement consistent with the encoded relations.
     ///
+    /// Allocates a fresh [`Floorplan`] (including block-name clones); hot
+    /// loops that only need coordinates — the simulated-annealing inner
+    /// loop — use [`Self::pack_into`] with a reusable [`PackScratch`]
+    /// instead.
+    ///
     /// # Panics
     ///
     /// Panics if `blocks.len()` or `rotated.len()` disagree with the
     /// sequence length.
     #[must_use]
     pub fn pack(&self, blocks: &[Block], rotated: &[bool]) -> Floorplan {
+        let mut scratch = PackScratch::default();
+        self.pack_into(blocks, rotated, &mut scratch);
+        Floorplan {
+            blocks: (0..self.pos.len())
+                .map(|b| PlacedBlock {
+                    block: blocks[b].clone(),
+                    x: scratch.x[b],
+                    y: scratch.y[b],
+                    rotated: rotated[b],
+                })
+                .collect(),
+        }
+    }
+
+    /// Packs into `scratch` without building a [`Floorplan`]: coordinates
+    /// land in [`PackScratch::x`]/[`PackScratch::y`] and the
+    /// rotation-effective dimensions in [`PackScratch::w`]/[`PackScratch::h`].
+    ///
+    /// All scratch vectors are resized in place, so a reused scratch makes
+    /// the call allocation-free — this is what keeps the annealer's
+    /// per-iteration cost down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` or `rotated.len()` disagree with the
+    /// sequence length.
+    pub fn pack_into(&self, blocks: &[Block], rotated: &[bool], scratch: &mut PackScratch) {
         let n = self.pos.len();
         assert_eq!(blocks.len(), n, "block count mismatch");
         assert_eq!(rotated.len(), n, "rotation flag count mismatch");
+        scratch.resize(n);
+        let PackScratch { pp, nn, x, y, w, h } = scratch;
 
         // Ranks of each block in the two sequences.
-        let mut pp = vec![0usize; n];
-        let mut nn = vec![0usize; n];
         for (i, &b) in self.pos.iter().enumerate() {
             pp[b] = i;
         }
         for (i, &b) in self.neg.iter().enumerate() {
             nn[b] = i;
         }
-
-        let dim = |b: usize| -> (f64, f64) {
+        for b in 0..n {
             if rotated[b] {
-                (blocks[b].height, blocks[b].width)
+                w[b] = blocks[b].height;
+                h[b] = blocks[b].width;
             } else {
-                (blocks[b].width, blocks[b].height)
+                w[b] = blocks[b].width;
+                h[b] = blocks[b].height;
             }
-        };
+        }
 
         // x: longest path over the left-of relation; process in P order so
-        // predecessors (earlier in both sequences) are final.
-        let mut x = vec![0.0f64; n];
-        for &b in &self.pos {
+        // predecessors (earlier in both sequences) are final. The blocks
+        // with `pp[a] < pp[b]` are exactly the prefix of P before `b`, so
+        // only that prefix is scanned (`max` is order-insensitive, so the
+        // result is unchanged).
+        for (i, &b) in self.pos.iter().enumerate() {
+            let nn_b = nn[b];
             let mut best = 0.0f64;
-            for &a in &self.pos {
-                if a != b && pp[a] < pp[b] && nn[a] < nn[b] {
-                    best = best.max(x[a] + dim(a).0);
+            for &a in &self.pos[..i] {
+                if nn[a] < nn_b {
+                    best = best.max(x[a] + w[a]);
                 }
             }
             x[b] = best;
         }
 
         // y: longest path over the below relation (after in P, before in N);
-        // process in N order so predecessors are final.
-        let mut y = vec![0.0f64; n];
-        for &b in &self.neg {
+        // process in N order so predecessors are final. `nn[a] < nn[b]` is
+        // exactly the prefix of N before `b`.
+        for (i, &b) in self.neg.iter().enumerate() {
+            let pp_b = pp[b];
             let mut best = 0.0f64;
-            for &a in &self.neg {
-                if a != b && pp[a] > pp[b] && nn[a] < nn[b] {
-                    best = best.max(y[a] + dim(a).1);
+            for &a in &self.neg[..i] {
+                if pp[a] > pp_b {
+                    best = best.max(y[a] + h[a]);
                 }
             }
             y[b] = best;
         }
+    }
+}
 
-        Floorplan {
-            blocks: (0..n)
-                .map(|b| PlacedBlock {
-                    block: blocks[b].clone(),
-                    x: x[b],
-                    y: y[b],
-                    rotated: rotated[b],
-                })
-                .collect(),
-        }
+/// Reusable packing workspace for [`SequencePair::pack_into`].
+///
+/// Holds the sequence ranks, the packed lower-left coordinates and the
+/// rotation-effective block dimensions. Reusing one scratch across many
+/// packs (the annealer does tens of thousands) avoids all per-pack heap
+/// traffic.
+#[derive(Debug, Clone, Default)]
+pub struct PackScratch {
+    /// Rank of each block in the positive sequence.
+    pub pp: Vec<usize>,
+    /// Rank of each block in the negative sequence.
+    pub nn: Vec<usize>,
+    /// Packed lower-left x per block.
+    pub x: Vec<f64>,
+    /// Packed lower-left y per block.
+    pub y: Vec<f64>,
+    /// Effective width per block (rotation applied).
+    pub w: Vec<f64>,
+    /// Effective height per block (rotation applied).
+    pub h: Vec<f64>,
+}
+
+impl PackScratch {
+    fn resize(&mut self, n: usize) {
+        self.pp.resize(n, 0);
+        self.nn.resize(n, 0);
+        self.x.resize(n, 0.0);
+        self.y.resize(n, 0.0);
+        self.w.resize(n, 0.0);
+        self.h.resize(n, 0.0);
     }
 }
 

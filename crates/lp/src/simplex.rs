@@ -153,15 +153,31 @@ impl Problem {
 }
 
 /// Dense simplex tableau in standard form.
+///
+/// The tableau is stored as one flat row-major array and the inner loops —
+/// pricing, the ratio test and the pivot elimination — run over contiguous
+/// slices. Every floating-point operation happens in the same order and on
+/// the same values as a naive row-of-rows implementation would produce, so
+/// the pivot sequence (and therefore the exact optimal vertex returned on
+/// degenerate problems) is reproducible; the restructuring only removes
+/// bounds checks, cache misses and the `O(m)` basis-membership scans from
+/// the hot path. This matters because the switch-placement LP runs once per
+/// routed candidate of the synthesis sweep.
 struct Tableau {
-    /// `m x (n_total + 1)` matrix; last column is the rhs.
-    a: Vec<Vec<f64>>,
+    /// Flat `m × (n_total + 1)` row-major matrix; last column is the rhs.
+    a: Vec<f64>,
     /// Basis variable of each row.
     basis: Vec<usize>,
+    /// Whether each column is currently basic (kept in sync with `basis`).
+    in_basis: Vec<bool>,
     /// Total column count excluding rhs: structural + slack + artificial.
     n_total: usize,
     /// First artificial column index.
     art_start: usize,
+    /// Pricing scratch: `z_j` accumulators, one per column.
+    z: Vec<f64>,
+    /// Pivot scratch: a copy of the scaled pivot row.
+    prow: Vec<f64>,
 }
 
 impl Tableau {
@@ -180,12 +196,14 @@ impl Tableau {
         // drives them all out.
         let art_start = n + n_slack;
         let n_total = art_start + m;
+        let stride = n_total + 1;
 
-        let mut a = vec![vec![0.0; n_total + 1]; m];
+        let mut a = vec![0.0; m * stride];
         let mut basis = vec![0usize; m];
         let mut slack_idx = n;
 
         for (i, r) in p.rows.iter().enumerate() {
+            let row = &mut a[i * stride..(i + 1) * stride];
             let mut rhs = r.rhs;
             let mut sign = 1.0;
             // Normalize to rhs >= 0.
@@ -194,7 +212,7 @@ impl Tableau {
                 sign = -1.0;
             }
             for &(v, c) in &r.terms {
-                a[i][v] += sign * c;
+                row[v] += sign * c;
             }
             let op = match (r.op, sign < 0.0) {
                 (ConstraintOp::Le, true) => ConstraintOp::Ge,
@@ -203,31 +221,52 @@ impl Tableau {
             };
             match op {
                 ConstraintOp::Le => {
-                    a[i][slack_idx] = 1.0;
+                    row[slack_idx] = 1.0;
                     // Slack can serve as the initial basis directly.
                     basis[i] = slack_idx;
                     slack_idx += 1;
                 }
                 ConstraintOp::Ge => {
-                    a[i][slack_idx] = -1.0; // surplus
+                    row[slack_idx] = -1.0; // surplus
                     slack_idx += 1;
                     basis[i] = art_start + i;
-                    a[i][art_start + i] = 1.0;
+                    row[art_start + i] = 1.0;
                 }
                 ConstraintOp::Eq => {
                     basis[i] = art_start + i;
-                    a[i][art_start + i] = 1.0;
+                    row[art_start + i] = 1.0;
                 }
             }
-            a[i][n_total] = rhs;
+            row[n_total] = rhs;
             // For Le rows the artificial column stays zero and unused.
         }
 
-        Self { a, basis, n_total, art_start }
+        let mut in_basis = vec![false; n_total];
+        for &b in &basis {
+            in_basis[b] = true;
+        }
+        Self {
+            a,
+            basis,
+            in_basis,
+            n_total,
+            art_start,
+            z: vec![0.0; n_total],
+            prow: vec![0.0; stride],
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.basis.len()
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        let stride = self.n_total + 1;
+        &self.a[i * stride..(i + 1) * stride]
     }
 
     fn solve(mut self, p: &Problem) -> Result<Solution, SolveError> {
-        let m = self.a.len();
+        let m = self.rows();
         let needs_phase1 = self.basis.iter().any(|&b| b >= self.art_start);
 
         if needs_phase1 {
@@ -244,7 +283,7 @@ impl Tableau {
             for i in 0..m {
                 if self.basis[i] >= self.art_start {
                     if let Some(j) = (0..self.art_start)
-                        .find(|&j| self.a[i][j].abs() > 1e-7)
+                        .find(|&j| self.row(i)[j].abs() > 1e-7)
                     {
                         self.pivot(i, j);
                     }
@@ -264,7 +303,7 @@ impl Tableau {
         let mut values = vec![0.0; p.num_vars];
         for (i, &b) in self.basis.iter().enumerate() {
             if b < p.num_vars {
-                values[b] = self.a[i][self.n_total];
+                values[b] = self.row(i)[self.n_total];
             }
         }
         Ok(Solution { objective, values })
@@ -273,24 +312,39 @@ impl Tableau {
     /// Runs simplex minimizing `cost` over columns `0..col_limit`.
     /// Returns the optimal objective value.
     fn run(&mut self, cost: &[f64], col_limit: usize) -> Result<f64, SolveError> {
-        let m = self.a.len();
-        // Reduced costs: z_j - c_j computed fresh each iteration (m and n are
-        // small, clarity over speed).
+        let m = self.rows();
+        let stride = self.n_total + 1;
         let max_iter = 200 + 50 * (m + self.n_total);
         for iter in 0..max_iter {
-            // y = c_B B^-1 is implicit: compute reduced cost for each column.
-            let mut entering = None;
-            let mut best = -EPS;
-            for j in 0..col_limit {
-                if self.basis.contains(&j) {
+            // Pricing: z_j = Σ_i cost[basis[i]] · a[i][j], accumulated row
+            // by row so each z_j sums in the same row order a per-column
+            // dot product would use (bit-identical), but with sequential
+            // memory access. Rows whose basic cost is exactly zero
+            // contribute exactly nothing and are skipped.
+            let z = &mut self.z;
+            for v in z[..col_limit].iter_mut() {
+                *v = 0.0;
+            }
+            for i in 0..m {
+                let yi = cost[self.basis[i]];
+                if yi == 0.0 {
                     continue;
                 }
-                let mut zj = 0.0;
-                for i in 0..m {
-                    zj += cost[self.basis[i]] * self.a[i][j];
+                let row = &self.a[i * stride..i * stride + col_limit];
+                for (zj, &aij) in z[..col_limit].iter_mut().zip(row) {
+                    *zj += yi * aij;
                 }
-                let reduced = cost[j] - zj;
-                let use_bland = iter > max_iter / 2;
+            }
+
+            let mut entering = None;
+            let mut best = -EPS;
+            let use_bland = iter > max_iter / 2;
+            #[allow(clippy::needless_range_loop)] // j indexes three arrays
+            for j in 0..col_limit {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let reduced = cost[j] - self.z[j];
                 if use_bland {
                     if reduced < -EPS {
                         entering = Some(j);
@@ -305,7 +359,7 @@ impl Tableau {
                 // Optimal.
                 let mut obj = 0.0;
                 for i in 0..m {
-                    obj += cost[self.basis[i]] * self.a[i][self.n_total];
+                    obj += cost[self.basis[i]] * self.row(i)[self.n_total];
                 }
                 return Ok(obj);
             };
@@ -314,8 +368,9 @@ impl Tableau {
             let mut leaving = None;
             let mut best_ratio = f64::INFINITY;
             for i in 0..m {
-                if self.a[i][j] > EPS {
-                    let ratio = self.a[i][self.n_total] / self.a[i][j];
+                let aij = self.a[i * stride + j];
+                if aij > EPS {
+                    let ratio = self.a[i * stride + self.n_total] / aij;
                     // Bland tie-break: smallest basis index.
                     if ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
@@ -335,25 +390,32 @@ impl Tableau {
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
-        let m = self.a.len();
-        let piv = self.a[row][col];
+        let m = self.rows();
+        let stride = self.n_total + 1;
+        let piv = self.a[row * stride + col];
         debug_assert!(piv.abs() > 1e-12, "pivot on (near-)zero element");
         let inv = 1.0 / piv;
-        for x in &mut self.a[row] {
+        for x in &mut self.a[row * stride..(row + 1) * stride] {
             *x *= inv;
         }
+        // Copy the scaled pivot row so the elimination loops below can
+        // borrow it and the target rows disjointly.
+        self.prow.copy_from_slice(&self.a[row * stride..(row + 1) * stride]);
         for i in 0..m {
             if i == row {
                 continue;
             }
-            let factor = self.a[i][col];
+            let factor = self.a[i * stride + col];
             if factor.abs() <= 1e-12 {
                 continue;
             }
-            for j in 0..=self.n_total {
-                self.a[i][j] -= factor * self.a[row][j];
+            let target = &mut self.a[i * stride..(i + 1) * stride];
+            for (x, &pv) in target.iter_mut().zip(&self.prow) {
+                *x -= factor * pv;
             }
         }
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
         self.basis[row] = col;
     }
 }

@@ -14,7 +14,41 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Command-line configuration shared by every benchmark of the binary.
+#[derive(Debug, Default)]
+struct CliConfig {
+    /// `--test`: run each benchmark exactly once (smoke mode, as the real
+    /// criterion does) so CI can verify benches execute without paying for
+    /// full sample counts.
+    test_mode: bool,
+    /// Positional arguments act as substring filters on benchmark labels.
+    filters: Vec<String>,
+}
+
+fn cli_config() -> &'static CliConfig {
+    static CONFIG: OnceLock<CliConfig> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let mut cfg = CliConfig::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                cfg.test_mode = true;
+            } else if arg == "--bench" || arg.starts_with("--") {
+                // Harness flags cargo passes through; ignored.
+            } else {
+                cfg.filters.push(arg);
+            }
+        }
+        cfg
+    })
+}
+
+fn label_selected(label: &str) -> bool {
+    let cfg = cli_config();
+    cfg.filters.is_empty() || cfg.filters.iter().any(|f| label.contains(f.as_str()))
+}
 
 /// Identifies one benchmark within a group, mirroring
 /// `criterion::BenchmarkId`.
@@ -77,8 +111,16 @@ fn format_duration(d: Duration) -> String {
 }
 
 fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    if !label_selected(label) {
+        return;
+    }
+    let samples = if cli_config().test_mode { 1 } else { samples };
     let mut b = Bencher { samples, recorded: Vec::new() };
     f(&mut b);
+    if cli_config().test_mode {
+        println!("{label:<50} ... ok (test mode)");
+        return;
+    }
     if b.recorded.is_empty() {
         println!("{label:<50} (no samples recorded)");
         return;
