@@ -7,11 +7,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use sunfloor_baselines::{optimized_mesh, MeshConfig};
 use sunfloor_benchmarks::{distributed, media26};
-use sunfloor_core::graph::CommGraph;
+use sunfloor_core::graph::{CommGraph, PartitionCache};
 use sunfloor_core::paths::{PathAllocator, PathConfig};
 use sunfloor_core::phase1;
 use sunfloor_floorplan::{
-    anneal, insert_components, AnnealConfig, Block, InsertRequest, Net, PlacedBlock,
+    anneal, insert_components, AnnealConfig, Block, InsertRequest, Net, PackScratch, PlacedBlock,
+    SequencePair,
 };
 use sunfloor_lp::PlacementProblem;
 use sunfloor_models::NocLibrary;
@@ -148,6 +149,72 @@ fn bench_annealer(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warm-started Phase-1 partitioning through the cache: the
+/// adjacent-switch-count chain step every sweep candidate pays, next to
+/// the from-scratch cold call it replaced.
+fn bench_partition_warm(c: &mut Criterion) {
+    let bench = media26();
+    let graph = CommGraph::new(&bench.soc, &bench.comm);
+    let mut cache = PartitionCache::new();
+    let prev = phase1::connectivity_cached(
+        &graph, &bench.soc, 7, 0.6, None, 15.0, 0xC0FFEE, None, &mut cache,
+    )
+    .unwrap();
+    let warm: Vec<u32> = prev.core_attach.iter().map(|&a| a as u32).collect();
+    let mut group = c.benchmark_group("partition_phase1_media26_k8");
+    group.bench_function("warm_chain_step", |b| {
+        b.iter(|| {
+            phase1::connectivity_cached(
+                black_box(&graph),
+                &bench.soc,
+                8,
+                0.6,
+                None,
+                15.0,
+                0xC0FFEE,
+                Some(&warm),
+                &mut cache,
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("cold_from_scratch", |b| {
+        b.iter(|| {
+            phase1::connectivity(black_box(&graph), &bench.soc, 8, 0.6, None, 15.0, 0xC0FFEE)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// The Tang/Wong O(n log n) LCS packer against the retained O(n²)
+/// longest-path reference oracle, at the annealer's bench scale (20) and
+/// the 65-core pipeline scale where the asymptotics dominate.
+fn bench_pack_lcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_lcs_vs_longest_path");
+    for n in [20usize, 65] {
+        let blocks: Vec<Block> = (0..n)
+            .map(|i| {
+                Block::new(
+                    format!("b{i}"),
+                    1.0 + (i % 5) as f64 * 0.6,
+                    1.0 + (i % 4) as f64 * 0.8,
+                )
+            })
+            .collect();
+        let sp = SequencePair::identity(n);
+        let rotated = vec![false; n];
+        let mut scratch = PackScratch::default();
+        group.bench_with_input(BenchmarkId::new("lcs", n), &n, |b, _| {
+            b.iter(|| sp.pack_into(black_box(&blocks), &rotated, &mut scratch));
+        });
+        group.bench_with_input(BenchmarkId::new("longest_path", n), &n, |b, _| {
+            b.iter(|| sp.pack_into_longest_path(black_box(&blocks), &rotated, &mut scratch));
+        });
+    }
+    group.finish();
+}
+
 fn bench_mesh_mapping(c: &mut Criterion) {
     let bench = distributed(4);
     let lib = NocLibrary::lp65();
@@ -160,11 +227,13 @@ fn bench_mesh_mapping(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_partition,
+    bench_partition_warm,
     bench_placement_lp,
     bench_insertion,
     bench_phase1_connectivity,
     bench_router,
     bench_annealer,
+    bench_pack_lcs,
     bench_mesh_mapping
 );
 criterion_main!(benches);

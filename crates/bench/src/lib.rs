@@ -13,5 +13,6 @@
 
 pub mod experiments;
 mod artifact;
+pub mod gate;
 
 pub use artifact::{Artifact, Effort};

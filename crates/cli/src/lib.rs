@@ -262,6 +262,17 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         outcome.points.len(),
         outcome.rejected.len()
     );
+    let pstats = outcome.partition_stats;
+    if pstats.cache_hits() > 0 || pstats.cold_partitions > 0 {
+        report.push_str(&format!(
+            "partition cache: {} hits ({} base lookups, {} warm-started), {} cold, {} in-place SPG derivations\n",
+            pstats.cache_hits(),
+            pstats.base_cache_hits,
+            pstats.warm_partitions,
+            pstats.cold_partitions,
+            pstats.spg_derivations
+        ));
+    }
     report.push_str("switches  total_mW  latency_cyc  max_ill\n");
     let mut points: Vec<_> = outcome.points.iter().collect();
     points.sort_by_key(|p| p.requested_switches);

@@ -8,9 +8,9 @@
 //! graph (SPG) at increasing θ, which pulls same-layer cores together and
 //! trades inter-layer links for intra-layer power.
 
-use crate::graph::CommGraph;
+use crate::graph::{CommGraph, PartitionCache};
 use crate::spec::SocSpec;
-use sunfloor_partition::{PartitionConfig, PartitionError};
+use sunfloor_partition::{PartitionConfig, PartitionError, Partitioning};
 
 /// A core-to-switch connectivity candidate produced by Phase 1 or Phase 2,
 /// ready for path computation.
@@ -55,7 +55,73 @@ pub fn connectivity(
         Some(t) => graph.scaled_partitioning_graph(soc, alpha, t, theta_max),
     };
     let parts = pg.partition(&PartitionConfig::k_way(switches).with_seed(seed))?;
+    Ok(build_connectivity(&parts, soc, theta))
+}
 
+/// Cold restarts run alongside a warm-started partition, keeping the
+/// multi-start search honest without paying the full
+/// [`PartitionConfig::k_way`] restart budget at every warm-started step
+/// (the warm refinement + final FM polish make up the quality; the
+/// engine-level tests pin power/hop-count against the cold-start
+/// implementation).
+const WARM_RESTARTS: u32 = 4;
+
+/// [`connectivity`] through a [`PartitionCache`]: the PG is built once per
+/// cache, SPGs are derived by rescaling the cached template in place, and
+/// an optional `initial` assignment warm-starts the partitioner (FM-style
+/// refinement of the previous assignment) instead of recursive-bisecting
+/// from scratch.
+///
+/// Warm-started calls (the engine's once-per-switch-count seed chain and
+/// every θ-escalation step) run the warm refinement against a reduced
+/// cold restart budget and give the winner a final FM polish
+/// — roughly half the cold effort per call, with the warm seed making up
+/// the quality (hMetis-style refinement converges far faster than cold
+/// k-way partitioning).
+///
+/// The graphs the partitioner sees are bit-identical to the ones
+/// [`connectivity`] builds from scratch; with `initial = None` the result
+/// is exactly the cold-start result.
+///
+/// # Errors
+///
+/// Propagates [`PartitionError`] when `switches` exceeds the core count.
+#[allow(clippy::too_many_arguments)]
+pub fn connectivity_cached(
+    graph: &CommGraph,
+    soc: &SocSpec,
+    switches: usize,
+    alpha: f64,
+    theta: Option<f64>,
+    theta_max: f64,
+    seed: u64,
+    initial: Option<&[u32]>,
+    cache: &mut PartitionCache,
+) -> Result<Connectivity, PartitionError> {
+    let mut cfg = PartitionConfig::k_way(switches).with_seed(seed);
+    if let Some(init) = initial {
+        cfg = cfg.with_initial(init.to_vec());
+        cfg.restarts = WARM_RESTARTS;
+        cache.stats.warm_partitions += 1;
+    } else {
+        cache.stats.cold_partitions += 1;
+    }
+    let parts = match theta {
+        None => cache.pg(graph, alpha).partition(&cfg)?,
+        Some(t) => {
+            cache.stats.spg_derivations += 1;
+            cache.spg(graph, soc, alpha, t, theta_max).partition(&cfg)?
+        }
+    };
+    Ok(build_connectivity(&parts, soc, theta))
+}
+
+/// Derives the [`Connectivity`] a partitioning induces (Algorithm 1 steps
+/// 6–9): attachments, rounded-average switch layers and centroid position
+/// estimates. Iterates blocks through [`Partitioning::members_iter`], so no
+/// per-block member vectors are allocated in the sweep's hot loop.
+fn build_connectivity(parts: &Partitioning, soc: &SocSpec, theta: Option<f64>) -> Connectivity {
+    let switches = parts.part_count();
     let mut core_attach = vec![0usize; soc.core_count()];
     for (c, attach) in core_attach.iter_mut().enumerate() {
         *attach = parts.part_of(c) as usize;
@@ -64,24 +130,27 @@ pub fn connectivity(
     let mut switch_layer = Vec::with_capacity(switches);
     let mut est_positions = Vec::with_capacity(switches);
     for block in 0..switches as u32 {
-        let members = parts.members(block);
-        debug_assert!(!members.is_empty(), "partitioner returned an empty block");
+        let members = parts.members_iter(block).count();
+        debug_assert!(members > 0, "partitioner returned an empty block");
         // Step 7: layer = rounded average of the member cores' layers.
-        let avg_layer: f64 = members.iter().map(|&c| f64::from(soc.cores[c].layer)).sum::<f64>()
-            / members.len() as f64;
+        let avg_layer: f64 = parts
+            .members_iter(block)
+            .map(|c| f64::from(soc.cores[c].layer))
+            .sum::<f64>()
+            / members as f64;
         let layer = (avg_layer.round() as u32).min(soc.layers - 1);
         switch_layer.push(layer);
 
         let (mut cx, mut cy) = (0.0, 0.0);
-        for &c in &members {
+        for c in parts.members_iter(block) {
             let (x, y) = soc.cores[c].center();
             cx += x;
             cy += y;
         }
-        est_positions.push((cx / members.len() as f64, cy / members.len() as f64));
+        est_positions.push((cx / members as f64, cy / members as f64));
     }
 
-    Ok(Connectivity { core_attach, switch_layer, est_positions, theta })
+    Connectivity { core_attach, switch_layer, est_positions, theta }
 }
 
 #[cfg(test)]

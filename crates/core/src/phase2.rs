@@ -64,6 +64,8 @@ pub fn connectivity(
     let mut core_attach = vec![0usize; soc.core_count()];
     let mut switch_layer = Vec::new();
     let mut est_positions = Vec::new();
+    // One member buffer reused across every block of every layer.
+    let mut block_local: Vec<usize> = Vec::new();
 
     for layer in 0..soc.layers {
         let (lpg, members) = graph.layer_partitioning_graph(soc, layer, alpha);
@@ -75,20 +77,18 @@ pub fn connectivity(
 
         let base = switch_layer.len();
         for block in 0..np as u32 {
-            let block_members: Vec<usize> =
-                parts.members(block).into_iter().map(|l| members[l]).collect();
-            debug_assert!(!block_members.is_empty());
+            parts.members_into(block, &mut block_local);
+            debug_assert!(!block_local.is_empty());
             let (mut cx, mut cy) = (0.0, 0.0);
-            for &c in &block_members {
-                let (x, y) = soc.cores[c].center();
+            for &l in &block_local {
+                let (x, y) = soc.cores[members[l]].center();
                 cx += x;
                 cy += y;
             }
-            est_positions
-                .push((cx / block_members.len() as f64, cy / block_members.len() as f64));
+            est_positions.push((cx / block_local.len() as f64, cy / block_local.len() as f64));
             switch_layer.push(layer);
-            for &c in &block_members {
-                core_attach[c] = base + block as usize;
+            for &l in &block_local {
+                core_attach[members[l]] = base + block as usize;
             }
         }
     }

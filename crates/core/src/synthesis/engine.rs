@@ -7,7 +7,7 @@ use super::config::{SynthesisConfig, SynthesisMode};
 use super::diagnostics::{RejectReason, SweepEvent, SweepObserver, SynthesisError};
 use super::outcome::{DesignPoint, PhaseKind, RejectedPoint, SynthesisOutcome};
 use crate::eval::evaluate;
-use crate::graph::CommGraph;
+use crate::graph::{CommGraph, PartitionCache, PartitionStats};
 use crate::layout::layout_design;
 use crate::paths::{PathAllocator, PathConfig, PathError};
 use crate::phase1::{self, Connectivity};
@@ -16,9 +16,10 @@ use crate::place::place_switches;
 use crate::spec::{CommSpec, SocSpec};
 use crate::topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
+use sunfloor_partition::PartitionError;
 
 /// When the engine stops the sweep before exhausting every candidate.
 ///
@@ -64,11 +65,48 @@ struct CandidateEvaluation {
     /// θ values the escalation loop tried, in order.
     thetas: Vec<f64>,
     point: Option<DesignPoint>,
+    /// Partition-cache counters this candidate accrued (deterministic per
+    /// candidate, so the committed totals match serial and parallel).
+    stats: PartitionStats,
 }
 
 impl CandidateEvaluation {
     fn new(candidate: Candidate) -> Self {
-        Self { candidate, attempts: Vec::new(), thetas: Vec::new(), point: None }
+        Self {
+            candidate,
+            attempts: Vec::new(),
+            thetas: Vec::new(),
+            point: None,
+            stats: PartitionStats::default(),
+        }
+    }
+}
+
+/// The precomputed Phase-1 base partitions: one per swept switch count, the
+/// chain warm-starting each count from the previous one's assignment.
+///
+/// Base partitions are frequency-independent (the PG depends only on α), so
+/// they are computed once per engine — serially, in ascending switch-count
+/// order — and shared read-only by every sweep worker. This keeps
+/// warm-start chains deterministic: a worker never seeds from whatever it
+/// happened to evaluate last.
+struct Phase1Seeds {
+    /// `(requested switch count, seed)` in sweep order.
+    seeds: Vec<(usize, Result<Phase1Seed, PartitionError>)>,
+    /// Counters accrued while building the chain.
+    stats: PartitionStats,
+}
+
+struct Phase1Seed {
+    conn: Connectivity,
+    /// The partition assignment behind `conn`, kept as the warm-start seed
+    /// for the candidate's θ-escalation chain.
+    assignment: Vec<u32>,
+}
+
+impl Phase1Seeds {
+    fn get(&self, count: usize) -> Option<&Result<Phase1Seed, PartitionError>> {
+        self.seeds.iter().find(|(k, _)| *k == count).map(|(_, seed)| seed)
     }
 }
 
@@ -110,6 +148,9 @@ pub struct SynthesisEngine<'a> {
     cfg: SynthesisConfig,
     /// Frequencies of the sweep that admit at least a 2-port switch.
     frequencies: Vec<f64>,
+    /// Lazily computed warm-chained Phase-1 base partitions (shared by all
+    /// sweep workers; stable across repeated `run` calls).
+    phase1_seeds: OnceLock<Phase1Seeds>,
 }
 
 impl<'a> SynthesisEngine<'a> {
@@ -140,7 +181,48 @@ impl<'a> SynthesisEngine<'a> {
             return Err(SynthesisError::NoUsableFrequency);
         }
         let graph = CommGraph::new(soc, comm);
-        Ok(Self { soc, graph, cfg, frequencies })
+        Ok(Self { soc, graph, cfg, frequencies, phase1_seeds: OnceLock::new() })
+    }
+
+    /// The warm-chained Phase-1 base partitions, computed once per engine.
+    fn phase1_seeds(&self) -> &Phase1Seeds {
+        self.phase1_seeds.get_or_init(|| {
+            let cfg = &self.cfg;
+            let mut cache = PartitionCache::new();
+            let mut seeds = Vec::new();
+            let mut prev: Option<Vec<u32>> = None;
+            // Switch counts are frequency-independent; enumerate them from
+            // the first usable frequency's candidate list.
+            let counts = self
+                .frequencies
+                .first()
+                .map(|&f| phase1_candidates(cfg, self.soc, f))
+                .unwrap_or_default();
+            for candidate in counts {
+                let SweepParam::SwitchCount(count) = candidate.sweep else { continue };
+                let result = phase1::connectivity_cached(
+                    &self.graph,
+                    self.soc,
+                    count,
+                    cfg.alpha,
+                    None,
+                    cfg.theta_max,
+                    cfg.rng_seed,
+                    prev.as_deref(),
+                    &mut cache,
+                );
+                match result {
+                    Ok(conn) => {
+                        let assignment: Vec<u32> =
+                            conn.core_attach.iter().map(|&a| a as u32).collect();
+                        prev = Some(assignment.clone());
+                        seeds.push((count, Ok(Phase1Seed { conn, assignment })));
+                    }
+                    Err(e) => seeds.push((count, Err(e))),
+                }
+            }
+            Phase1Seeds { seeds, stats: cache.stats }
+        })
     }
 
     /// The configuration the engine runs with.
@@ -206,6 +288,11 @@ impl<'a> SynthesisEngine<'a> {
     ) -> SynthesisOutcome {
         let started = Instant::now();
         let mut outcome = SynthesisOutcome::default();
+        if self.cfg.mode != SynthesisMode::Phase2Only {
+            // The shared warm-chained base partitions (computed on first
+            // run) count towards this run's cache diagnostics.
+            outcome.partition_stats += self.phase1_seeds().stats;
+        }
         for &freq in &self.frequencies {
             let primary = self.primary_candidates(freq);
             let before = outcome.points.len();
@@ -245,13 +332,15 @@ impl<'a> SynthesisEngine<'a> {
     ) -> bool {
         let jobs = self.cfg.parallelism.effective_jobs().min(candidates.len());
         if jobs <= 1 {
-            // One reusable routing workspace for the whole serial sweep.
+            // One reusable routing workspace and partition cache for the
+            // whole serial sweep.
             let mut alloc = PathAllocator::new();
+            let mut cache = PartitionCache::new();
             for &candidate in candidates {
                 if policy.met(outcome, started) {
                     return true;
                 }
-                let ev = self.evaluate_candidate(candidate, &mut alloc);
+                let ev = self.evaluate_candidate(candidate, &mut alloc, &mut cache);
                 self.commit(ev, observer, outcome);
             }
             return false;
@@ -265,16 +354,17 @@ impl<'a> SynthesisEngine<'a> {
         thread::scope(|s| {
             for _ in 0..jobs {
                 s.spawn(|| {
-                    // Per-worker routing workspace, reused across every
-                    // candidate this worker claims.
+                    // Per-worker routing workspace and partition cache,
+                    // reused across every candidate this worker claims.
                     let mut alloc = PathAllocator::new();
+                    let mut cache = PartitionCache::new();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&candidate) = candidates.get(i) else { break };
-                        let ev = self.evaluate_candidate(candidate, &mut alloc);
+                        let ev = self.evaluate_candidate(candidate, &mut alloc, &mut cache);
                         let (lock, cvar) = &slots[i];
                         *lock.lock().expect("no poisoned slot") = Some(ev);
                         cvar.notify_all();
@@ -324,6 +414,7 @@ impl<'a> SynthesisEngine<'a> {
         }
         let terminal_reason =
             if ev.point.is_none() { ev.attempts.last().map(|a| a.reason.clone()) } else { None };
+        outcome.partition_stats += ev.stats;
         outcome.rejected.extend(ev.attempts);
         match ev.point {
             Some(point) => {
@@ -352,20 +443,27 @@ impl<'a> SynthesisEngine<'a> {
         &self,
         candidate: Candidate,
         alloc: &mut PathAllocator,
+        cache: &mut PartitionCache,
     ) -> CandidateEvaluation {
-        match candidate.sweep {
-            SweepParam::SwitchCount(k) => self.evaluate_phase1(candidate, k, alloc),
+        let before = cache.stats;
+        let mut ev = match candidate.sweep {
+            SweepParam::SwitchCount(k) => self.evaluate_phase1(candidate, k, alloc, cache),
             SweepParam::Increment(inc) => self.evaluate_phase2(candidate, inc, alloc),
-        }
+        };
+        ev.stats += cache.stats - before;
+        ev
     }
 
-    /// Algorithm 1 for one candidate: the base PG attempt, then the θ
-    /// escalation loop until the constraints are met or θ runs out.
+    /// Algorithm 1 for one candidate: the base attempt from the
+    /// precomputed seed partition, then the θ escalation loop — each step
+    /// warm-started from the previous assignment on an in-place-rescaled
+    /// SPG — until the constraints are met or θ runs out.
     fn evaluate_phase1(
         &self,
         candidate: Candidate,
         count: usize,
         alloc: &mut PathAllocator,
+        cache: &mut PartitionCache,
     ) -> CandidateEvaluation {
         let cfg = &self.cfg;
         let freq = candidate.frequency_mhz;
@@ -378,35 +476,58 @@ impl<'a> SynthesisEngine<'a> {
             reason,
         };
 
-        match phase1::connectivity(
-            &self.graph,
-            self.soc,
-            count,
-            cfg.alpha,
-            None,
-            cfg.theta_max,
-            cfg.rng_seed,
-        ) {
-            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase1, false, alloc) {
-                Ok(point) => {
-                    ev.point = Some(point);
-                    return ev;
-                }
-                Err(reason) => ev.attempts.push(reject(None, reason)),
-            },
-            Err(e) => {
+        // Resolve the base seed: from the precomputed warm-chained set, or
+        // (defensively — cannot happen for counts the engine itself
+        // enumerates) computed through this worker's cache.
+        let computed: Option<Phase1Seed>;
+        let seed: &Phase1Seed = match self.phase1_seeds().get(count) {
+            Some(Ok(seed)) => {
+                cache.stats.base_cache_hits += 1;
+                seed
+            }
+            Some(Err(e)) => {
                 // The partitioner cannot produce this split at any θ:
                 // terminal, no escalation.
-                ev.attempts.push(reject(None, e.into()));
+                ev.attempts.push(reject(None, e.clone().into()));
                 return ev;
             }
+            None => match phase1::connectivity_cached(
+                &self.graph,
+                self.soc,
+                count,
+                cfg.alpha,
+                None,
+                cfg.theta_max,
+                cfg.rng_seed,
+                None,
+                cache,
+            ) {
+                Ok(conn) => {
+                    let assignment = conn.core_attach.iter().map(|&a| a as u32).collect();
+                    computed = Some(Phase1Seed { conn, assignment });
+                    computed.as_ref().expect("just set")
+                }
+                Err(e) => {
+                    ev.attempts.push(reject(None, e.into()));
+                    return ev;
+                }
+            },
+        };
+        match self.try_candidate(freq, &seed.conn, PhaseKind::Phase1, false, alloc) {
+            Ok(point) => {
+                ev.point = Some(point);
+                return ev;
+            }
+            Err(reason) => ev.attempts.push(reject(None, reason)),
         }
+        let mut warm = seed.assignment.clone();
 
-        // θ loop (Algorithm 1, steps 11–20).
+        // θ loop (Algorithm 1, steps 11–20), each step seeding the
+        // partitioner from the previous assignment.
         let mut theta = cfg.theta_min;
         while theta <= cfg.theta_max + 1e-9 {
             ev.thetas.push(theta);
-            if let Ok(conn) = phase1::connectivity(
+            if let Ok(conn) = phase1::connectivity_cached(
                 &self.graph,
                 self.soc,
                 count,
@@ -414,7 +535,11 @@ impl<'a> SynthesisEngine<'a> {
                 Some(theta),
                 cfg.theta_max,
                 cfg.rng_seed,
+                Some(&warm),
+                cache,
             ) {
+                warm.clear();
+                warm.extend(conn.core_attach.iter().map(|&a| a as u32));
                 match self.try_candidate(freq, &conn, PhaseKind::Phase1, false, alloc) {
                     Ok(point) => {
                         ev.point = Some(point);

@@ -44,6 +44,8 @@ pub use diagnostics::{RejectReason, SweepEvent, SweepObserver, SynthesisError};
 pub use engine::{StopPolicy, SynthesisEngine};
 pub use outcome::{DesignPoint, PhaseKind, RejectedPoint, SynthesisOutcome};
 
+pub use crate::graph::PartitionStats;
+
 #[cfg(test)]
 mod tests {
     use super::*;

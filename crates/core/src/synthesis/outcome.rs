@@ -4,6 +4,7 @@
 
 use super::diagnostics::RejectReason;
 use crate::eval::DesignMetrics;
+use crate::graph::PartitionStats;
 use crate::layout::Layout;
 use crate::topology::Topology;
 use std::fmt;
@@ -73,6 +74,10 @@ pub struct SynthesisOutcome {
     /// All rejected attempts with reasons (diagnostics), in deterministic
     /// candidate order.
     pub rejected: Vec<RejectedPoint>,
+    /// How the Phase-1 partitioning work was served (cache hits, warm vs
+    /// cold partitions, in-place SPG derivations). Counted per candidate,
+    /// so serial and parallel sweeps report identical totals.
+    pub partition_stats: PartitionStats,
 }
 
 impl SynthesisOutcome {

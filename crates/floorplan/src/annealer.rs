@@ -288,22 +288,40 @@ fn run_sa_seeded(
     let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
     let mut sp = seed_sp;
     let mut rotated = vec![false; n];
+    // Sequence ranks (inverse permutations), maintained incrementally by
+    // `reinsert`/`undo_reinsert` instead of rebuilt per pack; they also
+    // replace the O(n) position scan when removing a block.
+    let mut pp = vec![0usize; n];
+    let mut nn = vec![0usize; n];
+    for (i, &b) in sp.pos.iter().enumerate() {
+        pp[b] = i;
+    }
+    for (i, &b) in sp.neg.iter().enumerate() {
+        nn[b] = i;
+    }
 
-    // Reusable packing scratch (candidate coordinates) plus the accepted
-    // state's coordinate arrays: the loop never clones a `Floorplan` and
+    // Reusable packing scratch (candidate coordinates), the accepted
+    // state's coordinate arrays, and the rotation-effective dimensions —
+    // maintained incrementally (a rotation move swaps one block's pair,
+    // and a rejected move swaps it back) instead of being rebuilt from the
+    // block list on every pack. The loop never clones a `Floorplan` and
     // never allocates after this setup.
     let mut scratch = PackScratch::default();
     let mut cache = NetCache::new(n, nets);
-    let (mut cur_x, mut cur_y, mut cur_w, mut cur_h);
+    let mut w = vec![0.0f64; n];
+    let mut h = vec![0.0f64; n];
+    for b in 0..n {
+        w[b] = blocks[b].width;
+        h[b] = blocks[b].height;
+    }
+    let (mut cur_x, mut cur_y);
     let mut cur_cost;
     {
-        sp.pack_into(blocks, &rotated, &mut scratch);
-        cache.rebuild_all(nets, &scratch.x, &scratch.y, &scratch.w, &scratch.h);
-        cur_cost = cost_of(&scratch.x, &scratch.y, &scratch.w, &scratch.h, cache.total(), ideal, cfg);
+        let bb = sp.pack_coords_ranked(&pp, &nn, &w, &h, &mut scratch);
+        cache.rebuild_all(nets, &scratch.x, &scratch.y, &w, &h);
+        cur_cost = cost_of(&scratch.x, &scratch.y, &w, &h, bb, cache.total(), ideal, cfg);
         cur_x = scratch.x.clone();
         cur_y = scratch.y.clone();
-        cur_w = scratch.w.clone();
-        cur_h = scratch.h.clone();
     }
     let mut best_cost = cur_cost;
     let mut best_sp = sp.clone();
@@ -330,49 +348,52 @@ fn run_sa_seeded(
         // Mutate in place, remembering how to undo.
         let mv = match rng.gen_range(0..4u8) {
             0 => {
-                let (f, t) = reinsert(&mut sp.pos, m, &mut rng);
+                let (f, t) = reinsert(&mut sp.pos, &mut pp, m, &mut rng);
                 Move::Perm(true, f, t)
             }
             1 => {
-                let (f, t) = reinsert(&mut sp.neg, m, &mut rng);
+                let (f, t) = reinsert(&mut sp.neg, &mut nn, m, &mut rng);
                 Move::Perm(false, f, t)
             }
             2 => {
-                let p = reinsert(&mut sp.pos, m, &mut rng);
-                let q = reinsert(&mut sp.neg, m, &mut rng);
+                let p = reinsert(&mut sp.pos, &mut pp, m, &mut rng);
+                let q = reinsert(&mut sp.neg, &mut nn, m, &mut rng);
                 Move::Both(p, q)
             }
             _ => {
                 if blocks[m].rotatable {
                     rotated[m] = !rotated[m];
+                    std::mem::swap(&mut w[m], &mut h[m]);
                     Move::Rot(m)
                 } else {
-                    let (f, t) = reinsert(&mut sp.pos, m, &mut rng);
+                    let (f, t) = reinsert(&mut sp.pos, &mut pp, m, &mut rng);
                     Move::Perm(true, f, t)
                 }
             }
         };
+        // The only block whose footprint can differ from the accepted
+        // state is the one a rotation move just flipped.
+        let rotated_block = match mv {
+            Move::Rot(b) if w[b] != h[b] => Some(b),
+            _ => None,
+        };
 
-        sp.pack_into(blocks, &rotated, &mut scratch);
+        let bb = sp.pack_coords_ranked(&pp, &nn, &w, &h, &mut scratch);
         // Only nets touching a block whose position or footprint changed
         // need re-measuring.
         let moved = (0..n).filter(|&b| {
             scratch.x[b] != cur_x[b]
                 || scratch.y[b] != cur_y[b]
-                || scratch.w[b] != cur_w[b]
-                || scratch.h[b] != cur_h[b]
+                || rotated_block == Some(b)
         });
-        cache.update_for_move(moved, nets, &scratch.x, &scratch.y, &scratch.w, &scratch.h);
-        let cand_cost =
-            cost_of(&scratch.x, &scratch.y, &scratch.w, &scratch.h, cache.total(), ideal, cfg);
+        cache.update_for_move(moved, nets, &scratch.x, &scratch.y, &w, &h);
+        let cand_cost = cost_of(&scratch.x, &scratch.y, &w, &h, bb, cache.total(), ideal, cfg);
 
         let delta = cand_cost - cur_cost;
         if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
             // Accept: the candidate arrays become the current state.
             std::mem::swap(&mut cur_x, &mut scratch.x);
             std::mem::swap(&mut cur_y, &mut scratch.y);
-            std::mem::swap(&mut cur_w, &mut scratch.w);
-            std::mem::swap(&mut cur_h, &mut scratch.h);
             cur_cost = cand_cost;
             cache.undo.clear();
             if cur_cost < best_cost {
@@ -385,13 +406,16 @@ fn run_sa_seeded(
             // Reject: undo the move and the net-cache deltas.
             cache.revert();
             match mv {
-                Move::Perm(true, f, t) => undo_reinsert(&mut sp.pos, f, t),
-                Move::Perm(false, f, t) => undo_reinsert(&mut sp.neg, f, t),
+                Move::Perm(true, f, t) => undo_reinsert(&mut sp.pos, &mut pp, f, t),
+                Move::Perm(false, f, t) => undo_reinsert(&mut sp.neg, &mut nn, f, t),
                 Move::Both((pf, pt), (nf, nt)) => {
-                    undo_reinsert(&mut sp.neg, nf, nt);
-                    undo_reinsert(&mut sp.pos, pf, pt);
+                    undo_reinsert(&mut sp.neg, &mut nn, nf, nt);
+                    undo_reinsert(&mut sp.pos, &mut pp, pf, pt);
                 }
-                Move::Rot(b) => rotated[b] = !rotated[b],
+                Move::Rot(b) => {
+                    rotated[b] = !rotated[b];
+                    std::mem::swap(&mut w[b], &mut h[b]);
+                }
             }
         }
         temp *= alpha;
@@ -399,29 +423,23 @@ fn run_sa_seeded(
     build_best(&best_sp, &best_rot)
 }
 
-/// The annealing cost of a packed placement — the same terms, computed in
-/// the same order, as the original clone-per-iteration implementation:
-/// bounding-box area, weighted wirelength, aspect penalty, fixed-outline
-/// penalty and ideal-position deviation.
+/// The annealing cost of a packed placement — the same terms as the
+/// original clone-per-iteration implementation: bounding-box area,
+/// weighted wirelength, aspect penalty, fixed-outline penalty and
+/// ideal-position deviation. The bounding box comes straight from the
+/// packer (a packed placement is flush against both axes, so the box
+/// equals the extent maxima the original min/max fold produced).
+#[allow(clippy::too_many_arguments)]
 fn cost_of(
     x: &[f64],
     y: &[f64],
     w: &[f64],
     h: &[f64],
+    (bw, bh): (f64, f64),
     hpwl_total: f64,
     ideal: Option<&[IdealTarget]>,
     cfg: &AnnealConfig,
 ) -> f64 {
-    let n = x.len();
-    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
-    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-    for b in 0..n {
-        min_x = min_x.min(x[b]);
-        min_y = min_y.min(y[b]);
-        max_x = max_x.max(x[b] + w[b]);
-        max_y = max_y.max(y[b] + h[b]);
-    }
-    let (bw, bh) = if n == 0 { (0.0, 0.0) } else { (max_x - min_x, max_y - min_y) };
     let area = bw * bh;
 
     let mut c = area + cfg.lambda_wirelength * hpwl_total;
@@ -448,19 +466,33 @@ fn cost_of(
 /// Removes block `b` from the permutation and reinserts it at a random
 /// position — a move that preserves the relative order of all other blocks,
 /// which is what keeps the cores' arrangement intact in constrained mode.
-/// Returns `(from, to)` so the move can be undone without cloning.
-fn reinsert(perm: &mut Vec<usize>, b: usize, rng: &mut StdRng) -> (usize, usize) {
-    let from = perm.iter().position(|&x| x == b).expect("block in permutation");
+/// Returns `(from, to)` so the move can be undone without cloning. `ranks`
+/// is the permutation's inverse: it locates `b` without a scan and is
+/// patched up for the shifted range afterwards.
+fn reinsert(
+    perm: &mut Vec<usize>,
+    ranks: &mut [usize],
+    b: usize,
+    rng: &mut StdRng,
+) -> (usize, usize) {
+    let from = ranks[b];
+    debug_assert_eq!(perm[from], b, "stale rank for block {b}");
     perm.remove(from);
     let to = rng.gen_range(0..=perm.len());
     perm.insert(to, b);
+    for i in from.min(to)..=from.max(to) {
+        ranks[perm[i]] = i;
+    }
     (from, to)
 }
 
 /// Inverse of [`reinsert`]: the block sits at `to`; put it back at `from`.
-fn undo_reinsert(perm: &mut Vec<usize>, from: usize, to: usize) {
+fn undo_reinsert(perm: &mut Vec<usize>, ranks: &mut [usize], from: usize, to: usize) {
     let b = perm.remove(to);
     perm.insert(from, b);
+    for i in from.min(to)..=from.max(to) {
+        ranks[perm[i]] = i;
+    }
 }
 
 #[cfg(test)]

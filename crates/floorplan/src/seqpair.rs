@@ -103,6 +103,16 @@ impl SequencePair {
     /// land in [`PackScratch::x`]/[`PackScratch::y`] and the
     /// rotation-effective dimensions in [`PackScratch::w`]/[`PackScratch::h`].
     ///
+    /// This is the Tang/Wong longest-common-subsequence formulation: each
+    /// coordinate pass walks one sequence and answers "longest packed
+    /// extent among my feasible prefix" with a Fenwick prefix-max tree
+    /// over the other sequence's ranks, dropping the per-block work from
+    /// O(n) to O(log n) — O(n log n) per pack instead of the longest-path
+    /// O(n²). The feasible-prefix scan of the longest-path form survives
+    /// as the tree's exclusive prefix query, and because `max` is
+    /// order-insensitive the coordinates are bit-identical to
+    /// [`Self::pack_into_longest_path`] (the retained reference oracle).
+    ///
     /// All scratch vectors are resized in place, so a reused scratch makes
     /// the call allocation-free — this is what keeps the annealer's
     /// per-iteration cost down.
@@ -116,9 +126,103 @@ impl SequencePair {
         assert_eq!(blocks.len(), n, "block count mismatch");
         assert_eq!(rotated.len(), n, "rotation flag count mismatch");
         scratch.resize(n);
-        let PackScratch { pp, nn, x, y, w, h } = scratch;
+        let PackScratch { pp, nn, x, y, w, h, fen } = scratch;
+        for (i, &b) in self.pos.iter().enumerate() {
+            pp[b] = i;
+        }
+        for (i, &b) in self.neg.iter().enumerate() {
+            nn[b] = i;
+        }
+        for b in 0..n {
+            if rotated[b] {
+                w[b] = blocks[b].height;
+                h[b] = blocks[b].width;
+            } else {
+                w[b] = blocks[b].width;
+                h[b] = blocks[b].height;
+            }
+        }
+        let _ = pack_xy(&self.pos, &self.neg, pp, nn, x, y, fen, w, h);
+    }
 
-        // Ranks of each block in the two sequences.
+    /// The LCS packing of [`Self::pack_into`] with caller-provided
+    /// rotation-effective dimensions: only the `x`/`y` coordinates land in
+    /// `scratch`. The annealer maintains `w`/`h` incrementally (a rotation
+    /// move swaps one block's pair) instead of rebuilding them from the
+    /// block list on every pack.
+    ///
+    /// Returns the packed bounding box `(width, height)` — read off the
+    /// Fenwick roots for free, and bit-identical to a max-fold over the
+    /// packed extents (a packed placement always has a block at x = 0 and
+    /// one at y = 0, so the box is just the two maxima).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len()` or `h.len()` disagree with the sequence length.
+    pub fn pack_coords_into(&self, w: &[f64], h: &[f64], scratch: &mut PackScratch) -> (f64, f64) {
+        let n = self.pos.len();
+        assert_eq!(w.len(), n, "width count mismatch");
+        assert_eq!(h.len(), n, "height count mismatch");
+        scratch.resize(n);
+        let PackScratch { pp, nn, x, y, fen, .. } = scratch;
+        for (i, &b) in self.pos.iter().enumerate() {
+            pp[b] = i;
+        }
+        for (i, &b) in self.neg.iter().enumerate() {
+            nn[b] = i;
+        }
+        pack_xy(&self.pos, &self.neg, pp, nn, x, y, fen, w, h)
+    }
+
+    /// [`Self::pack_coords_into`] with caller-maintained sequence ranks:
+    /// `pp`/`nn` must be the inverse permutations of `pos`/`neg`. The
+    /// annealer keeps them current across reinsertion moves (an O(|from −
+    /// to|) range touch-up) instead of rebuilding both arrays per pack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length disagrees with the sequence length.
+    pub fn pack_coords_ranked(
+        &self,
+        pp: &[usize],
+        nn: &[usize],
+        w: &[f64],
+        h: &[f64],
+        scratch: &mut PackScratch,
+    ) -> (f64, f64) {
+        let n = self.pos.len();
+        assert_eq!(pp.len(), n, "pos rank count mismatch");
+        assert_eq!(nn.len(), n, "neg rank count mismatch");
+        assert_eq!(w.len(), n, "width count mismatch");
+        assert_eq!(h.len(), n, "height count mismatch");
+        debug_assert!(self.pos.iter().enumerate().all(|(i, &b)| pp[b] == i), "stale pos ranks");
+        debug_assert!(self.neg.iter().enumerate().all(|(i, &b)| nn[b] == i), "stale neg ranks");
+        scratch.resize(n);
+        let PackScratch { x, y, fen, .. } = scratch;
+        pack_xy(&self.pos, &self.neg, pp, nn, x, y, fen, w, h)
+    }
+
+    /// The retained O(n²) longest-path packing — the reference oracle the
+    /// LCS [`Self::pack_into`] is property-tested against (their outputs
+    /// are bit-identical; see `lcs_matches_longest_path_reference` in the
+    /// crate tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` or `rotated.len()` disagree with the
+    /// sequence length.
+    pub fn pack_into_longest_path(
+        &self,
+        blocks: &[Block],
+        rotated: &[bool],
+        scratch: &mut PackScratch,
+    ) {
+        let n = self.pos.len();
+        assert_eq!(blocks.len(), n, "block count mismatch");
+        assert_eq!(rotated.len(), n, "rotation flag count mismatch");
+        scratch.resize(n);
+        let PackScratch { pp, nn, x, y, w, h, .. } = scratch;
+
         for (i, &b) in self.pos.iter().enumerate() {
             pp[b] = i;
         }
@@ -167,6 +271,72 @@ impl SequencePair {
     }
 }
 
+/// The two LCS coordinate passes shared by [`SequencePair::pack_into`] and
+/// [`SequencePair::pack_coords_into`].
+///
+/// x: blocks left of `b` are exactly those earlier in *both* sequences;
+/// walking P, the tree holds `x + w` of every placed block keyed by
+/// N-rank, so the exclusive prefix max below b's N-rank is its packed x.
+/// y: blocks below `b` are later in P but earlier in N; walking N with the
+/// tree keyed by *reversed* P-rank turns "later in P" into the same
+/// exclusive prefix query.
+#[allow(clippy::too_many_arguments)]
+fn pack_xy(
+    pos: &[usize],
+    neg: &[usize],
+    pp: &[usize],
+    nn: &[usize],
+    x: &mut [f64],
+    y: &mut [f64],
+    fen: &mut [f64],
+    w: &[f64],
+    h: &[f64],
+) -> (f64, f64) {
+    let n = pos.len();
+    fen_clear(fen, n);
+    for &b in pos {
+        let r = nn[b];
+        x[b] = fen_prefix_max(fen, r);
+        fen_update(fen, n, r, x[b] + w[b]);
+    }
+    let bw = fen_prefix_max(fen, n);
+    fen_clear(fen, n);
+    for &b in neg {
+        let r = n - 1 - pp[b];
+        y[b] = fen_prefix_max(fen, r);
+        fen_update(fen, n, r, y[b] + h[b]);
+    }
+    let bh = fen_prefix_max(fen, n);
+    (bw, bh)
+}
+
+/// Resets the 1-based Fenwick prefix-max tree for `n` ranks.
+fn fen_clear(fen: &mut [f64], n: usize) {
+    fen[..=n].fill(0.0);
+}
+
+/// Max over ranks `< r` (exclusive prefix); 0.0 when the prefix is empty —
+/// the same neutral element the longest-path scan starts from.
+fn fen_prefix_max(fen: &[f64], r: usize) -> f64 {
+    let mut i = r; // 1-based index of the last included rank (r-1).
+    let mut best = 0.0f64;
+    while i > 0 {
+        best = best.max(fen[i]);
+        i &= i - 1;
+    }
+    best
+}
+
+/// Raises the tree's value at rank `r` (each rank is written once per
+/// pack, so stored maxima only grow).
+fn fen_update(fen: &mut [f64], n: usize, r: usize, v: f64) {
+    let mut i = r + 1; // 1-based.
+    while i <= n {
+        fen[i] = fen[i].max(v);
+        i += i & i.wrapping_neg();
+    }
+}
+
 /// Reusable packing workspace for [`SequencePair::pack_into`].
 ///
 /// Holds the sequence ranks, the packed lower-left coordinates and the
@@ -187,6 +357,8 @@ pub struct PackScratch {
     pub w: Vec<f64>,
     /// Effective height per block (rotation applied).
     pub h: Vec<f64>,
+    /// Fenwick prefix-max tree of the LCS packing (1-based, `n + 1` slots).
+    fen: Vec<f64>,
 }
 
 impl PackScratch {
@@ -197,6 +369,7 @@ impl PackScratch {
         self.y.resize(n, 0.0);
         self.w.resize(n, 0.0);
         self.h.resize(n, 0.0);
+        self.fen.resize(n + 1, 0.0);
     }
 }
 

@@ -1,25 +1,132 @@
 //! Recursive bisection with Fiduccia–Mattheyses refinement and a k-way
 //! swap polish.
+//!
+//! The cold path is written allocation-light: one [`Workspace`] per
+//! [`crate::WeightedGraph::partition`] call carries every scratch buffer
+//! through all restarts and recursion levels, vertex subsets are split in
+//! place, and the FM inner loop scans a cached gain array gated by a
+//! per-step balance rule instead of recomputing gains per vertex. All of
+//! it is arithmetic-order-preserving: the moves taken, the RNG consumption
+//! and every float operation match the original allocating implementation
+//! bit for bit.
 
 use crate::graph::WeightedGraph;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// One FM candidate in the gain heaps: max-gain first, lowest subset
+/// index on ties — exactly the vertex the original ascending linear scan
+/// (with its strict `>` comparison) selected. Gains here are conn-value
+/// differences of finite non-negative weights, so they are never NaN and
+/// never −0.0, making `total_cmp` agree with the numeric comparison the
+/// scan performed.
+#[derive(Clone, Copy, PartialEq)]
+struct GainEntry {
+    gain: f64,
+    idx: usize,
+}
+
+impl Eq for GainEntry {}
+
+impl Ord for GainEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain.total_cmp(&other.gain).then(other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for GainEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable scratch for one `partition` call: shared by every restart and
+/// every recursion level (a bisection finishes with its buffers — and
+/// resets `local` — before its children run).
+pub(crate) struct Workspace {
+    /// Local index of each global vertex (`usize::MAX` = not in the
+    /// current subset); reset after every bisection.
+    local: Vec<usize>,
+    /// Side-0 mask of the current bisection, indexed like its subset.
+    side0: Vec<bool>,
+    /// Greedy-growth attraction per subset vertex.
+    attraction: Vec<f64>,
+    /// Shuffled tie-break order of the greedy growth.
+    order: Vec<usize>,
+    /// `conn[i][s]` = weight from subset vertex `i` to side `s`.
+    conn: Vec<[f64; 2]>,
+    /// Cached FM gains (`conn[i][other] - conn[i][own]`).
+    gain: Vec<f64>,
+    /// FM lock flags.
+    locked: Vec<bool>,
+    /// Lazy-invalidation gain heaps, one per side: stale entries (locked
+    /// vertex, superseded gain) are discarded at pop time.
+    heaps: [std::collections::BinaryHeap<GainEntry>; 2],
+    /// FM move log (subset indices, in order).
+    moves: Vec<usize>,
+    /// Spill buffer for the in-place subset split.
+    spill: Vec<usize>,
+    /// Dense pair weights for the k-way swap polish.
+    wmat: Vec<f64>,
+    /// Whether `wmat` has been filled for this graph yet.
+    wmat_filled: bool,
+    /// Flat `conn[v * parts + p]` for the k-way swap polish.
+    connk: Vec<f64>,
+}
+
+impl Workspace {
+    pub(crate) fn new(node_count: usize) -> Self {
+        Self {
+            local: vec![usize::MAX; node_count],
+            side0: Vec::new(),
+            attraction: Vec::new(),
+            order: Vec::new(),
+            conn: Vec::new(),
+            gain: Vec::new(),
+            locked: Vec::new(),
+            heaps: [std::collections::BinaryHeap::new(), std::collections::BinaryHeap::new()],
+            moves: Vec::new(),
+            spill: Vec::new(),
+            wmat: vec![0.0; node_count * node_count],
+            wmat_filled: false,
+            connk: Vec::new(),
+        }
+    }
+
+    /// Sizes the per-subset buffers for `m` vertices (contents are
+    /// (re)initialized by the passes themselves).
+    fn size_subset(&mut self, m: usize) {
+        self.side0.clear();
+        self.side0.resize(m, false);
+        self.attraction.clear();
+        self.attraction.resize(m, 0.0);
+        self.conn.clear();
+        self.conn.resize(m, [0.0; 2]);
+        self.gain.clear();
+        self.gain.resize(m, 0.0);
+        self.locked.clear();
+        self.locked.resize(m, false);
+    }
+}
+
 /// Recursively splits `vertices` into `parts` blocks, writing block labels
-/// `first_label..first_label + parts` into `assignment`.
+/// `first_label..first_label + parts` into `assignment`. The slice is
+/// reordered in place (stable within each side) as subsets split.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn recursive_bisect(
     g: &WeightedGraph,
-    vertices: &[usize],
+    vertices: &mut [usize],
     parts: usize,
     first_label: u32,
     max_passes: u32,
     rng: &mut StdRng,
     assignment: &mut [u32],
+    ws: &mut Workspace,
 ) {
     debug_assert!(parts >= 1 && vertices.len() >= parts);
     if parts == 1 {
-        for &v in vertices {
+        for &v in vertices.iter() {
             assignment[v] = first_label;
         }
         return;
@@ -31,65 +138,79 @@ pub(crate) fn recursive_bisect(
     let ideal = (vertices.len() * k1 + parts / 2) / parts;
     let n1 = ideal.clamp(k1, vertices.len() - k2);
 
-    let side0 = bisect(g, vertices, n1, max_passes, rng);
-    let mut left = Vec::with_capacity(n1);
-    let mut right = Vec::with_capacity(vertices.len() - n1);
-    for (i, &v) in vertices.iter().enumerate() {
-        if side0[i] {
-            left.push(v);
+    bisect(g, vertices, n1, max_passes, rng, ws);
+
+    // Stable in-place split: side-0 vertices compact forward (the write
+    // cursor never passes the read cursor), side-1 vertices spill and come
+    // back as the suffix — the same left/right orders the allocating
+    // implementation produced.
+    ws.spill.clear();
+    let mut write = 0usize;
+    for read in 0..vertices.len() {
+        let v = vertices[read];
+        if ws.side0[read] {
+            vertices[write] = v;
+            write += 1;
         } else {
-            right.push(v);
+            ws.spill.push(v);
         }
     }
-    recursive_bisect(g, &left, k1, first_label, max_passes, rng, assignment);
-    recursive_bisect(g, &right, k2, first_label + k1 as u32, max_passes, rng, assignment);
+    debug_assert_eq!(write, n1);
+    vertices[n1..].copy_from_slice(&ws.spill);
+
+    let (left, right) = vertices.split_at_mut(n1);
+    recursive_bisect(g, left, k1, first_label, max_passes, rng, assignment, ws);
+    recursive_bisect(g, right, k2, first_label + k1 as u32, max_passes, rng, assignment, ws);
 }
 
-/// Bisects `vertices` into sides of exactly (`n1`, `len - n1`) vertices.
-/// Returns `true` for vertices on side 0, indexed like `vertices`.
+/// Bisects `vertices` into sides of exactly (`n1`, `len - n1`) vertices,
+/// leaving the side-0 mask in `ws.side0` (indexed like `vertices`).
 fn bisect(
     g: &WeightedGraph,
     vertices: &[usize],
     n1: usize,
     max_passes: u32,
     rng: &mut StdRng,
-) -> Vec<bool> {
+    ws: &mut Workspace,
+) {
     let m = vertices.len();
     debug_assert!(n1 >= 1 && n1 < m);
-
-    // Local index of each global vertex (usize::MAX = not in subset).
-    let mut local = vec![usize::MAX; g.node_count()];
+    ws.size_subset(m);
     for (i, &v) in vertices.iter().enumerate() {
-        local[v] = i;
+        ws.local[v] = i;
     }
 
     // --- initial solution: greedy growth from a random seed -------------
-    let mut side0 = greedy_grow(g, vertices, &local, n1, rng);
+    greedy_grow(g, vertices, n1, rng, ws);
 
     // conn[i][s] = weight from local vertex i to side s (within the subset)
-    let mut conn = vec![[0.0f64; 2]; m];
     let mut cut = 0.0;
     for (i, &v) in vertices.iter().enumerate() {
         for &(u, w) in g.neighbors(v) {
-            let lu = local[u as usize];
+            let lu = ws.local[u as usize];
             if lu == usize::MAX {
                 continue;
             }
-            let s = usize::from(!side0[lu]);
-            conn[i][s] += w;
-            if side0[i] != side0[lu] && i < lu {
+            let s = usize::from(!ws.side0[lu]);
+            ws.conn[i][s] += w;
+            if ws.side0[i] != ws.side0[lu] && i < lu {
                 cut += w;
             }
         }
     }
     // --- FM passes -------------------------------------------------------
     for _ in 0..max_passes {
-        let improved = fm_pass(vertices, &mut side0, &mut conn, &mut cut, n1, &local, g);
+        let improved = fm_pass(vertices, &mut cut, n1, g, ws);
         if !improved {
             break;
         }
     }
-    side0
+
+    // Release the global index slots this subset occupied so sibling and
+    // child bisections start from a clean table.
+    for &v in vertices {
+        ws.local[v] = usize::MAX;
+    }
 }
 
 /// Grows side 0 greedily: start from a random seed, repeatedly absorb the
@@ -97,35 +218,33 @@ fn bisect(
 fn greedy_grow(
     g: &WeightedGraph,
     vertices: &[usize],
-    local: &[usize],
     n1: usize,
     rng: &mut StdRng,
-) -> Vec<bool> {
+    ws: &mut Workspace,
+) {
     let m = vertices.len();
-    let mut side0 = vec![false; m];
-    let mut attraction = vec![0.0f64; m];
-    let mut order: Vec<usize> = (0..m).collect();
-    order.shuffle(rng);
+    ws.order.clear();
+    ws.order.extend(0..m);
+    ws.order.shuffle(rng);
 
     let seed = rng.gen_range(0..m);
-    side0[seed] = true;
+    ws.side0[seed] = true;
     let mut grown = 1;
-    update_attraction(g, vertices, local, seed, &mut attraction);
+    update_attraction(g, vertices, &ws.local, seed, &mut ws.attraction);
 
     while grown < n1 {
         let mut best = usize::MAX;
         let mut best_w = f64::NEG_INFINITY;
-        for &i in &order {
-            if !side0[i] && attraction[i] > best_w {
-                best_w = attraction[i];
+        for &i in &ws.order {
+            if !ws.side0[i] && ws.attraction[i] > best_w {
+                best_w = ws.attraction[i];
                 best = i;
             }
         }
-        side0[best] = true;
+        ws.side0[best] = true;
         grown += 1;
-        update_attraction(g, vertices, local, best, &mut attraction);
+        update_attraction(g, vertices, &ws.local, best, &mut ws.attraction);
     }
-    side0
 }
 
 fn update_attraction(
@@ -146,45 +265,69 @@ fn update_attraction(
 /// One FM pass with exact balance targets: moves may leave the split one
 /// vertex out of balance mid-pass, and the best *balanced* prefix of the
 /// move sequence is kept. Returns whether the cut improved.
-#[allow(clippy::too_many_arguments)]
+///
+/// The inner scan reads a cached gain array (`gain[i] = conn[i][other] −
+/// conn[i][own]`, recomputed only for vertices whose connectivity the last
+/// move touched) and a per-step balance gate: with `size0 ∈ [n1−1, n1+1]`,
+/// a side-0 vertex may move iff `size0 ≥ n1` and a side-1 vertex iff
+/// `size0 ≤ n1` — exactly the `|new_size0 − n1| ≤ 1` test the original
+/// per-vertex check performed.
 fn fm_pass(
     vertices: &[usize],
-    side0: &mut [bool],
-    conn: &mut [[f64; 2]],
     cut: &mut f64,
     n1: usize,
-    local: &[usize],
     g: &WeightedGraph,
+    ws: &mut Workspace,
 ) -> bool {
     let m = vertices.len();
     let start_cut = *cut;
-    let mut locked = vec![false; m];
-    let mut size0 = side0.iter().filter(|&&s| s).count();
+    ws.locked[..m].fill(false);
+    let mut size0 = ws.side0[..m].iter().filter(|&&s| s).count();
+    for i in 0..m {
+        let own = usize::from(!ws.side0[i]);
+        let other = usize::from(ws.side0[i]);
+        ws.gain[i] = ws.conn[i][other] - ws.conn[i][own];
+    }
 
-    let mut moves: Vec<usize> = Vec::with_capacity(m);
+    ws.moves.clear();
     let mut running = *cut;
     let mut best_cut = *cut;
     let mut best_prefix = 0usize;
 
+    // Seed the per-side gain heaps; every gain update pushes a fresh
+    // entry, and pops discard entries whose vertex is locked or whose
+    // recorded gain is no longer current.
+    ws.heaps[0].clear();
+    ws.heaps[1].clear();
+    for i in 0..m {
+        ws.heaps[usize::from(ws.side0[i])].push(GainEntry { gain: ws.gain[i], idx: i });
+    }
+
     for _step in 0..m {
-        // Pick the best-gain unlocked vertex whose move keeps |size0-n1|<=1.
+        // Pick the best-gain unlocked vertex whose move keeps |size0-n1|<=1:
+        // the balance gate reduces to which *side* may donate, so the
+        // selection is the better of the allowed sides' heap tops.
+        let allow_from0 = size0 >= n1;
+        let allow_from1 = size0 <= n1;
         let mut best = usize::MAX;
         let mut best_gain = f64::NEG_INFINITY;
-        for i in 0..m {
-            if locked[i] {
+        for (side, allowed) in [(1usize, allow_from0), (0, allow_from1)] {
+            if !allowed {
                 continue;
             }
-            let from0 = side0[i];
-            let new_size0 = if from0 { size0 - 1 } else { size0 + 1 };
-            if new_size0.abs_diff(n1) > 1 {
-                continue;
+            // side index: heap 1 holds side-0 vertices (side0 == true).
+            while let Some(&top) = ws.heaps[side].peek() {
+                if ws.locked[top.idx] || ws.gain[top.idx] != top.gain {
+                    ws.heaps[side].pop();
+                    continue;
+                }
+                break;
             }
-            let own = usize::from(!from0); // index of own side in conn
-            let other = usize::from(from0);
-            let gain = conn[i][other] - conn[i][own];
-            if gain > best_gain {
-                best_gain = gain;
-                best = i;
+            if let Some(&top) = ws.heaps[side].peek() {
+                if top.gain > best_gain || (top.gain == best_gain && top.idx < best) {
+                    best_gain = top.gain;
+                    best = top.idx;
+                }
             }
         }
         if best == usize::MAX {
@@ -192,64 +335,505 @@ fn fm_pass(
         }
 
         // Apply the move.
-        let from0 = side0[best];
-        side0[best] = !from0;
+        let from0 = ws.side0[best];
+        ws.side0[best] = !from0;
         size0 = if from0 { size0 - 1 } else { size0 + 1 };
         running -= best_gain;
-        locked[best] = true;
-        moves.push(best);
+        ws.locked[best] = true;
+        ws.moves.push(best);
 
-        // Update neighbor connectivity.
+        // Update neighbor connectivity and cached gains.
         for &(u, w) in g.neighbors(vertices[best]) {
-            let lu = local[u as usize];
+            let lu = ws.local[u as usize];
             if lu == usize::MAX {
                 continue;
             }
             // `best` moved from side `from0` to the opposite side.
             let old_s = usize::from(!from0);
             let new_s = usize::from(from0);
-            conn[lu][old_s] -= w;
-            conn[lu][new_s] += w;
+            ws.conn[lu][old_s] -= w;
+            ws.conn[lu][new_s] += w;
+            let own = usize::from(!ws.side0[lu]);
+            let other = usize::from(ws.side0[lu]);
+            ws.gain[lu] = ws.conn[lu][other] - ws.conn[lu][own];
+            if !ws.locked[lu] {
+                ws.heaps[usize::from(ws.side0[lu])]
+                    .push(GainEntry { gain: ws.gain[lu], idx: lu });
+            }
         }
 
         if size0 == n1 && running < best_cut - 1e-12 {
             best_cut = running;
-            best_prefix = moves.len();
+            best_prefix = ws.moves.len();
         }
     }
 
     // Roll back everything after the best balanced prefix.
-    for &i in moves.iter().skip(best_prefix).rev() {
-        let from0 = side0[i];
-        side0[i] = !from0;
+    for step in (best_prefix..ws.moves.len()).rev() {
+        let i = ws.moves[step];
+        let from0 = ws.side0[i];
+        ws.side0[i] = !from0;
         for &(u, w) in g.neighbors(vertices[i]) {
-            let lu = local[u as usize];
+            let lu = ws.local[u as usize];
             if lu == usize::MAX {
                 continue;
             }
             let old_s = usize::from(!from0);
             let new_s = usize::from(from0);
-            conn[lu][old_s] -= w;
-            conn[lu][new_s] += w;
+            ws.conn[lu][old_s] -= w;
+            ws.conn[lu][new_s] += w;
         }
     }
     *cut = best_cut.min(start_cut);
     best_cut < start_cut - 1e-12
 }
 
+/// Deterministic warm-start refinement: normalizes `initial` to exactly
+/// `parts` non-empty blocks (merging the weakest-attached smallest blocks
+/// or splitting the largest ones as needed), rebalances block sizes to the
+/// near-equal `{⌊n/k⌋, ⌈n/k⌉}` envelope, then runs move/swap local search.
+/// No randomness is consumed: a warm-started partition is a pure function
+/// of the graph and the initial assignment.
+pub(crate) fn warm_refine(
+    g: &WeightedGraph,
+    initial: &[u32],
+    parts: usize,
+    max_passes: u32,
+    out: &mut Vec<u32>,
+    ws: &mut Workspace,
+) {
+    out.clear();
+    out.extend_from_slice(initial);
+    let mut used = compact_labels(out);
+    while used > parts {
+        merge_smallest_block(g, out, used);
+        used -= 1;
+    }
+    while used < parts {
+        split_best_block(g, out, used, max_passes, ws);
+        used += 1;
+    }
+    rebalance(g, out, parts);
+    kway_fm_refine(g, out, parts, max_passes, ws);
+}
+
+/// Relabels blocks densely as `0..used` (ascending original label order)
+/// and returns `used`.
+fn compact_labels(assignment: &mut [u32]) -> usize {
+    let max = assignment.iter().copied().max().unwrap_or(0) as usize;
+    let mut present = vec![false; max + 1];
+    for &a in assignment.iter() {
+        present[a as usize] = true;
+    }
+    let mut remap = vec![u32::MAX; max + 1];
+    let mut used = 0u32;
+    for (old, &p) in present.iter().enumerate() {
+        if p {
+            remap[old] = used;
+            used += 1;
+        }
+    }
+    for a in assignment.iter_mut() {
+        *a = remap[*a as usize];
+    }
+    used as usize
+}
+
+fn block_sizes(assignment: &[u32], used: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; used];
+    for &a in assignment {
+        sizes[a as usize] += 1;
+    }
+    sizes
+}
+
+/// Dissolves the smallest block into the block it is most strongly
+/// connected to, then relabels `used - 1` into the freed label so the
+/// labels stay dense. Ties break towards the lowest label.
+fn merge_smallest_block(g: &WeightedGraph, assignment: &mut [u32], used: usize) {
+    let sizes = block_sizes(assignment, used);
+    let victim = sizes
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
+        .map(|(p, _)| p as u32)
+        .expect("at least one block");
+    let mut conn_to = vec![0.0f64; used];
+    for (v, &a) in assignment.iter().enumerate() {
+        if a != victim {
+            continue;
+        }
+        for &(u, w) in g.neighbors(v) {
+            let t = assignment[u as usize];
+            if t != victim {
+                conn_to[t as usize] += w;
+            }
+        }
+    }
+    let target = (0..used as u32)
+        .filter(|&p| p != victim)
+        .max_by(|&a, &b| {
+            conn_to[a as usize].total_cmp(&conn_to[b as usize]).then(b.cmp(&a))
+        })
+        .expect("at least two blocks when merging");
+    let last = used as u32 - 1;
+    for a in assignment.iter_mut() {
+        if *a == victim {
+            *a = target;
+        }
+        if *a == last {
+            *a = victim;
+        }
+    }
+}
+
+/// Deterministically bisects the subgraph induced by `members` into halves
+/// of `⌊m/2⌋` and `⌈m/2⌉` vertices — the cold path's bisection machinery
+/// (greedy growth + FM passes) minus the randomized restarts: growth is
+/// seeded from the block's most weakly attached member, ties break towards
+/// the lowest index. Returns the side-0 mask and the weight crossing the
+/// split.
+fn bisect_members(
+    g: &WeightedGraph,
+    members: &[usize],
+    max_passes: u32,
+    ws: &mut Workspace,
+) -> (Vec<bool>, f64) {
+    let m = members.len();
+    debug_assert!(m >= 2);
+    let n1 = m / 2;
+    ws.size_subset(m);
+    for (i, &v) in members.iter().enumerate() {
+        ws.local[v] = i;
+    }
+
+    // Periphery seed: weakest internal connectivity, lowest index on ties.
+    let internal = |i: usize, local: &[usize]| -> f64 {
+        g.neighbors(members[i])
+            .iter()
+            .filter(|&&(u, _)| local[u as usize] != usize::MAX)
+            .map(|&(_, w)| w)
+            .sum()
+    };
+    let seed = (0..m)
+        .min_by(|&a, &b| {
+            internal(a, &ws.local).total_cmp(&internal(b, &ws.local)).then(a.cmp(&b))
+        })
+        .expect("non-empty block");
+
+    let absorb = |i: usize, local: &[usize], side0: &mut [bool], attraction: &mut [f64]| {
+        side0[i] = true;
+        for &(u, w) in g.neighbors(members[i]) {
+            let lu = local[u as usize];
+            if lu != usize::MAX {
+                attraction[lu] += w;
+            }
+        }
+    };
+    absorb(seed, &ws.local, &mut ws.side0, &mut ws.attraction);
+    for _ in 1..n1 {
+        let next = (0..m)
+            .filter(|&i| !ws.side0[i])
+            .max_by(|&a, &b| {
+                ws.attraction[a].total_cmp(&ws.attraction[b]).then(b.cmp(&a))
+            })
+            .expect("ungrown member remains");
+        absorb(next, &ws.local, &mut ws.side0, &mut ws.attraction);
+    }
+
+    // Polish with the exact-balance FM passes of the cold path.
+    let mut cut = 0.0;
+    for (i, &v) in members.iter().enumerate() {
+        for &(u, w) in g.neighbors(v) {
+            let lu = ws.local[u as usize];
+            if lu == usize::MAX {
+                continue;
+            }
+            let s = usize::from(!ws.side0[lu]);
+            ws.conn[i][s] += w;
+            if ws.side0[i] != ws.side0[lu] && i < lu {
+                cut += w;
+            }
+        }
+    }
+    if n1 >= 1 && n1 < m {
+        for _ in 0..max_passes {
+            if !fm_pass(members, &mut cut, n1, g, ws) {
+                break;
+            }
+        }
+    }
+    let mask = ws.side0[..m].to_vec();
+    for &v in members {
+        ws.local[v] = usize::MAX;
+    }
+    (mask, cut)
+}
+
+/// Splits one block in two under the next free label. Every block is a
+/// candidate: each is FM-bisected and the block whose halves are most
+/// weakly coupled wins (ties prefer the larger block — better balance —
+/// then the lower label).
+/// The winning split candidate: `(cross weight, size, label, members,
+/// side-0 mask)`.
+type SplitChoice = (f64, usize, u32, Vec<usize>, Vec<bool>);
+
+fn split_best_block(
+    g: &WeightedGraph,
+    assignment: &mut [u32],
+    used: usize,
+    max_passes: u32,
+    ws: &mut Workspace,
+) {
+    let sizes = block_sizes(assignment, used);
+    let mut best: Option<SplitChoice> = None;
+    for block in 0..used as u32 {
+        let size = sizes[block as usize];
+        if size < 2 {
+            continue;
+        }
+        let members: Vec<usize> =
+            (0..assignment.len()).filter(|&v| assignment[v] == block).collect();
+        let (mask, cross) = bisect_members(g, &members, max_passes, ws);
+        let better = match &best {
+            None => true,
+            Some((bc, bs, bl, _, _)) => {
+                cross < *bc - 1e-12
+                    || (cross <= *bc + 1e-12 && (size > *bs || (size == *bs && block < *bl)))
+            }
+        };
+        if better {
+            best = Some((cross, size, block, members, mask));
+        }
+    }
+    let (_, _, _, members, mask) = best.expect("a splittable block exists");
+    for (i, &v) in members.iter().enumerate() {
+        if mask[i] {
+            assignment[v] = used as u32;
+        }
+    }
+}
+
+/// Moves vertices from oversized to undersized blocks (best connectivity
+/// gain first) until every block size lies in `{⌊n/k⌋, ⌈n/k⌉}`.
+fn rebalance(g: &WeightedGraph, assignment: &mut [u32], parts: usize) {
+    let n = assignment.len();
+    let base = n / parts;
+    let mut sizes = block_sizes(assignment, parts);
+    let mut conn = Connectivity::new(g, assignment, parts);
+    while sizes.iter().any(|&s| s > base + 1 || s < base) {
+        let donor = (0..parts)
+            .max_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(b.cmp(&a)))
+            .expect("at least one block") as u32;
+        let recv = (0..parts)
+            .min_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(a.cmp(&b)))
+            .expect("at least one block") as u32;
+        debug_assert!(sizes[donor as usize] > sizes[recv as usize]);
+        let v = (0..n)
+            .filter(|&v| assignment[v] == donor)
+            .max_by(|&a, &b| {
+                conn.gain(a, donor, recv).total_cmp(&conn.gain(b, donor, recv)).then(b.cmp(&a))
+            })
+            .expect("donor block is non-empty");
+        conn.apply_move(g, assignment, &mut sizes, v, recv);
+    }
+}
+
+/// Per-vertex block connectivity, maintained incrementally across moves
+/// and swaps. `conn[v * parts + p]` is the weight from `v` into block `p`.
+struct Connectivity {
+    conn: Vec<f64>,
+    parts: usize,
+}
+
+impl Connectivity {
+    fn new(g: &WeightedGraph, assignment: &[u32], parts: usize) -> Self {
+        let mut conn = vec![0.0f64; assignment.len() * parts];
+        for (v, row) in conn.chunks_mut(parts).enumerate() {
+            for &(u, w) in g.neighbors(v) {
+                row[assignment[u as usize] as usize] += w;
+            }
+        }
+        Self { conn, parts }
+    }
+
+    fn gain(&self, v: usize, from: u32, to: u32) -> f64 {
+        self.conn[v * self.parts + to as usize] - self.conn[v * self.parts + from as usize]
+    }
+
+    fn apply_move(
+        &mut self,
+        g: &WeightedGraph,
+        assignment: &mut [u32],
+        sizes: &mut [usize],
+        v: usize,
+        to: u32,
+    ) {
+        let from = assignment[v];
+        assignment[v] = to;
+        sizes[from as usize] -= 1;
+        sizes[to as usize] += 1;
+        for &(u, w) in g.neighbors(v) {
+            let row = u as usize * self.parts;
+            self.conn[row + from as usize] -= w;
+            self.conn[row + to as usize] += w;
+        }
+    }
+}
+
+/// One warm-refinement action, logged so the tail of an FM pass can be
+/// rolled back to the best prefix.
+#[derive(Clone, Copy)]
+enum Action {
+    /// `(vertex, from-block, to-block)`.
+    Move(usize, u32, u32),
+    /// `(u, u's old block, v, v's old block)` — the two swapped blocks.
+    Swap(usize, u32, usize, u32),
+}
+
+/// Fiduccia–Mattheyses-style k-way refinement under the exact near-equal
+/// size envelope. Each pass applies a sequence of locked best-gain actions
+/// — single moves from a `⌈n/k⌉`-sized block to a `⌊n/k⌋`-sized one (the
+/// only moves preserving the envelope) and pairwise swaps — *accepting
+/// negative gains* to climb out of local optima, then keeps the best
+/// prefix of the sequence. Passes repeat until one fails to improve.
+fn kway_fm_refine(
+    g: &WeightedGraph,
+    assignment: &mut [u32],
+    parts: usize,
+    max_passes: u32,
+    ws: &mut Workspace,
+) {
+    let n = assignment.len();
+    if parts < 2 || n < 2 {
+        return;
+    }
+    let base = n / parts;
+    let mut sizes = block_sizes(assignment, parts);
+    let mut conn = Connectivity::new(g, assignment, parts);
+
+    // Dense pair weights: the swap-gain correction term is looked up O(1)
+    // instead of scanning adjacency lists in the inner loop.
+    if !ws.wmat_filled {
+        for v in 0..n {
+            for &(u, w) in g.neighbors(v) {
+                ws.wmat[v * n + u as usize] = w;
+            }
+        }
+        ws.wmat_filled = true;
+    }
+    let wmat = &ws.wmat;
+
+    const EPS: f64 = 1e-12;
+    for _ in 0..max_passes {
+        let mut locked = vec![false; n];
+        let mut log: Vec<Action> = Vec::with_capacity(n);
+        let mut running = 0.0f64;
+        let mut best_total = 0.0f64;
+        let mut best_prefix = 0usize;
+
+        loop {
+            // Best action over unlocked vertices: gains may be negative —
+            // the pass commits to exploration and the prefix cut decides.
+            let mut best_gain = f64::NEG_INFINITY;
+            let mut best_action: Option<Action> = None;
+            for v in 0..n {
+                if locked[v] {
+                    continue;
+                }
+                let pv = assignment[v];
+                if sizes[pv as usize] == base + 1 {
+                    for p in 0..parts as u32 {
+                        if p != pv && sizes[p as usize] == base {
+                            let gain = conn.gain(v, pv, p);
+                            if gain > best_gain {
+                                best_gain = gain;
+                                best_action = Some(Action::Move(v, pv, p));
+                            }
+                        }
+                    }
+                }
+                for u in (v + 1)..n {
+                    if locked[u] {
+                        continue;
+                    }
+                    let pu = assignment[u];
+                    if pu == pv {
+                        continue;
+                    }
+                    let gain =
+                        conn.gain(v, pv, pu) + conn.gain(u, pu, pv) - 2.0 * wmat[v * n + u];
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_action = Some(Action::Swap(v, pv, u, pu));
+                    }
+                }
+            }
+            let Some(action) = best_action else { break };
+            match action {
+                Action::Move(v, _, to) => {
+                    conn.apply_move(g, assignment, &mut sizes, v, to);
+                    locked[v] = true;
+                    log.push(action);
+                }
+                Action::Swap(v, pv, u, pu) => {
+                    conn.apply_move(g, assignment, &mut sizes, v, pu);
+                    conn.apply_move(g, assignment, &mut sizes, u, pv);
+                    locked[v] = true;
+                    locked[u] = true;
+                    log.push(action);
+                }
+            }
+            running += best_gain;
+            if running > best_total + EPS {
+                best_total = running;
+                best_prefix = log.len();
+            }
+        }
+
+        // Roll the exploration tail back to the best prefix.
+        for &action in log[best_prefix..].iter().rev() {
+            match action {
+                Action::Move(v, from, _) => {
+                    conn.apply_move(g, assignment, &mut sizes, v, from);
+                }
+                Action::Swap(v, pv, u, pu) => {
+                    conn.apply_move(g, assignment, &mut sizes, u, pu);
+                    conn.apply_move(g, assignment, &mut sizes, v, pv);
+                }
+            }
+        }
+        if best_total <= EPS {
+            break;
+        }
+    }
+}
+
 /// Greedy pairwise-swap refinement across all block pairs. Swapping keeps
-/// every block size unchanged, so balance is preserved exactly.
-pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32]) {
+/// every block size unchanged, so balance is preserved exactly. The
+/// dense pair-weight matrix (filled once per `partition` call) replaces
+/// the adjacency-list `edge_weight` scan in the O(n²) inner loop.
+pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32], ws: &mut Workspace) {
     let n = assignment.len();
     let parts = assignment.iter().copied().max().map_or(0, |p| p as usize + 1);
     if parts < 2 {
         return;
     }
-    // conn[v][p] = weight from v into block p
-    let mut conn = vec![vec![0.0f64; parts]; n];
-    for (v, conn_v) in conn.iter_mut().enumerate() {
+    if !ws.wmat_filled {
+        for v in 0..n {
+            for &(u, w) in g.neighbors(v) {
+                ws.wmat[v * n + u as usize] = w;
+            }
+        }
+        ws.wmat_filled = true;
+    }
+    // conn[v * parts + p] = weight from v into block p
+    ws.connk.clear();
+    ws.connk.resize(n * parts, 0.0);
+    let conn = &mut ws.connk;
+    for v in 0..n {
         for &(u, w) in g.neighbors(v) {
-            conn_v[assignment[u as usize] as usize] += w;
+            conn[v * parts + assignment[u as usize] as usize] += w;
         }
     }
 
@@ -258,15 +842,15 @@ pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32]) {
         let mut best_delta = 1e-12;
         let mut best_pair = None;
         for u in 0..n {
+            let pu = assignment[u] as usize;
             for v in (u + 1)..n {
-                let pu = assignment[u] as usize;
                 let pv = assignment[v] as usize;
                 if pu == pv {
                     continue;
                 }
-                let du = conn[u][pv] - conn[u][pu];
-                let dv = conn[v][pu] - conn[v][pv];
-                let delta = du + dv - 2.0 * g.edge_weight(u, v);
+                let du = conn[u * parts + pv] - conn[u * parts + pu];
+                let dv = conn[v * parts + pu] - conn[v * parts + pv];
+                let delta = du + dv - 2.0 * ws.wmat[u * n + v];
                 if delta > best_delta {
                     best_delta = delta;
                     best_pair = Some((u, v));
@@ -280,13 +864,13 @@ pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32]) {
         assignment[v] = pu as u32;
         for &(t, w) in g.neighbors(u) {
             let t = t as usize;
-            conn[t][pu] -= w;
-            conn[t][pv] += w;
+            conn[t * parts + pu] -= w;
+            conn[t * parts + pv] += w;
         }
         for &(t, w) in g.neighbors(v) {
             let t = t as usize;
-            conn[t][pv] -= w;
-            conn[t][pu] += w;
+            conn[t * parts + pv] -= w;
+            conn[t * parts + pu] += w;
         }
     }
 }

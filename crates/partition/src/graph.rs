@@ -77,6 +77,26 @@ impl WeightedGraph {
         &self.adj[v]
     }
 
+    /// Rewrites every directed adjacency entry's weight in place:
+    /// `f(v, u, w)` is called once per stored `(v, u)` entry — vertices in
+    /// ascending order, entries in insertion order — and its return value
+    /// becomes the new weight.
+    ///
+    /// This is the hot-path hook for caches that reuse one graph's
+    /// *topology* under many weight functions (SunFloor's θ-scaled
+    /// partitioning graphs only rescale weights; the edge set never
+    /// changes). Both directions of an undirected edge are visited; `f`
+    /// must return the same weight for `(v, u)` and `(u, v)`, and must not
+    /// return non-positive weights (entries are kept, not dropped),
+    /// otherwise the graph's invariants break.
+    pub fn reweigh(&mut self, mut f: impl FnMut(usize, usize, f64) -> f64) {
+        for (v, list) in self.adj.iter_mut().enumerate() {
+            for entry in list.iter_mut() {
+                entry.1 = f(v, entry.0 as usize, entry.1);
+            }
+        }
+    }
+
     /// Sum of all edge weights (each undirected edge counted once).
     #[must_use]
     pub fn total_weight(&self) -> f64 {

@@ -60,19 +60,32 @@ use std::fmt;
 pub struct PartitionConfig {
     /// Number of blocks to produce.
     pub parts: usize,
-    /// Independent randomized restarts; the best result wins.
+    /// Independent randomized restarts; the best result wins. When
+    /// [`Self::initial`] is set this counts the *additional* cold restarts
+    /// run alongside the warm-started candidate, and may be zero.
     pub restarts: u32,
     /// Maximum FM refinement passes per bisection.
     pub max_passes: u32,
     /// RNG seed — the same seed always yields the same partition.
     pub rng_seed: u64,
+    /// Optional warm-start assignment (one block label per vertex).
+    ///
+    /// When present, a deterministic refinement of this assignment —
+    /// normalized to `parts` blocks, rebalanced to near-equal sizes, then
+    /// improved with move/swap local search — competes with the cold
+    /// restarts and the best cut wins (ties prefer the warm result). This
+    /// is how SunFloor's θ-escalation steps and adjacent-switch-count
+    /// candidates reuse the previous partition instead of
+    /// recursive-bisecting from scratch. An assignment of the wrong length
+    /// is ignored.
+    pub initial: Option<Vec<u32>>,
 }
 
 impl PartitionConfig {
     /// A configuration producing `parts` blocks with default effort.
     #[must_use]
     pub fn k_way(parts: usize) -> Self {
-        Self { parts, restarts: 8, max_passes: 10, rng_seed: 0xC0FF_EE00 }
+        Self { parts, restarts: 8, max_passes: 10, rng_seed: 0xC0FF_EE00, initial: None }
     }
 
     /// Overrides the RNG seed (builder style).
@@ -86,6 +99,16 @@ impl PartitionConfig {
     #[must_use]
     pub fn with_restarts(mut self, restarts: u32) -> Self {
         self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Seeds the run with a warm-start assignment (builder style); see
+    /// [`Self::initial`]. Usually combined with a low [`Self::restarts`]
+    /// (even zero, set directly on the field) so the warm refinement does
+    /// the heavy lifting.
+    #[must_use]
+    pub fn with_initial(mut self, assignment: Vec<u32>) -> Self {
+        self.initial = Some(assignment);
         self
     }
 }
@@ -123,9 +146,26 @@ impl Partitioning {
     }
 
     /// Vertices belonging to block `p`.
+    ///
+    /// Allocates a fresh `Vec` per call; hot loops should use
+    /// [`Self::members_iter`] or [`Self::members_into`] instead.
     #[must_use]
     pub fn members(&self, p: u32) -> Vec<usize> {
-        (0..self.assignment.len()).filter(|&v| self.assignment[v] == p).collect()
+        self.members_iter(p).collect()
+    }
+
+    /// Iterates over the vertices of block `p` in ascending vertex order
+    /// without allocating.
+    pub fn members_iter(&self, p: u32) -> impl Iterator<Item = usize> + '_ {
+        self.assignment.iter().enumerate().filter(move |&(_, &a)| a == p).map(|(v, _)| v)
+    }
+
+    /// Collects the vertices of block `p` into `out` (cleared first), so a
+    /// caller-owned buffer can be reused across blocks — the allocation-free
+    /// form of [`Self::members`] for the Phase-1 hot loop.
+    pub fn members_into(&self, p: u32, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.members_iter(p));
     }
 
     /// Sizes of all blocks, indexed by block.
@@ -193,26 +233,62 @@ impl WeightedGraph {
         }
 
         let mut best: Option<Partitioning> = None;
-        for restart in 0..cfg.restarts.max(1) {
+        let mut ws = fm::Workspace::new(n);
+
+        // Warm start: refine the caller's assignment deterministically and
+        // let it compete with the cold restarts. It is evaluated first, so
+        // on a tie the warm result wins — warm-started sweeps stay stable
+        // when the cold search merely matches them.
+        if let Some(initial) = cfg.initial.as_deref() {
+            if initial.len() == n {
+                let mut assignment = vec![0u32; n];
+                fm::warm_refine(self, initial, cfg.parts, cfg.max_passes, &mut assignment, &mut ws);
+                let cut = self.cut_weight(&assignment);
+                best = Some(Partitioning { assignment, parts: cfg.parts, cut_weight: cut });
+            }
+        }
+
+        // With a warm candidate in hand `restarts` may be zero (warm-only);
+        // a pure cold run always takes at least one restart.
+        let cold_restarts = if best.is_some() { cfg.restarts } else { cfg.restarts.max(1) };
+        let mut vertices: Vec<usize> = Vec::with_capacity(n);
+        for restart in 0..cold_restarts {
             let mut rng = StdRng::seed_from_u64(cfg.rng_seed.wrapping_add(u64::from(restart)));
             let mut assignment = vec![0u32; n];
-            let vertices: Vec<usize> = (0..n).collect();
+            vertices.clear();
+            vertices.extend(0..n);
             fm::recursive_bisect(
                 self,
-                &vertices,
+                &mut vertices,
                 cfg.parts,
                 0,
                 cfg.max_passes,
                 &mut rng,
                 &mut assignment,
+                &mut ws,
             );
-            fm::kway_swap_refine(self, &mut assignment);
+            fm::kway_swap_refine(self, &mut assignment, &mut ws);
             let cut = self.cut_weight(&assignment);
             if best.as_ref().is_none_or(|b| cut < b.cut_weight) {
                 best = Some(Partitioning { assignment, parts: cfg.parts, cut_weight: cut });
             }
         }
-        Ok(best.expect("at least one restart ran"))
+
+        // Warm-started runs trade restart count for refinement depth
+        // (hMetis-style V-cycling): the winning assignment gets one final
+        // FM polish, which can only lower its cut.
+        if cfg.initial.is_some() {
+            if let Some(b) = best.as_mut() {
+                let mut polished = Vec::new();
+                fm::warm_refine(self, &b.assignment, cfg.parts, cfg.max_passes, &mut polished, &mut ws);
+                let cut = self.cut_weight(&polished);
+                if cut < b.cut_weight {
+                    b.assignment = polished;
+                    b.cut_weight = cut;
+                }
+            }
+        }
+        Ok(best.expect("a warm candidate or at least one cold restart ran"))
     }
 }
 

@@ -124,7 +124,144 @@ fn disconnected_graph_is_handled() {
     assert_eq!(sizes, vec![3, 3, 3]);
 }
 
+#[test]
+fn members_into_and_iter_match_members() {
+    let g = random_graph(14, 0.4, 11);
+    let p = g.partition(&PartitionConfig::k_way(4).with_seed(3)).unwrap();
+    let mut buf = Vec::new();
+    for block in 0..4u32 {
+        let owned = p.members(block);
+        p.members_into(block, &mut buf);
+        assert_eq!(buf, owned, "members_into disagrees for block {block}");
+        let collected: Vec<usize> = p.members_iter(block).collect();
+        assert_eq!(collected, owned, "members_iter disagrees for block {block}");
+    }
+    // The buffer is cleared between calls, so reuse never accumulates.
+    p.members_into(0, &mut buf);
+    let first = buf.clone();
+    p.members_into(0, &mut buf);
+    assert_eq!(buf, first);
+}
+
+#[test]
+fn warm_start_is_deterministic_and_never_worse_than_its_cold_run() {
+    for seed in [0u64, 7, 99] {
+        let g = random_graph(18, 0.35, seed.wrapping_mul(13).wrapping_add(5));
+        for parts in [2usize, 3, 5] {
+            let cold = g.partition(&PartitionConfig::k_way(parts).with_seed(seed)).unwrap();
+            let warm_cfg = PartitionConfig::k_way(parts)
+                .with_seed(seed)
+                .with_initial(cold.assignment().to_vec());
+            let warm = g.partition(&warm_cfg).unwrap();
+            assert_eq!(warm, g.partition(&warm_cfg).unwrap(), "warm run not deterministic");
+            assert!(
+                warm.cut_weight <= cold.cut_weight + 1e-9,
+                "warm start degraded the cut: {} vs {}",
+                warm.cut_weight,
+                cold.cut_weight
+            );
+            let sizes = warm.part_sizes();
+            let (min, max) =
+                (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(min >= 1 && max - min <= 1, "imbalanced warm result: {sizes:?}");
+        }
+    }
+}
+
+#[test]
+fn warm_start_adapts_initials_with_wrong_block_counts() {
+    // Growing: a k=3 assignment seeds a k=5 request; shrinking: a k=5
+    // assignment seeds a k=3 request. Both must normalize, stay balanced
+    // and stay deterministic.
+    let g = random_graph(20, 0.4, 77);
+    let three = g.partition(&PartitionConfig::k_way(3).with_seed(1)).unwrap();
+    let five_cfg = PartitionConfig::k_way(5)
+        .with_seed(1)
+        .with_initial(three.assignment().to_vec());
+    let five = g.partition(&five_cfg).unwrap();
+    assert_eq!(five.part_count(), 5);
+    let sizes = five.part_sizes();
+    assert!(sizes.iter().all(|&s| s == 4), "5-way split of 20: {sizes:?}");
+
+    let back_cfg = PartitionConfig::k_way(3)
+        .with_seed(1)
+        .with_initial(five.assignment().to_vec());
+    let back = g.partition(&back_cfg).unwrap();
+    assert_eq!(back.part_count(), 3);
+    let sizes = back.part_sizes();
+    assert!(
+        sizes.iter().all(|&s| (6..=7).contains(&s)),
+        "3-way split of 20: {sizes:?}"
+    );
+    assert_eq!(back, g.partition(&back_cfg).unwrap());
+}
+
+#[test]
+fn warm_only_run_is_allowed_with_zero_restarts() {
+    let g = random_graph(16, 0.4, 5);
+    let cold = g.partition(&PartitionConfig::k_way(4).with_seed(9)).unwrap();
+    let mut cfg =
+        PartitionConfig::k_way(4).with_seed(9).with_initial(cold.assignment().to_vec());
+    cfg.restarts = 0;
+    let warm = g.partition(&cfg).unwrap();
+    assert_eq!(warm.part_count(), 4);
+    assert!(warm.cut_weight <= cold.cut_weight + 1e-9);
+    let sizes = warm.part_sizes();
+    assert!(sizes.iter().all(|&s| s == 4), "balanced warm-only result: {sizes:?}");
+}
+
+#[test]
+fn wrong_length_initial_is_ignored_not_fatal() {
+    let g = random_graph(12, 0.4, 3);
+    let cfg = PartitionConfig::k_way(3).with_seed(2).with_initial(vec![0, 1, 2]);
+    let with_bad_initial = g.partition(&cfg).unwrap();
+    let cold = g.partition(&PartitionConfig::k_way(3).with_seed(2)).unwrap();
+    assert_eq!(with_bad_initial, cold, "a wrong-length initial must fall back to cold");
+}
+
+#[test]
+fn reweigh_rescales_weights_in_place() {
+    let mut g = WeightedGraph::new(4);
+    g.add_edge(0, 1, 2.0);
+    g.add_edge(1, 2, 3.0);
+    g.add_edge(2, 3, 4.0);
+    let before = g.clone();
+    g.reweigh(|_, _, w| w * 2.0);
+    for (a, b) in [(0usize, 1usize), (1, 2), (2, 3)] {
+        assert_eq!(g.edge_weight(a, b), before.edge_weight(a, b) * 2.0);
+        assert_eq!(g.edge_weight(b, a), g.edge_weight(a, b), "symmetry preserved");
+    }
+    assert_eq!(g.total_weight(), before.total_weight() * 2.0);
+    // Visiting order is deterministic: vertices ascending, insertion order.
+    let mut visits = Vec::new();
+    g.reweigh(|v, u, w| {
+        visits.push((v, u));
+        w
+    });
+    assert_eq!(visits, vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+}
+
 proptest! {
+    #[test]
+    fn warm_start_from_arbitrary_labels_stays_balanced(
+        n in 6usize..24,
+        parts in 2usize..5,
+        seed in 0u64..60,
+    ) {
+        prop_assume!(parts <= n);
+        let g = random_graph(n, 0.35, seed.wrapping_mul(41));
+        // An arbitrary (often unbalanced, wrongly-sized) initial labeling.
+        let initial: Vec<u32> = (0..n).map(|v| (v as u32).wrapping_mul(7) % 9).collect();
+        let cfg = PartitionConfig::k_way(parts).with_seed(seed).with_initial(initial);
+        let p = g.partition(&cfg).unwrap();
+        let sizes = p.part_sizes();
+        prop_assert_eq!(sizes.len(), parts);
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(min >= 1 && max - min <= 1, "imbalanced: {:?}", sizes);
+        prop_assert!((p.cut_weight - g.cut_weight(p.assignment())).abs() < 1e-9);
+    }
+
     #[test]
     fn sizes_are_balanced(n in 4usize..40, parts in 2usize..6, seed in 0u64..500) {
         prop_assume!(parts <= n);

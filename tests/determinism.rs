@@ -15,14 +15,20 @@ fn run(cfg: SynthesisConfig) -> SynthesisOutcome {
 // ---------------------------------------------------------------------------
 // Golden fingerprints.
 //
-// The constants below were captured from the implementation as it stood
-// *before* the hot-path optimization pass (indexed allocation-free router,
-// Pearce–Kelly incremental CDG, clone-free annealer, flat-tableau simplex).
-// Those optimizations are required to be behavior-preserving: identical
-// topologies, floorplans and metrics, bit for bit, for identical seeds.
+// The engine fingerprints below were consciously re-baselined for the
+// warm-started partitioning pass (PR 4): the Phase-1 base partitions come
+// from a warm-chained seed set and every θ-escalation step warm-starts
+// from the previous assignment, so the partitioner's search trajectory —
+// and therefore the exact topologies — legitimately changed. The quality
+// tests right below pin that change down: best power and best hop count
+// on media26 and the seeded pipeline must stay no worse than the PR-3
+// cold-start values. The annealer fingerprint is *unchanged*: the
+// O(n log n) LCS packer and the incremental dimension/rank maintenance
+// are bit-identical to the longest-path implementation.
+//
 // Hashing every coordinate and bandwidth through `f64::to_bits` makes any
-// drift — a reordered float accumulation, a different simplex pivot, a
-// changed RNG consumption pattern — fail loudly here.
+// further drift — a reordered float accumulation, a different simplex
+// pivot, a changed RNG consumption pattern — fail loudly here.
 //
 // The pipeline feeds `f64::powf`/`f64::exp` (the SA temperature schedule
 // and accept probability) into seeded RNG decisions, and Rust documents
@@ -31,6 +37,37 @@ fn run(cfg: SynthesisConfig) -> SynthesisOutcome {
 // captured on (x86_64 Linux — also what CI runs); elsewhere the suite
 // still enforces run-to-run determinism via the tests above.
 // ---------------------------------------------------------------------------
+
+/// PR-3 cold-start quality anchors: best power (mW) and best per-flow
+/// average hop count over the trade-off set, captured from the
+/// pre-warm-start implementation on this configuration. The re-baselined
+/// sweeps must not be worse on either axis.
+const MEDIA26_COLD_BEST_POWER_MW: f64 = 270.726581;
+const MEDIA26_COLD_BEST_AVG_HOPS: f64 = 1.184211;
+const PIPELINE_COLD_BEST_POWER_MW: f64 = 77.403868;
+const PIPELINE_COLD_BEST_AVG_HOPS: f64 = 1.142857;
+
+fn avg_hops(p: &sunfloor_core::synthesis::DesignPoint) -> f64 {
+    let total: usize = p.topology.flow_paths.iter().map(|fp| fp.switches.len()).sum();
+    total as f64 / p.topology.flow_paths.len() as f64
+}
+
+fn assert_no_worse_than_cold(out: &SynthesisOutcome, power_mw: f64, hops: f64, name: &str) {
+    let best_power = out
+        .best_power()
+        .map(|p| p.metrics.power.total_mw())
+        .expect("feasible point");
+    assert!(
+        best_power <= power_mw + 1e-6,
+        "{name}: warm-started best power {best_power} worse than cold-start {power_mw}"
+    );
+    let best_hops =
+        out.points.iter().map(avg_hops).fold(f64::INFINITY, f64::min);
+    assert!(
+        best_hops <= hops + 1e-6,
+        "{name}: warm-started best avg hops {best_hops} worse than cold-start {hops}"
+    );
+}
 
 fn mix(h: &mut u64, v: u64) {
     *h ^= v;
@@ -101,13 +138,14 @@ fn fingerprint_outcome(out: &SynthesisOutcome) -> u64 {
     h
 }
 
-/// Golden regression: the optimized router, CDG, simplex and annealer must
-/// reproduce the pre-optimization implementation's media26 outcome exactly
-/// (topology link sets, flow paths, LP switch positions, per-layer
-/// floorplans, metrics — every f64 bit-for-bit).
+/// Golden regression: the warm-started partitioning pass must reproduce
+/// *this* media26 outcome exactly (topology link sets, flow paths, LP
+/// switch positions, per-layer floorplans, metrics — every f64
+/// bit-for-bit), and the outcome must be no worse than the PR-3
+/// cold-start implementation on both quality axes.
 #[test]
 #[cfg_attr(not(all(target_arch = "x86_64", target_os = "linux")), ignore = "golden hashes captured on x86_64-linux; libm last-ulp differences flip SA decisions elsewhere")]
-fn golden_media26_full_flow_is_bit_identical_to_pre_optimization() {
+fn golden_media26_full_flow_is_reproducible_and_no_worse_than_cold_start() {
     let cfg = SynthesisConfig::builder()
         .switch_count_range(2, 4)
         .run_layout(true)
@@ -116,18 +154,25 @@ fn golden_media26_full_flow_is_bit_identical_to_pre_optimization() {
     let bench = media26();
     let out = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap().run();
     assert_eq!(out.points.len(), 2, "media26 2..4 sweep must keep its two feasible points");
+    assert_no_worse_than_cold(
+        &out,
+        MEDIA26_COLD_BEST_POWER_MW,
+        MEDIA26_COLD_BEST_AVG_HOPS,
+        "media26",
+    );
     assert_eq!(
         fingerprint_outcome(&out),
-        0xce54_cc0f_26da_37b9,
-        "media26 outcome drifted from the pre-optimization implementation"
+        0x5358_ba4f_d8bb_ad52,
+        "media26 outcome drifted from the warm-start re-baseline"
     );
 }
 
 /// Golden regression on a seeded synthetic pipeline benchmark (no layout:
-/// exercises the router + LP without the insertion pass).
+/// exercises the router + LP without the insertion pass), with the same
+/// no-worse-than-cold-start quality gate.
 #[test]
 #[cfg_attr(not(all(target_arch = "x86_64", target_os = "linux")), ignore = "golden hashes captured on x86_64-linux; libm last-ulp differences flip SA decisions elsewhere")]
-fn golden_seeded_pipeline_is_bit_identical_to_pre_optimization() {
+fn golden_seeded_pipeline_is_reproducible_and_no_worse_than_cold_start() {
     let bench = pipeline_seeded(12, 7);
     let cfg = SynthesisConfig::builder()
         .switch_count_range(2, 4)
@@ -136,10 +181,16 @@ fn golden_seeded_pipeline_is_bit_identical_to_pre_optimization() {
         .unwrap();
     let out = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap().run();
     assert_eq!(out.points.len(), 3, "pipeline(12, seed 7) sweep must keep its three points");
+    assert_no_worse_than_cold(
+        &out,
+        PIPELINE_COLD_BEST_POWER_MW,
+        PIPELINE_COLD_BEST_AVG_HOPS,
+        "pipeline(12, 7)",
+    );
     assert_eq!(
         fingerprint_outcome(&out),
-        0xc912_7e0e_270c_fb9f,
-        "seeded pipeline outcome drifted from the pre-optimization implementation"
+        0xef64_ed2f_c4c1_024f,
+        "seeded pipeline outcome drifted from the warm-start re-baseline"
     );
 }
 

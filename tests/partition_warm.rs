@@ -1,0 +1,207 @@
+//! Warm-start coverage for the Phase-1 partitioning pass (PR 4): the
+//! adjacent-switch-count seed chain and the θ-escalation chain must be
+//! deterministic for a fixed seed, and their cut costs must never exceed
+//! the cold-start cuts — on `media26` and both seeded synthetic
+//! generators.
+
+use sunfloor_benchmarks::{media26, pipeline_seeded, tvopd_seeded, Benchmark};
+use sunfloor_core::graph::{CommGraph, PartitionCache};
+use sunfloor_core::phase1;
+use sunfloor_core::synthesis::{SweepEvent, SynthesisConfig, SynthesisEngine};
+use sunfloor_partition::PartitionConfig;
+
+const SEED: u64 = 0x51B0_A7E5;
+const ALPHA: f64 = 1.0;
+const THETA_MAX: f64 = 15.0;
+
+fn benches() -> Vec<(&'static str, Benchmark)> {
+    vec![
+        ("media26", media26()),
+        ("pipeline_seeded(12,7)", pipeline_seeded(12, 7)),
+        ("tvopd_seeded(9)", tvopd_seeded(9)),
+    ]
+}
+
+/// Runs the adjacent-switch-count warm chain `k = 2..=10` the way the
+/// engine's seed set does, returning each step's assignment.
+fn warm_chain(graph: &CommGraph, bench: &Benchmark) -> Vec<(usize, Vec<u32>)> {
+    let mut cache = PartitionCache::new();
+    let mut prev: Option<Vec<u32>> = None;
+    let mut chain = Vec::new();
+    for k in 2..=10usize.min(bench.soc.core_count()) {
+        let conn = phase1::connectivity_cached(
+            graph,
+            &bench.soc,
+            k,
+            ALPHA,
+            None,
+            THETA_MAX,
+            SEED,
+            prev.as_deref(),
+            &mut cache,
+        )
+        .unwrap();
+        let assignment: Vec<u32> = conn.core_attach.iter().map(|&a| a as u32).collect();
+        prev = Some(assignment.clone());
+        chain.push((k, assignment));
+    }
+    chain
+}
+
+/// Adjacent-switch-count warm starts: deterministic for a fixed seed, and
+/// the warm-chained cut never exceeds the cold-start cut at the same
+/// switch count.
+#[test]
+fn adjacent_count_warm_chain_is_deterministic_and_no_worse_than_cold() {
+    for (name, bench) in benches() {
+        let graph = CommGraph::new(&bench.soc, &bench.comm);
+        let pg = graph.partitioning_graph(ALPHA);
+        let first = warm_chain(&graph, &bench);
+        let second = warm_chain(&graph, &bench);
+        assert_eq!(first, second, "{name}: warm chain not deterministic for seed {SEED:#x}");
+        for (k, assignment) in &first {
+            let cold = pg.partition(&PartitionConfig::k_way(*k).with_seed(SEED)).unwrap();
+            let warm_cut = pg.cut_weight(assignment);
+            assert!(
+                warm_cut <= cold.cut_weight + 1e-9,
+                "{name} k={k}: warm cut {warm_cut} exceeds cold cut {}",
+                cold.cut_weight
+            );
+        }
+    }
+}
+
+/// θ-escalation warm starts, along the escalation trajectories the engine
+/// actually takes on each benchmark: deterministic for a fixed seed, and
+/// each warm-started SPG partition's cut never exceeds the cold-start cut
+/// on the same SPG.
+#[test]
+fn theta_escalation_warm_starts_are_deterministic_and_no_worse_than_cold() {
+    for (name, bench) in benches() {
+        // Which (switch count, θ) steps does the real sweep escalate
+        // through?
+        let cfg = SynthesisConfig::builder()
+            .switch_count_range(2, 10)
+            .run_layout(false)
+            .build()
+            .unwrap();
+        let engine = SynthesisEngine::new(&bench.soc, &bench.comm, cfg).unwrap();
+        let mut trajectory: Vec<(usize, f64)> = Vec::new();
+        let out = engine.run_with_observer(&mut |e: &SweepEvent| {
+            if let SweepEvent::ThetaEscalated { candidate, theta } = e {
+                trajectory.push((candidate.sweep.value(), *theta));
+            }
+        });
+        assert!(!out.points.is_empty(), "{name}: sweep must stay feasible");
+
+        let graph = CommGraph::new(&bench.soc, &bench.comm);
+        let engine_cfg = SynthesisConfig::default();
+        let replay = |_tag: &str| -> Vec<(usize, f64, Vec<u32>, f64)> {
+            let mut cache = PartitionCache::new();
+            let mut steps = Vec::new();
+            let mut prev: Option<(usize, Vec<u32>)> = None;
+            for &(k, theta) in &trajectory {
+                // A new candidate's chain restarts from its base seed,
+                // exactly like the engine.
+                let base_needed = prev.as_ref().is_none_or(|(pk, _)| *pk != k);
+                if base_needed {
+                    let base = phase1::connectivity_cached(
+                        &graph,
+                        &bench.soc,
+                        k,
+                        engine_cfg.alpha,
+                        None,
+                        engine_cfg.theta_max,
+                        engine_cfg.rng_seed,
+                        None,
+                        &mut cache,
+                    )
+                    .unwrap();
+                    prev =
+                        Some((k, base.core_attach.iter().map(|&a| a as u32).collect()));
+                }
+                let warm = &prev.as_ref().unwrap().1;
+                let conn = phase1::connectivity_cached(
+                    &graph,
+                    &bench.soc,
+                    k,
+                    engine_cfg.alpha,
+                    Some(theta),
+                    engine_cfg.theta_max,
+                    engine_cfg.rng_seed,
+                    Some(warm),
+                    &mut cache,
+                )
+                .unwrap();
+                let assignment: Vec<u32> =
+                    conn.core_attach.iter().map(|&a| a as u32).collect();
+                let spg = graph.scaled_partitioning_graph(
+                    &bench.soc,
+                    engine_cfg.alpha,
+                    theta,
+                    engine_cfg.theta_max,
+                );
+                let cut = spg.cut_weight(&assignment);
+                prev = Some((k, assignment.clone()));
+                steps.push((k, theta, assignment, cut));
+            }
+            steps
+        };
+        let first = replay("first");
+        let second = replay("second");
+        assert_eq!(
+            first, second,
+            "{name}: θ-escalation warm starts not deterministic for a fixed seed"
+        );
+        for (k, theta, _, warm_cut) in &first {
+            let spg = graph.scaled_partitioning_graph(
+                &bench.soc,
+                engine_cfg.alpha,
+                *theta,
+                engine_cfg.theta_max,
+            );
+            let cold =
+                spg.partition(&PartitionConfig::k_way(*k).with_seed(engine_cfg.rng_seed)).unwrap();
+            assert!(
+                *warm_cut <= cold.cut_weight + 1e-9,
+                "{name} k={k} θ={theta}: warm cut {warm_cut} exceeds cold cut {}",
+                cold.cut_weight
+            );
+        }
+    }
+}
+
+/// The engine's partition-cache diagnostics are deterministic and identical
+/// between serial and parallel sweeps, and the cache actually serves the
+/// sweep: every Phase-1 candidate's base partition is a cache hit.
+#[test]
+fn partition_cache_stats_are_deterministic_and_meaningful() {
+    let bench = media26();
+    let cfg = |jobs: usize| {
+        SynthesisConfig::builder()
+            .switch_count_range(2, 10)
+            .run_layout(false)
+            .jobs(jobs)
+            .build()
+            .unwrap()
+    };
+    let serial =
+        SynthesisEngine::new(&bench.soc, &bench.comm, cfg(1)).unwrap().run();
+    let stats = serial.partition_stats;
+    assert_eq!(stats.base_cache_hits, 9, "one base hit per Phase-1 candidate (k = 2..=10)");
+    assert_eq!(stats.cold_partitions, 1, "only the chain's first count partitions cold");
+    assert_eq!(
+        stats.warm_partitions,
+        8 + stats.spg_derivations,
+        "chain warm starts (8) plus one per θ derivation"
+    );
+    assert!(stats.cache_hits() >= 9);
+    for jobs in [2usize, 4] {
+        let parallel =
+            SynthesisEngine::new(&bench.soc, &bench.comm, cfg(jobs)).unwrap().run();
+        assert_eq!(
+            parallel.partition_stats, stats,
+            "jobs={jobs}: cache counters must not depend on worker scheduling"
+        );
+    }
+}
