@@ -14,7 +14,7 @@ use sunfloor_floorplan::{
     anneal, insert_components, AnnealConfig, Block, InsertRequest, Net, PackScratch, PlacedBlock,
     SequencePair,
 };
-use sunfloor_lp::PlacementProblem;
+use sunfloor_lp::{PlacementProblem, PlacementState};
 use sunfloor_models::NocLibrary;
 use sunfloor_partition::PartitionConfig;
 
@@ -31,29 +31,65 @@ fn bench_partition(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_placement_lp(c: &mut Criterion) {
-    // A placement problem at the scale of the 65-core design: 12 switches,
-    // 65 core pins, a ring plus chords of switch-switch attractions.
+/// A placement problem at the scale of the 65-core design: 12 switches,
+/// 65 core pins, a ring plus chords of switch-switch attractions. `salt`
+/// perturbs the attraction weights without touching the structure (the
+/// warm-start in-place-refresh shape).
+fn placement_65core_scale(salt: f64) -> PlacementProblem {
     let mut p = PlacementProblem::new(12);
     for k in 0..65usize {
         p.attract_to_fixed(
             k % 12,
             ((k % 8) as f64 * 2.0, (k / 8) as f64 * 2.0),
-            1.0 + (k % 5) as f64,
+            1.0 + (k % 5) as f64 + salt * ((k % 3) as f64),
         );
     }
     for s in 0..12usize {
-        p.attract_pair(s, (s + 1) % 12, 2.0);
+        p.attract_pair(s, (s + 1) % 12, 2.0 + salt);
         if s % 3 == 0 {
             p.attract_pair(s, (s + 5) % 12, 1.0);
         }
     }
+    p
+}
+
+fn bench_placement_lp(c: &mut Criterion) {
+    let p = placement_65core_scale(0.0);
     c.bench_function("placement_lp_65core_scale", |b| {
         b.iter(|| black_box(&p).solve().unwrap());
     });
     c.bench_function("placement_median_65core_scale", |b| {
         b.iter(|| black_box(&p).solve_weighted_median(30));
     });
+}
+
+/// The warm-started placement solver against the cold two-phase path, at
+/// the 65-core scale: an identical re-solve (the θ-escalation retry
+/// shape — basis replay, zero pivots) and a weight-perturbed re-solve
+/// (in-place LP refresh + warm re-entry), both through a persistent
+/// [`PlacementState`].
+fn bench_placement_warm_vs_cold(c: &mut Criterion) {
+    let p = placement_65core_scale(0.0);
+    let perturbed = [placement_65core_scale(0.0), placement_65core_scale(0.25)];
+    let mut group = c.benchmark_group("placement_warm_vs_cold");
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(&p).solve().unwrap());
+    });
+    group.bench_function("warm_identical", |b| {
+        let mut state = PlacementState::new();
+        p.solve_with(&mut state).unwrap();
+        b.iter(|| black_box(&p).solve_with(&mut state).unwrap());
+    });
+    group.bench_function("warm_reweighted", |b| {
+        let mut state = PlacementState::new();
+        p.solve_with(&mut state).unwrap();
+        let mut flip = 0usize;
+        b.iter(|| {
+            flip ^= 1;
+            black_box(&perturbed[flip]).solve_with(&mut state).unwrap()
+        });
+    });
+    group.finish();
 }
 
 fn bench_insertion(c: &mut Criterion) {
@@ -229,6 +265,7 @@ criterion_group!(
     bench_partition,
     bench_partition_warm,
     bench_placement_lp,
+    bench_placement_warm_vs_cold,
     bench_insertion,
     bench_phase1_connectivity,
     bench_router,

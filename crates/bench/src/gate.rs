@@ -46,6 +46,11 @@ pub const TRACKED_METRICS: &[TrackedMetric] = &[
     },
     TrackedMetric { path: "routing.flows_per_s", direction: Direction::HigherIsBetter },
     TrackedMetric { path: "placement_lp_k8_s", direction: Direction::LowerIsBetter },
+    // Present from phase 5 on (the warm-started placement-LP subsystem):
+    // skipped against the phase-4 baseline, self-activating once
+    // BENCH_phase5.json becomes the baseline.
+    TrackedMetric { path: "placement_lp_warm_k8_s", direction: Direction::LowerIsBetter },
+    TrackedMetric { path: "placement_lp_chain.warm_s", direction: Direction::LowerIsBetter },
     TrackedMetric { path: "annealer.iterations_per_s", direction: Direction::HigherIsBetter },
 ];
 
@@ -296,14 +301,17 @@ mod tests {
     fn baseline_against_itself_passes() {
         let report = compare(BASELINE, BASELINE, 0.30);
         assert!(!report.regressed(), "{}", report.render());
-        // The phase-3 baseline predates the cold/θ partition metrics, so
-        // those two are skipped; everything else compares equal.
-        assert_eq!(report.deltas.len(), TRACKED_METRICS.len() - 2);
+        // The phase-3 baseline predates the cold/θ partition metrics and
+        // the phase-5 warm placement-LP metrics, so those four are
+        // skipped; everything else compares equal.
+        assert_eq!(report.deltas.len(), TRACKED_METRICS.len() - 4);
         assert_eq!(
             report.skipped,
             vec![
                 "partition_phase1_k8_cold_s".to_string(),
-                "partition_phase1_k8_theta_spg_s".to_string()
+                "partition_phase1_k8_theta_spg_s".to_string(),
+                "placement_lp_warm_k8_s".to_string(),
+                "placement_lp_chain.warm_s".to_string()
             ]
         );
         assert!(report.deltas.iter().all(|d| d.relative_regression == 0.0));

@@ -273,6 +273,17 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             pstats.spg_derivations
         ));
     }
+    let lp = outcome.lp_stats;
+    if lp.total_solves() > 0 {
+        report.push_str(&format!(
+            "placement LP: {} axis solves ({} warm-started, {} cold), {} simplex pivots, ~{} pivots saved\n",
+            lp.total_solves(),
+            lp.warm_solves,
+            lp.cold_solves,
+            lp.simplex_iterations,
+            lp.iterations_saved
+        ));
+    }
     report.push_str("switches  total_mW  latency_cyc  max_ill\n");
     let mut points: Vec<_> = outcome.points.iter().collect();
     points.sort_by_key(|p| p.requested_switches);

@@ -7,75 +7,238 @@
 //! be included in the LP as TSVs split the wires in two segments, both
 //! carrying the same bandwidth" (§VII), so vertical hops do not move the
 //! optimum.
+//!
+//! # Warm-started placement
+//!
+//! Placement is served by a [`PlacementSolver`] — one per synthesis-engine
+//! worker, the same ownership pattern as the routing `PathAllocator`. The
+//! solver keeps one warm-startable LP state per switch count, so the
+//! repeated placements a candidate evaluation performs (the base attempt,
+//! every θ-escalation retry at the same switch count, and the
+//! indirect-switch rounds at a grown switch count) re-enter the simplex
+//! from the previous optimal basis instead of running two-phase from
+//! scratch; the y-axis LP additionally seeds from the x-axis basis on
+//! every solve. [`PlacementSolver::begin_candidate`] cuts the warm chain
+//! at candidate boundaries: which worker evaluates which candidate is a
+//! scheduling accident, so letting a basis leak across candidates would
+//! break the engine's serial == parallel bit-for-bit guarantee. Within a
+//! candidate the chain is deterministic, and the [`LpStats`] counters are
+//! accumulated per candidate so serial and parallel sweeps report
+//! identical totals.
 
 use crate::graph::CommGraph;
 use crate::spec::SocSpec;
 use crate::topology::Topology;
-use sunfloor_lp::{PlacementProblem, SolveError};
+use sunfloor_lp::{PlacementProblem, PlacementState, SolveError, SolveReport};
 
 /// Accumulated traffic between every core and its switch, and between switch
 /// pairs — the `bw_sw2core` / `bw_sw2sw` weights of equation (4).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PlacementWeights {
     /// `(core, switch, Gbps)` attractions.
     pub core_switch: Vec<(usize, usize, f64)>,
     /// `(switch a, switch b, Gbps)` attractions (undirected accumulation).
     pub switch_switch: Vec<(usize, usize, f64)>,
+    /// Scratch: per-core accumulated bandwidth, reused across rebuilds.
+    core_bw: Vec<f64>,
+}
+
+impl PartialEq for PlacementWeights {
+    fn eq(&self, other: &Self) -> bool {
+        self.core_switch == other.core_switch && self.switch_switch == other.switch_switch
+    }
 }
 
 impl PlacementWeights {
     /// Extracts the placement weights from a routed topology.
     #[must_use]
     pub fn from_topology(topo: &Topology, graph: &CommGraph) -> Self {
-        let mut core_switch = vec![0.0f64; topo.core_attach.len()];
-        for e in graph.edge_list() {
-            core_switch[e.src] += e.bandwidth_mbs * 8.0 / 1000.0;
-            core_switch[e.dst] += e.bandwidth_mbs * 8.0 / 1000.0;
-        }
-        let cs = core_switch
-            .iter()
-            .enumerate()
-            .filter(|(_, &bw)| bw > 0.0)
-            .map(|(c, &bw)| (c, topo.core_attach[c], bw))
-            .collect();
+        let mut weights = Self::default();
+        weights.rebuild(topo, graph);
+        weights
+    }
 
-        let mut acc: std::collections::HashMap<(usize, usize), f64> =
-            std::collections::HashMap::new();
-        for l in &topo.links {
-            let key = if l.from <= l.to { (l.from, l.to) } else { (l.to, l.from) };
-            *acc.entry(key).or_insert(0.0) += l.bandwidth_gbps;
+    /// Refills the weights from a routed topology, reusing the buffers —
+    /// no allocation once the vectors have grown to the design's size.
+    pub fn rebuild(&mut self, topo: &Topology, graph: &CommGraph) {
+        self.core_bw.clear();
+        self.core_bw.resize(topo.core_attach.len(), 0.0);
+        for e in graph.edge_list() {
+            self.core_bw[e.src] += e.bandwidth_mbs * 8.0 / 1000.0;
+            self.core_bw[e.dst] += e.bandwidth_mbs * 8.0 / 1000.0;
         }
-        let mut ss: Vec<(usize, usize, f64)> =
-            acc.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-        ss.sort_by_key(|x| (x.0, x.1));
-        Self { core_switch: cs, switch_switch: ss }
+        self.core_switch.clear();
+        self.core_switch.extend(
+            self.core_bw
+                .iter()
+                .enumerate()
+                .filter(|(_, &bw)| bw > 0.0)
+                .map(|(c, &bw)| (c, topo.core_attach[c], bw)),
+        );
+
+        // Per-pair accumulation by stable sort + in-place merge: within a
+        // key, links keep their topology order, so the bandwidth sum runs
+        // left to right exactly like the hash-map accumulation it replaces
+        // (bit-identical totals).
+        self.switch_switch.clear();
+        self.switch_switch.extend(topo.links.iter().map(|l| {
+            let (a, b) = if l.from <= l.to { (l.from, l.to) } else { (l.to, l.from) };
+            (a, b, l.bandwidth_gbps)
+        }));
+        self.switch_switch.sort_by_key(|x| (x.0, x.1));
+        self.switch_switch.dedup_by(|cur, kept| {
+            if kept.0 == cur.0 && kept.1 == cur.1 {
+                kept.2 += cur.2;
+                true
+            } else {
+                false
+            }
+        });
     }
 }
 
-/// Solves the switch-placement LP and writes the optimal coordinates into
-/// `topo.switch_pos`. Returns the optimal objective (Gbps·mm).
+/// Deterministic counters of how the switch-placement LP work was served.
 ///
-/// # Errors
-///
-/// Propagates [`SolveError`] on numerical breakdown of the simplex (the
-/// model itself is always feasible and bounded).
-pub fn place_switches(
-    topo: &mut Topology,
-    soc: &SocSpec,
-    graph: &CommGraph,
-) -> Result<f64, SolveError> {
-    let weights = PlacementWeights::from_topology(topo, graph);
-    let mut problem = PlacementProblem::new(topo.switch_count());
-    for &(core, sw, bw) in &weights.core_switch {
-        problem.attract_to_fixed(sw, soc.cores[core].center(), bw);
+/// Mirrors `PartitionStats`: every field counts per-candidate events (the
+/// engine accumulates a delta per candidate evaluation and sums the deltas
+/// in commit order), so serial and parallel sweeps report identical
+/// totals. Each placement solves two axis LPs, so one `place` call
+/// contributes two solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LpStats {
+    /// Axis LPs solved cold (two-phase simplex from scratch).
+    pub cold_solves: u64,
+    /// Axis LPs re-entered from a warm basis (phase 2 resumed directly, or
+    /// the dual simplex after a right-hand-side change).
+    pub warm_solves: u64,
+    /// Total simplex pivots performed across all solves.
+    pub simplex_iterations: u64,
+    /// Estimated pivots avoided by the warm re-entries, measured against
+    /// each solver state's most recent cold solve.
+    pub iterations_saved: u64,
+}
+
+impl LpStats {
+    /// Total axis-LP solves answered (cold + warm).
+    #[must_use]
+    pub fn total_solves(&self) -> u64 {
+        self.cold_solves + self.warm_solves
     }
-    for &(a, b, bw) in &weights.switch_switch {
-        problem.attract_pair(a, b, bw);
+
+    fn record(&mut self, report: SolveReport) {
+        if report.warm {
+            self.warm_solves += 1;
+            self.iterations_saved += u64::from(report.iterations_saved);
+        } else {
+            self.cold_solves += 1;
+        }
+        self.simplex_iterations += u64::from(report.iterations);
     }
-    let positions = problem.solve()?;
-    let objective = problem.objective(&positions);
-    topo.switch_pos = positions;
-    Ok(objective)
+}
+
+impl std::ops::AddAssign for LpStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.cold_solves += rhs.cold_solves;
+        self.warm_solves += rhs.warm_solves;
+        self.simplex_iterations += rhs.simplex_iterations;
+        self.iterations_saved += rhs.iterations_saved;
+    }
+}
+
+impl std::ops::Sub for LpStats {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            cold_solves: self.cold_solves - rhs.cold_solves,
+            warm_solves: self.warm_solves - rhs.warm_solves,
+            simplex_iterations: self.simplex_iterations - rhs.simplex_iterations,
+            iterations_saved: self.iterations_saved - rhs.iterations_saved,
+        }
+    }
+}
+
+/// The warm-startable switch-placement solver: builds the §VII LP from a
+/// routed topology and solves it through per-switch-count
+/// [`PlacementState`]s, chaining warm starts across the placements of one
+/// candidate evaluation (see the [module docs](self) for the determinism
+/// contract). The synthesis engine owns one per sweep worker.
+#[derive(Debug, Default)]
+pub struct PlacementSolver {
+    problem: PlacementProblem,
+    weights: PlacementWeights,
+    /// Warm-start states keyed by switch count (indirect-switch rounds
+    /// grow the count mid-candidate, so one candidate can touch several).
+    states: Vec<(usize, PlacementState)>,
+    stats: LpStats,
+}
+
+impl PlacementSolver {
+    /// A fresh solver; every state starts cold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cuts the warm chain: forgets every saved basis (keeping all
+    /// buffers), so the next placement at any switch count solves cold.
+    ///
+    /// The engine calls this at the start of each candidate evaluation.
+    /// Warm chains *within* a candidate are deterministic; chains *across*
+    /// candidates would depend on which worker happened to evaluate which
+    /// candidate previously, breaking the serial == parallel bit-for-bit
+    /// guarantee.
+    pub fn begin_candidate(&mut self) {
+        for (_, state) in &mut self.states {
+            state.clear_warm();
+        }
+    }
+
+    /// Cumulative counters of every solve this solver served.
+    #[must_use]
+    pub fn stats(&self) -> LpStats {
+        self.stats
+    }
+
+    /// Solves the switch-placement LP and writes the optimal coordinates
+    /// into `topo.switch_pos`. Returns the optimal objective (Gbps·mm).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] on numerical breakdown of the simplex
+    /// (the model itself is always feasible and bounded).
+    pub fn place(
+        &mut self,
+        topo: &mut Topology,
+        soc: &SocSpec,
+        graph: &CommGraph,
+    ) -> Result<f64, SolveError> {
+        self.weights.rebuild(topo, graph);
+        self.problem.reset(topo.switch_count());
+        for &(core, sw, bw) in &self.weights.core_switch {
+            self.problem.attract_to_fixed(sw, soc.cores[core].center(), bw);
+        }
+        for &(a, b, bw) in &self.weights.switch_switch {
+            self.problem.attract_pair(a, b, bw);
+        }
+
+        let key = topo.switch_count();
+        let state = match self.states.iter().position(|(k, _)| *k == key) {
+            Some(i) => &mut self.states[i].1,
+            None => {
+                self.states.push((key, PlacementState::new()));
+                &mut self.states.last_mut().expect("just pushed").1
+            }
+        };
+        let positions = self.problem.solve_with(state)?;
+        let (rx, ry) = state.reports();
+        self.stats.record(rx);
+        self.stats.record(ry);
+
+        let objective = self.problem.objective(&positions);
+        topo.switch_pos = positions;
+        Ok(objective)
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +299,7 @@ mod tests {
     #[test]
     fn placement_lands_switches_between_their_cores() {
         let (soc, graph, mut topo) = setup();
-        let obj = place_switches(&mut topo, &soc, &graph).unwrap();
+        let obj = PlacementSolver::new().place(&mut topo, &soc, &graph).unwrap();
         assert!(obj >= 0.0);
         // Switch 0 serves cores a(1,1) and b(7,1): optimal y = 1.
         let (x0, y0) = topo.switch_pos[0];
@@ -158,8 +321,49 @@ mod tests {
         for &(a, b, bw) in &weights.switch_switch {
             problem.attract_pair(a, b, bw);
         }
-        let obj = place_switches(&mut topo, &soc, &graph).unwrap();
+        let obj = PlacementSolver::new().place(&mut topo, &soc, &graph).unwrap();
         let centroid = vec![(3.0, 1.0), (3.0, 7.0)];
         assert!(obj <= problem.objective(&centroid) + 1e-6);
+    }
+
+    #[test]
+    fn repeated_placement_warm_starts_and_reproduces_the_vertex() {
+        let (soc, graph, topo) = setup();
+        let mut solver = PlacementSolver::new();
+        let mut first = topo.clone();
+        let obj1 = solver.place(&mut first, &soc, &graph).unwrap();
+        let after_first = solver.stats();
+        assert_eq!(after_first.total_solves(), 2, "one placement = two axis LPs");
+        // The y axis seeds from the x basis, so even the first placement
+        // may warm; the second placement of the same topology must be
+        // fully warm and bit-identical.
+        let mut second = topo.clone();
+        let obj2 = solver.place(&mut second, &soc, &graph).unwrap();
+        let delta = solver.stats() - after_first;
+        assert_eq!(delta.warm_solves, 2, "identical re-placement must warm both axes");
+        assert_eq!(obj1.to_bits(), obj2.to_bits());
+        assert_eq!(first.switch_pos, second.switch_pos);
+    }
+
+    #[test]
+    fn begin_candidate_cuts_the_warm_chain() {
+        let (soc, graph, topo) = setup();
+        let mut solver = PlacementSolver::new();
+        let mut a = topo.clone();
+        solver.place(&mut a, &soc, &graph).unwrap();
+        solver.begin_candidate();
+        let before = solver.stats();
+        let mut b = topo.clone();
+        solver.place(&mut b, &soc, &graph).unwrap();
+        let delta = solver.stats() - before;
+        assert_eq!(
+            delta.cold_solves, 1,
+            "after begin_candidate the x axis must solve cold again"
+        );
+        // A fresh solver produces the same positions: the chain cut makes
+        // the per-candidate results history-independent.
+        let mut fresh = topo.clone();
+        PlacementSolver::new().place(&mut fresh, &soc, &graph).unwrap();
+        assert_eq!(b.switch_pos, fresh.switch_pos);
     }
 }

@@ -12,7 +12,7 @@ use crate::layout::layout_design;
 use crate::paths::{PathAllocator, PathConfig, PathError};
 use crate::phase1::{self, Connectivity};
 use crate::phase2;
-use crate::place::place_switches;
+use crate::place::{LpStats, PlacementSolver};
 use crate::spec::{CommSpec, SocSpec};
 use crate::topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -68,6 +68,9 @@ struct CandidateEvaluation {
     /// Partition-cache counters this candidate accrued (deterministic per
     /// candidate, so the committed totals match serial and parallel).
     stats: PartitionStats,
+    /// Placement-LP counters this candidate accrued (same per-candidate
+    /// determinism contract as `stats`).
+    lp_stats: LpStats,
 }
 
 impl CandidateEvaluation {
@@ -78,6 +81,7 @@ impl CandidateEvaluation {
             thetas: Vec::new(),
             point: None,
             stats: PartitionStats::default(),
+            lp_stats: LpStats::default(),
         }
     }
 }
@@ -332,15 +336,17 @@ impl<'a> SynthesisEngine<'a> {
     ) -> bool {
         let jobs = self.cfg.parallelism.effective_jobs().min(candidates.len());
         if jobs <= 1 {
-            // One reusable routing workspace and partition cache for the
-            // whole serial sweep.
+            // One reusable routing workspace, partition cache and placement
+            // solver for the whole serial sweep.
             let mut alloc = PathAllocator::new();
             let mut cache = PartitionCache::new();
+            let mut placement = PlacementSolver::new();
             for &candidate in candidates {
                 if policy.met(outcome, started) {
                     return true;
                 }
-                let ev = self.evaluate_candidate(candidate, &mut alloc, &mut cache);
+                let ev =
+                    self.evaluate_candidate(candidate, &mut alloc, &mut cache, &mut placement);
                 self.commit(ev, observer, outcome);
             }
             return false;
@@ -354,17 +360,26 @@ impl<'a> SynthesisEngine<'a> {
         thread::scope(|s| {
             for _ in 0..jobs {
                 s.spawn(|| {
-                    // Per-worker routing workspace and partition cache,
-                    // reused across every candidate this worker claims.
+                    // Per-worker routing workspace, partition cache and
+                    // placement solver, reused across every candidate this
+                    // worker claims. The placement solver's warm chains are
+                    // cut per candidate, so the reuse never leaks results
+                    // between the candidates a worker happens to draw.
                     let mut alloc = PathAllocator::new();
                     let mut cache = PartitionCache::new();
+                    let mut placement = PlacementSolver::new();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&candidate) = candidates.get(i) else { break };
-                        let ev = self.evaluate_candidate(candidate, &mut alloc, &mut cache);
+                        let ev = self.evaluate_candidate(
+                            candidate,
+                            &mut alloc,
+                            &mut cache,
+                            &mut placement,
+                        );
                         let (lock, cvar) = &slots[i];
                         *lock.lock().expect("no poisoned slot") = Some(ev);
                         cvar.notify_all();
@@ -415,6 +430,7 @@ impl<'a> SynthesisEngine<'a> {
         let terminal_reason =
             if ev.point.is_none() { ev.attempts.last().map(|a| a.reason.clone()) } else { None };
         outcome.partition_stats += ev.stats;
+        outcome.lp_stats += ev.lp_stats;
         outcome.rejected.extend(ev.attempts);
         match ev.point {
             Some(point) => {
@@ -444,13 +460,22 @@ impl<'a> SynthesisEngine<'a> {
         candidate: Candidate,
         alloc: &mut PathAllocator,
         cache: &mut PartitionCache,
+        placement: &mut PlacementSolver,
     ) -> CandidateEvaluation {
+        // Warm chains are per candidate: a basis surviving into the next
+        // candidate would make results depend on which worker evaluated
+        // which candidate before (see `PlacementSolver::begin_candidate`).
+        placement.begin_candidate();
         let before = cache.stats;
+        let lp_before = placement.stats();
         let mut ev = match candidate.sweep {
-            SweepParam::SwitchCount(k) => self.evaluate_phase1(candidate, k, alloc, cache),
-            SweepParam::Increment(inc) => self.evaluate_phase2(candidate, inc, alloc),
+            SweepParam::SwitchCount(k) => {
+                self.evaluate_phase1(candidate, k, alloc, cache, placement)
+            }
+            SweepParam::Increment(inc) => self.evaluate_phase2(candidate, inc, alloc, placement),
         };
         ev.stats += cache.stats - before;
+        ev.lp_stats += placement.stats() - lp_before;
         ev
     }
 
@@ -464,6 +489,7 @@ impl<'a> SynthesisEngine<'a> {
         count: usize,
         alloc: &mut PathAllocator,
         cache: &mut PartitionCache,
+        placement: &mut PlacementSolver,
     ) -> CandidateEvaluation {
         let cfg = &self.cfg;
         let freq = candidate.frequency_mhz;
@@ -513,7 +539,7 @@ impl<'a> SynthesisEngine<'a> {
                 }
             },
         };
-        match self.try_candidate(freq, &seed.conn, PhaseKind::Phase1, false, alloc) {
+        match self.try_candidate(freq, &seed.conn, PhaseKind::Phase1, false, alloc, placement) {
             Ok(point) => {
                 ev.point = Some(point);
                 return ev;
@@ -540,7 +566,8 @@ impl<'a> SynthesisEngine<'a> {
             ) {
                 warm.clear();
                 warm.extend(conn.core_attach.iter().map(|&a| a as u32));
-                match self.try_candidate(freq, &conn, PhaseKind::Phase1, false, alloc) {
+                match self.try_candidate(freq, &conn, PhaseKind::Phase1, false, alloc, placement)
+                {
                     Ok(point) => {
                         ev.point = Some(point);
                         return ev;
@@ -560,6 +587,7 @@ impl<'a> SynthesisEngine<'a> {
         candidate: Candidate,
         increment: usize,
         alloc: &mut PathAllocator,
+        placement: &mut PlacementSolver,
     ) -> CandidateEvaluation {
         let cfg = &self.cfg;
         let freq = candidate.frequency_mhz;
@@ -567,7 +595,8 @@ impl<'a> SynthesisEngine<'a> {
         let mut ev = CandidateEvaluation::new(candidate);
         match phase2::connectivity(&self.graph, self.soc, increment, max_sw, cfg.alpha, cfg.rng_seed)
         {
-            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase2, true, alloc) {
+            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase2, true, alloc, placement)
+            {
                 Ok(point) => ev.point = Some(point),
                 Err(reason) => ev.attempts.push(RejectedPoint {
                     requested_switches: conn.switch_count(),
@@ -590,6 +619,7 @@ impl<'a> SynthesisEngine<'a> {
 
     /// Routes, places, lays out and evaluates one connectivity candidate,
     /// applying the indirect-switch fallback on routing failure.
+    #[allow(clippy::too_many_arguments)]
     fn try_candidate(
         &self,
         freq: f64,
@@ -597,6 +627,7 @@ impl<'a> SynthesisEngine<'a> {
         phase: PhaseKind,
         adjacent_only: bool,
         alloc: &mut PathAllocator,
+        placement: &mut PlacementSolver,
     ) -> Result<DesignPoint, RejectReason> {
         let cfg = &self.cfg;
         let soc = self.soc;
@@ -668,8 +699,9 @@ impl<'a> SynthesisEngine<'a> {
             last_err.map_or(RejectReason::RoutingFailed, RejectReason::from)
         })?;
 
-        // Switch placement LP (§VII).
-        place_switches(&mut topo, soc, &self.graph).map_err(RejectReason::from)?;
+        // Switch placement LP (§VII), warm-started within this candidate's
+        // attempt chain.
+        placement.place(&mut topo, soc, &self.graph).map_err(RejectReason::from)?;
 
         // Physical insertion + final evaluation.
         let layout = if cfg.run_layout {

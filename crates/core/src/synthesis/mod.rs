@@ -45,6 +45,7 @@ pub use engine::{StopPolicy, SynthesisEngine};
 pub use outcome::{DesignPoint, PhaseKind, RejectedPoint, SynthesisOutcome};
 
 pub use crate::graph::PartitionStats;
+pub use crate::place::LpStats;
 
 #[cfg(test)]
 mod tests {

@@ -6,6 +6,7 @@ use super::diagnostics::RejectReason;
 use crate::eval::DesignMetrics;
 use crate::graph::PartitionStats;
 use crate::layout::Layout;
+use crate::place::LpStats;
 use crate::topology::Topology;
 use std::fmt;
 
@@ -78,6 +79,11 @@ pub struct SynthesisOutcome {
     /// cold partitions, in-place SPG derivations). Counted per candidate,
     /// so serial and parallel sweeps report identical totals.
     pub partition_stats: PartitionStats,
+    /// How the switch-placement LP work was served (warm vs cold simplex
+    /// solves, pivots run and pivots saved). Counted per candidate like
+    /// [`SynthesisOutcome::partition_stats`], so the totals are
+    /// scheduling-independent.
+    pub lp_stats: LpStats,
 }
 
 impl SynthesisOutcome {

@@ -1,4 +1,5 @@
-//! A small, dependency-free linear-programming toolkit.
+//! A small, dependency-free linear-programming toolkit with warm-startable
+//! solver state.
 //!
 //! SunFloor 3D computes the positions of the NoC switches by solving a linear
 //! program that minimizes bandwidth-weighted Manhattan wire length (paper
@@ -7,18 +8,30 @@
 //!
 //! * [`Problem`] — a general minimization LP over non-negative variables with
 //!   `≤` / `≥` / `=` constraints, solved by a dense **two-phase primal
-//!   simplex** with Bland's anti-cycling rule.
+//!   simplex** with Bland's anti-cycling rule ([`Problem::solve`]).
+//! * [`SolverState`] — a persistent solver state for *sequences* of related
+//!   LPs: [`Problem::solve_from`] keeps the tableau buffers and the previous
+//!   optimal basis across solves, re-entering phase 2 directly (or running
+//!   the **dual simplex** after a right-hand-side change) whenever the saved
+//!   basis fits the new problem, and falling back to the cold two-phase path
+//!   when it does not. [`SolveReport`] says which path ran and how many
+//!   pivots it took.
 //! * [`PlacementProblem`] — the Manhattan-distance objective builder: it
 //!   linearizes every `|xi − xk|` with a distance variable pair and solves
-//!   per-axis LPs (the x and y problems are separable). A
-//!   [`PlacementProblem::solve_weighted_median`] fast path provides the
-//!   classic iterated-weighted-median heuristic, used for cross-checking and
-//!   warm starts.
+//!   per-axis LPs (the x and y problems are separable). Repeated placements
+//!   solve through a [`PlacementState`] ([`PlacementProblem::solve_with`]),
+//!   which rebuilds the axis LPs in place when only weights and constants
+//!   changed and chains warm starts — the y axis seeds from the x basis
+//!   (same matrix and objective), and successive placements reuse the last
+//!   optimal basis. A [`PlacementProblem::solve_weighted_median`] fast path
+//!   provides the classic iterated-weighted-median heuristic for
+//!   cross-checking.
 //!
 //! The LPs arising in topology synthesis are small — a few hundred variables
 //! for the paper's largest 65-core design ("even for big applications … the
 //! optimal solution is obtained in few seconds", §VII) — so a dense tableau
-//! is the right tool.
+//! is the right tool, and the per-candidate cost is dominated by simplex
+//! pivots, which is exactly what the warm starts cut.
 //!
 //! # Example
 //!
@@ -34,12 +47,14 @@
 //! assert!((s.objective() - 4.0).abs() < 1e-9); // x=4, y=0
 //! # Ok::<(), sunfloor_lp::SolveError>(())
 //! ```
+//!
+//! For the warm-started form, see the example on [`Problem::solve_from`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod manhattan;
-mod simplex;
+mod solver;
 
-pub use manhattan::PlacementProblem;
-pub use simplex::{ConstraintOp, Problem, Solution, SolveError};
+pub use manhattan::{PlacementProblem, PlacementState};
+pub use solver::{ConstraintOp, Problem, Solution, SolveError, SolveReport, SolverState};

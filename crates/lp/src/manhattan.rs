@@ -1,6 +1,6 @@
 //! Bandwidth-weighted Manhattan-distance placement objective.
 
-use crate::simplex::{ConstraintOp, Problem, SolveError};
+use crate::solver::{ConstraintOp, Problem, SolveError, SolveReport, SolverState};
 
 /// Builder and solver for the switch-placement problem of paper §VII:
 /// place `n` free points (switches) so that the sum of *weighted Manhattan
@@ -9,6 +9,12 @@ use crate::simplex::{ConstraintOp, Problem, SolveError};
 ///
 /// The x and y coordinates decouple, so two independent LPs are solved, each
 /// linearizing `|a − b|` with one distance variable `d ≥ a − b, d ≥ b − a`.
+///
+/// One-shot callers use [`PlacementProblem::solve`]; callers that place
+/// repeatedly (the synthesis engine solves one placement per routed
+/// candidate attempt) keep a [`PlacementState`] and call
+/// [`PlacementProblem::solve_with`], which reuses the axis LPs and
+/// warm-starts the simplex from the previous optimal basis.
 ///
 /// # Example
 ///
@@ -30,11 +36,73 @@ pub struct PlacementProblem {
     pairs: Vec<(usize, usize, f64)>,    // (free a, free b, weight)
 }
 
+/// Reusable warm-start state for [`PlacementProblem::solve_with`]: the two
+/// per-axis LPs plus a [`SolverState`] for each axis.
+///
+/// Across solves the state retains
+///
+/// * the axis [`Problem`]s — [`PlacementProblem::rebuild_into`] refreshes
+///   only the right-hand sides and objective weights in place when the
+///   attraction *structure* (which free point each attraction pulls on)
+///   is unchanged, and rebuilds them otherwise;
+/// * the previous optimal bases — each axis re-enters the simplex from its
+///   last basis when the shape still fits, and the y axis seeds from the
+///   *x* basis when it has none of its own (the two axes share constraint
+///   matrix and objective, so the x optimum is a dual-feasible start
+///   for y).
+///
+/// [`PlacementState::clear_warm`] forgets the bases (the next solve is
+/// cold) while keeping every buffer; the synthesis engine calls it at
+/// candidate boundaries so warm chains never depend on worker scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementState {
+    x_lp: Problem,
+    y_lp: Problem,
+    x: SolverState,
+    y: SolverState,
+    sig_free: usize,
+    sig_fixed: Vec<usize>,
+    sig_pairs: Vec<(usize, usize)>,
+    built: bool,
+    reports: (SolveReport, SolveReport),
+}
+
+impl PlacementState {
+    /// A fresh state; the first placement through it solves cold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// What the most recent [`PlacementProblem::solve_with`] did, per axis:
+    /// `(x report, y report)`.
+    #[must_use]
+    pub fn reports(&self) -> (SolveReport, SolveReport) {
+        self.reports
+    }
+
+    /// Forgets both axes' saved bases (keeps all buffers): the next solve
+    /// is cold.
+    pub fn clear_warm(&mut self) {
+        self.x.clear_warm();
+        self.y.clear_warm();
+    }
+}
+
 impl PlacementProblem {
     /// A placement problem over `free_points` movable points.
     #[must_use]
     pub fn new(free_points: usize) -> Self {
         Self { free_points, fixed: Vec::new(), pairs: Vec::new() }
+    }
+
+    /// Clears the problem back to `free_points` movable points with no
+    /// attractions, keeping the allocations (for callers that rebuild one
+    /// placement per candidate).
+    pub fn reset(&mut self, free_points: usize) {
+        self.free_points = free_points;
+        self.fixed.clear();
+        self.pairs.clear();
     }
 
     /// Number of movable points.
@@ -92,7 +160,9 @@ impl PlacementProblem {
         obj
     }
 
-    /// Solves the placement to global optimality with the simplex LP.
+    /// Solves the placement to global optimality with the simplex LP,
+    /// from scratch (equivalent to [`PlacementProblem::solve_with`] on a
+    /// fresh [`PlacementState`]).
     ///
     /// Free points with no attractions at all are placed at the centroid of
     /// the fixed pins (or the origin when there are none).
@@ -102,45 +172,109 @@ impl PlacementProblem {
     /// Propagates [`SolveError`] from the solver; with the convex objective
     /// built here that indicates numerical breakdown, not model error.
     pub fn solve(&self) -> Result<Vec<(f64, f64)>, SolveError> {
-        let xs = self.solve_axis(|p| p.0, |f| f.1)?;
-        let ys = self.solve_axis(|p| p.1, |f| f.2)?;
-        let mut out: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();
+        self.solve_with(&mut PlacementState::new())
+    }
+
+    /// Solves the placement through a persistent [`PlacementState`],
+    /// warm-starting each axis LP from the state's previous optimal basis
+    /// where possible (see [`PlacementState`]). The returned positions are
+    /// a global optimum either way; [`PlacementState::reports`] says which
+    /// solves re-entered warm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlacementProblem::solve`].
+    pub fn solve_with(
+        &self,
+        state: &mut PlacementState,
+    ) -> Result<Vec<(f64, f64)>, SolveError> {
+        self.rebuild_into(state);
+        let xs = state.x_lp.solve_from(&mut state.x)?;
+        state.reports.0 = state.x.last_report();
+        // The axes share matrix and objective, so the x optimum is a
+        // dual-feasible basis for y; adopt it when y has nothing better.
+        if !state.y.has_basis_for(&state.y_lp) {
+            state.y.adopt_basis_from(&state.x);
+        }
+        let ys = state.y_lp.solve_from(&mut state.y)?;
+        state.reports.1 = state.y.last_report();
+        let mut out: Vec<(f64, f64)> =
+            (0..self.free_points).map(|i| (xs.value(i), ys.value(i))).collect();
         self.settle_unattracted(&mut out);
         Ok(out)
     }
 
-    /// One axis: minimize Σ w·d with d ≥ ±(coord difference).
-    fn solve_axis(
-        &self,
-        _pick_pos: impl Fn(&(f64, f64)) -> f64,
-        pick_fixed: impl Fn(&(usize, f64, f64, f64)) -> f64,
-    ) -> Result<Vec<f64>, SolveError> {
+    /// Builds (or refreshes) the two per-axis LPs inside `state`.
+    ///
+    /// When the attraction *structure* — free-point count, the target of
+    /// every fixed attraction and the endpoints of every pair, in order —
+    /// matches what the state already holds, only the right-hand sides
+    /// (pin coordinates) and objective weights are overwritten in place:
+    /// no constraint rows are re-derived and nothing reallocates. Any
+    /// structural change rebuilds both LPs from scratch (reusing buffers).
+    pub fn rebuild_into(&self, state: &mut PlacementState) {
         let n = self.free_points;
-        let n_dist = self.fixed.len() + self.pairs.len();
-        // Variables: [0..n) = coordinates, [n..n+n_dist) = distances.
-        let mut lp = Problem::minimize(n + n_dist);
+        let structure_matches = state.built
+            && state.sig_free == n
+            && state.sig_fixed.len() == self.fixed.len()
+            && state.sig_fixed.iter().zip(&self.fixed).all(|(&i, f)| i == f.0)
+            && state.sig_pairs.len() == self.pairs.len()
+            && state
+                .sig_pairs
+                .iter()
+                .zip(&self.pairs)
+                .all(|(&(a, b), p)| a == p.0 && b == p.1);
 
-        let mut obj: Vec<(usize, f64)> = Vec::with_capacity(n_dist);
-        let mut d = n;
-        for f in &self.fixed {
-            let (i, w) = (f.0, f.3);
-            let c = pick_fixed(f);
-            // d >= s_i - c   =>  s_i - d <= c
-            lp.add_constraint(&[(i, 1.0), (d, -1.0)], ConstraintOp::Le, c);
-            // d >= c - s_i   =>  -s_i - d <= -c
-            lp.add_constraint(&[(i, -1.0), (d, -1.0)], ConstraintOp::Le, -c);
-            obj.push((d, w));
-            d += 1;
+        if structure_matches {
+            let mut d = n;
+            let mut row = 0;
+            for &(_, x, y, w) in &self.fixed {
+                state.x_lp.set_constraint_rhs(row, x);
+                state.x_lp.set_constraint_rhs(row + 1, -x);
+                state.y_lp.set_constraint_rhs(row, y);
+                state.y_lp.set_constraint_rhs(row + 1, -y);
+                state.x_lp.set_objective_coefficient(d, w);
+                state.y_lp.set_objective_coefficient(d, w);
+                row += 2;
+                d += 1;
+            }
+            for &(_, _, w) in &self.pairs {
+                // Pair rows compare two free coordinates: rhs stays 0.
+                state.x_lp.set_objective_coefficient(d, w);
+                state.y_lp.set_objective_coefficient(d, w);
+                d += 1;
+            }
+            return;
         }
-        for &(a, b, w) in &self.pairs {
-            lp.add_constraint(&[(a, 1.0), (b, -1.0), (d, -1.0)], ConstraintOp::Le, 0.0);
-            lp.add_constraint(&[(b, 1.0), (a, -1.0), (d, -1.0)], ConstraintOp::Le, 0.0);
-            obj.push((d, w));
-            d += 1;
+
+        let n_dist = self.fixed.len() + self.pairs.len();
+        for axis in 0..2 {
+            let lp = if axis == 0 { &mut state.x_lp } else { &mut state.y_lp };
+            // Variables: [0..n) = coordinates, [n..n+n_dist) = distances.
+            lp.reset(n + n_dist);
+            let mut d = n;
+            for &(i, x, y, w) in &self.fixed {
+                let c = if axis == 0 { x } else { y };
+                // d >= s_i - c   =>  s_i - d <= c
+                lp.add_constraint(&[(i, 1.0), (d, -1.0)], ConstraintOp::Le, c);
+                // d >= c - s_i   =>  -s_i - d <= -c
+                lp.add_constraint(&[(i, -1.0), (d, -1.0)], ConstraintOp::Le, -c);
+                lp.set_objective_coefficient(d, w);
+                d += 1;
+            }
+            for &(a, b, w) in &self.pairs {
+                lp.add_constraint(&[(a, 1.0), (b, -1.0), (d, -1.0)], ConstraintOp::Le, 0.0);
+                lp.add_constraint(&[(b, 1.0), (a, -1.0), (d, -1.0)], ConstraintOp::Le, 0.0);
+                lp.set_objective_coefficient(d, w);
+                d += 1;
+            }
         }
-        lp.set_objective(&obj);
-        let sol = lp.solve()?;
-        Ok((0..n).map(|i| sol.value(i)).collect())
+        state.sig_free = n;
+        state.sig_fixed.clear();
+        state.sig_fixed.extend(self.fixed.iter().map(|f| f.0));
+        state.sig_pairs.clear();
+        state.sig_pairs.extend(self.pairs.iter().map(|p| (p.0, p.1)));
+        state.built = true;
     }
 
     /// Iterated weighted-median heuristic: each free point repeatedly jumps
@@ -320,6 +454,68 @@ mod tests {
     fn rejects_bad_free_index() {
         let mut p = PlacementProblem::new(1);
         p.attract_to_fixed(1, (0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_objective() {
+        let mut p = PlacementProblem::new(3);
+        p.attract_to_fixed(0, (0.0, 1.0), 2.0);
+        p.attract_to_fixed(1, (8.0, 3.0), 1.0);
+        p.attract_to_fixed(2, (4.0, 9.0), 1.5);
+        p.attract_pair(0, 1, 0.5);
+        p.attract_pair(1, 2, 0.25);
+        let mut state = PlacementState::new();
+        let first = p.solve_with(&mut state).unwrap();
+        // Second solve of the identical problem: both axes warm, and the
+        // returned vertex is pinned to the first solve's.
+        let second = p.solve_with(&mut state).unwrap();
+        let (rx, ry) = state.reports();
+        assert!(rx.warm && ry.warm);
+        assert_eq!(first, second);
+        assert!((p.objective(&first) - p.objective(&p.solve().unwrap())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuild_in_place_tracks_weight_and_pin_changes() {
+        let build = |w: f64, px: f64| {
+            let mut p = PlacementProblem::new(2);
+            p.attract_to_fixed(0, (px, 2.0), w);
+            p.attract_to_fixed(1, (10.0, 6.0), 1.0);
+            p.attract_pair(0, 1, 0.75);
+            p
+        };
+        let mut state = PlacementState::new();
+        build(1.0, 0.0).solve_with(&mut state).unwrap();
+        // Same structure, new weight + pin location: refreshed in place,
+        // solved warm, optimum matches a cold solve.
+        for (w, px) in [(3.0, 1.0), (0.5, 5.0), (2.0, 0.5)] {
+            let p = build(w, px);
+            let warm = p.solve_with(&mut state).unwrap();
+            let cold = p.solve().unwrap();
+            assert!(
+                (p.objective(&warm) - p.objective(&cold)).abs() < 1e-9,
+                "w={w} px={px}: warm {} vs cold {}",
+                p.objective(&warm),
+                p.objective(&cold)
+            );
+        }
+    }
+
+    #[test]
+    fn structural_change_rebuilds_and_still_solves() {
+        let mut state = PlacementState::new();
+        let mut p = PlacementProblem::new(2);
+        p.attract_to_fixed(0, (0.0, 0.0), 1.0);
+        p.attract_to_fixed(1, (4.0, 4.0), 1.0);
+        p.solve_with(&mut state).unwrap();
+        // Different attachment pattern and an extra pair: full rebuild.
+        let mut q = PlacementProblem::new(2);
+        q.attract_to_fixed(1, (0.0, 0.0), 1.0);
+        q.attract_to_fixed(0, (4.0, 4.0), 1.0);
+        q.attract_pair(0, 1, 2.0);
+        let warm = q.solve_with(&mut state).unwrap();
+        let cold = q.solve().unwrap();
+        assert!((q.objective(&warm) - q.objective(&cold)).abs() < 1e-9);
     }
 
     proptest! {

@@ -1,0 +1,170 @@
+//! Dense simplex tableau in standard form.
+//!
+//! The tableau is stored as one flat row-major array and the inner loops —
+//! pricing, the ratio test and the pivot elimination — run over contiguous
+//! slices. Every floating-point operation happens in the same order and on
+//! the same values as a naive row-of-rows implementation would produce, so
+//! the pivot sequence (and therefore the exact optimal vertex returned on
+//! degenerate problems) is reproducible; the restructuring only removes
+//! bounds checks, cache misses and the `O(m)` basis-membership scans from
+//! the hot path. This matters because the switch-placement LP runs once per
+//! routed candidate of the synthesis sweep.
+//!
+//! A [`Tableau`] is a reusable buffer: [`Tableau::rebuild`] refills it for
+//! a new [`Problem`] without reallocating, which is what lets a
+//! [`super::SolverState`] survive across solves.
+
+use super::basis::Basis;
+use super::{ConstraintOp, Problem};
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Tableau {
+    /// Flat `m × (n_total + 1)` row-major matrix; last column is the rhs.
+    a: Vec<f64>,
+    /// Current basis (per-row basic variable + membership bitmap).
+    pub(crate) basis: Basis,
+    /// Total column count excluding rhs: structural + slack + artificial.
+    pub(crate) n_total: usize,
+    /// First artificial column index.
+    pub(crate) art_start: usize,
+    /// Pivot scratch: a copy of the scaled pivot row.
+    prow: Vec<f64>,
+}
+
+impl Tableau {
+    /// Rebuilds the tableau for `p`, reusing every buffer. Rows are
+    /// normalized to a non-negative rhs; `≤` rows whose slack can serve as
+    /// the initial basis start basic, all other rows start on their
+    /// artificial.
+    pub(crate) fn rebuild(&mut self, p: &Problem) {
+        let rows = p.constraint_rows();
+        let m = rows.len();
+        let n = p.num_vars();
+
+        // Count extra columns.
+        let mut n_slack = 0;
+        for r in rows {
+            if matches!(r.op, ConstraintOp::Le | ConstraintOp::Ge) {
+                n_slack += 1;
+            }
+        }
+        // One artificial per row keeps the construction simple; phase 1
+        // drives them all out.
+        let art_start = n + n_slack;
+        let n_total = art_start + m;
+        let stride = n_total + 1;
+
+        self.a.clear();
+        self.a.resize(m * stride, 0.0);
+        self.n_total = n_total;
+        self.art_start = art_start;
+        self.prow.clear();
+        self.prow.resize(stride, 0.0);
+        self.basis.reset(m, n_total);
+
+        let mut slack_idx = n;
+        for (i, r) in rows.iter().enumerate() {
+            let row = &mut self.a[i * stride..(i + 1) * stride];
+            let mut rhs = r.rhs;
+            let mut sign = 1.0;
+            // Normalize to rhs >= 0.
+            if rhs < 0.0 {
+                rhs = -rhs;
+                sign = -1.0;
+            }
+            for &(v, c) in &r.terms {
+                row[v] += sign * c;
+            }
+            let op = match (r.op, sign < 0.0) {
+                (ConstraintOp::Le, true) => ConstraintOp::Ge,
+                (ConstraintOp::Ge, true) => ConstraintOp::Le,
+                (op, _) => op,
+            };
+            match op {
+                ConstraintOp::Le => {
+                    row[slack_idx] = 1.0;
+                    // Slack can serve as the initial basis directly.
+                    self.basis.install(i, slack_idx);
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    row[slack_idx] = -1.0; // surplus
+                    slack_idx += 1;
+                    self.basis.install(i, art_start + i);
+                    row[art_start + i] = 1.0;
+                }
+                ConstraintOp::Eq => {
+                    self.basis.install(i, art_start + i);
+                    row[art_start + i] = 1.0;
+                }
+            }
+            row[n_total] = rhs;
+            // For Le rows the artificial column stays zero and unused.
+        }
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        self.basis.rows.len()
+    }
+
+    pub(crate) fn stride(&self) -> usize {
+        self.n_total + 1
+    }
+
+    /// The matrix prefix of row `i` up to `col_limit` (excludes the rhs
+    /// unless `col_limit == n_total + 1`).
+    pub(crate) fn row_prefix(&self, i: usize, col_limit: usize) -> &[f64] {
+        let stride = self.stride();
+        &self.a[i * stride..i * stride + col_limit]
+    }
+
+    pub(crate) fn cell(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.stride() + j]
+    }
+
+    pub(crate) fn rhs(&self, i: usize) -> f64 {
+        self.cell(i, self.n_total)
+    }
+
+    /// Pivots on `(row, col)`: scales the pivot row so the pivot element
+    /// becomes 1 and eliminates `col` from every other row, then updates
+    /// the basis bookkeeping.
+    pub(crate) fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.rows();
+        let stride = self.stride();
+        let piv = self.a[row * stride + col];
+        debug_assert!(piv.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / piv;
+        for x in &mut self.a[row * stride..(row + 1) * stride] {
+            *x *= inv;
+        }
+        // Copy the scaled pivot row so the elimination loops below can
+        // borrow it and the target rows disjointly.
+        self.prow.copy_from_slice(&self.a[row * stride..(row + 1) * stride]);
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i * stride + col];
+            if factor.abs() <= 1e-12 {
+                continue;
+            }
+            let target = &mut self.a[i * stride..(i + 1) * stride];
+            for (x, &pv) in target.iter_mut().zip(&self.prow) {
+                *x -= factor * pv;
+            }
+        }
+        self.basis.replace(row, col);
+    }
+
+    /// Extracts the solution values of the structural variables.
+    pub(crate) fn extract_values(&self, num_vars: usize, values: &mut Vec<f64>) {
+        values.clear();
+        values.resize(num_vars, 0.0);
+        for (i, &b) in self.basis.rows.iter().enumerate() {
+            if b < num_vars {
+                values[b] = self.rhs(i);
+            }
+        }
+    }
+}

@@ -13,6 +13,7 @@
 pub use sunfloor_baselines as baselines;
 pub use sunfloor_benchmarks as benchmarks;
 pub use sunfloor_core as core;
+pub use sunfloor_lp as lp;
 pub use sunfloor_models as models;
 pub use sunfloor_partition as partition;
 pub use sunfloor_sim as sim;

@@ -1,0 +1,135 @@
+//! Warm-start coverage for the placement-LP subsystem (PR 5): warm-started
+//! solves must agree with cold solves on the objective for arbitrary
+//! placement problems, the vertex returned on a degenerate optimum is
+//! pinned, and the engine's placement-LP diagnostics are deterministic and
+//! scheduling-independent on the real media26 candidate trajectory.
+
+use proptest::prelude::*;
+use sunfloor_benchmarks::media26;
+use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
+use sunfloor_lp::{PlacementProblem, PlacementState};
+
+/// Builds a placement problem over `switches` movable points attracted to
+/// the centers of a roster of (optionally rotated) core rectangles, plus a
+/// ring of switch-switch attractions.
+fn placement_from_cores(
+    switches: usize,
+    cores: &[(f64, f64, f64, f64, bool)], // (x, y, w, h, rotated)
+    weights: &[f64],
+    pair_weight: f64,
+) -> PlacementProblem {
+    let mut p = PlacementProblem::new(switches);
+    for (k, &(x, y, w, h, rotated)) in cores.iter().enumerate() {
+        let (w, h) = if rotated { (h, w) } else { (w, h) };
+        let center = (x + w / 2.0, y + h / 2.0);
+        p.attract_to_fixed(k % switches, center, weights[k % weights.len()]);
+    }
+    for s in 0..switches {
+        p.attract_pair(s, (s + 1) % switches, pair_weight);
+    }
+    p
+}
+
+proptest! {
+    /// Warm-started objective == cold objective on random placement
+    /// problems: a persistent [`PlacementState`] chained across a sequence
+    /// of solves (identical re-solves, reweighted re-solves and
+    /// structurally fresh problems) must return the same optimum as a
+    /// from-scratch solve at every step.
+    #[test]
+    fn warm_objective_matches_cold_on_random_placements(
+        switches in 2usize..12,
+        cores in proptest::collection::vec(
+            (0.0f64..30.0, 0.0f64..30.0, 0.5f64..4.0, 0.5f64..4.0, proptest::bool::ANY),
+            4..16,
+        ),
+        weights in proptest::collection::vec(0.1f64..8.0, 1..6),
+        pair_weights in proptest::collection::vec(0.05f64..4.0, 3..4),
+    ) {
+        let mut state = PlacementState::new();
+        for &pw in &pair_weights {
+            let p = placement_from_cores(switches, &cores, &weights, pw);
+            let warm = p.solve_with(&mut state).unwrap();
+            let cold = p.solve().unwrap();
+            let (wo, co) = (p.objective(&warm), p.objective(&cold));
+            // Both paths terminate at an optimal vertex; the objectives
+            // agree to floating-point rounding.
+            let tol = 1e-9 * (1.0 + co.abs());
+            prop_assert!((wo - co).abs() <= tol,
+                "warm {wo} vs cold {co} (pair weight {pw})");
+        }
+    }
+}
+
+/// Degenerate-optimum regression: the A — s0 — s1 — B chain has a whole
+/// segment of optimal placements (any `x0 ≤ x1` between the pins), so the
+/// *returned* vertex is a solver-trajectory artifact. Pin it: cold and
+/// warm re-solves must keep returning exactly this vertex — any pricing,
+/// replay-order or tie-break change shows up here first.
+#[test]
+fn degenerate_optimum_vertex_is_pinned() {
+    let build = || {
+        let mut p = PlacementProblem::new(2);
+        p.attract_to_fixed(0, (0.0, 0.0), 1.0);
+        p.attract_pair(0, 1, 1.0);
+        p.attract_to_fixed(1, (6.0, 0.0), 1.0);
+        p
+    };
+    let p = build();
+    let cold = p.solve().unwrap();
+    assert_eq!(p.objective(&cold), 6.0, "optimal objective is the pin distance");
+    // The pinned vertex: both switches collapse onto core B's pin.
+    let expected = vec![(6.0, 0.0), (6.0, 0.0)];
+    assert_eq!(cold, expected, "cold solve drifted off the pinned degenerate vertex");
+
+    // Warm re-solves through a persistent state return the same vertex,
+    // bit for bit.
+    let mut state = PlacementState::new();
+    let first = p.solve_with(&mut state).unwrap();
+    assert_eq!(first, expected);
+    for _ in 0..3 {
+        let again = p.solve_with(&mut state).unwrap();
+        let (rx, ry) = state.reports();
+        assert!(rx.warm && ry.warm, "re-solve must warm-start both axes");
+        assert_eq!(again, expected, "warm re-solve moved along the degenerate face");
+    }
+}
+
+/// The engine's placement-LP diagnostics on the real media26 candidate
+/// trajectory: deterministic run to run, identical between serial and
+/// parallel sweeps (the counters are accumulated per candidate), and the
+/// warm starts actually fire.
+#[test]
+fn engine_lp_stats_are_deterministic_and_warm_starts_fire() {
+    let bench = media26();
+    let cfg = |jobs: usize| {
+        SynthesisConfig::builder()
+            .switch_count_range(2, 10)
+            .run_layout(false)
+            .jobs(jobs)
+            .build()
+            .unwrap()
+    };
+    let run = |jobs| SynthesisEngine::new(&bench.soc, &bench.comm, cfg(jobs)).unwrap().run();
+    let serial = run(1);
+    let stats = serial.lp_stats;
+    assert!(!serial.points.is_empty(), "media26 must stay feasible");
+    assert_eq!(stats.total_solves() % 2, 0, "every placement solves one LP per axis");
+    assert!(stats.cold_solves > 0, "each candidate's first x-axis solve is cold");
+    assert!(
+        stats.warm_solves > 0,
+        "the y axis (and θ-retry placements) must warm-start: {stats:?}"
+    );
+    assert!(stats.iterations_saved > 0, "warm re-entries must skip pivots: {stats:?}");
+
+    let again = run(1);
+    assert_eq!(again.lp_stats, stats, "repeated serial sweeps must reproduce the counters");
+    for jobs in [2usize, 4] {
+        let parallel = run(jobs);
+        assert_eq!(
+            parallel.lp_stats, stats,
+            "jobs={jobs}: LP counters must not depend on worker scheduling"
+        );
+        assert_eq!(parallel, serial, "jobs={jobs}: outcomes must stay bit-identical");
+    }
+}
