@@ -1,0 +1,324 @@
+//! The ratchet baseline: committed per-`(rule, file)` finding counts that
+//! freeze pre-existing debt. A run fails only when some `(rule, file)`
+//! group exceeds its baselined count — so new violations fail CI while the
+//! frozen debt is paid down incrementally. Counts are keyed per file, not
+//! per line, so unrelated edits that shift line numbers never churn the
+//! baseline.
+//!
+//! The file format is a flat, hand-written JSON object (crates.io is
+//! unreachable, so parsing is hand-rolled like the bench gate's):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "entries": {
+//!     "panic-in-lib|crates/core/src/spec.rs": 3
+//!   }
+//! }
+//! ```
+
+use crate::rules::{Finding, BAD_SUPPRESSION};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Committed finding counts per `rule|file` key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `"rule|path"` → allowed count.
+    pub entries: BTreeMap<String, u64>,
+}
+
+/// Outcome of diffing current findings against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetVerdict {
+    /// Findings exceeding their baseline budget (whole group listed when a
+    /// group grows — lexical findings cannot tell old members from new).
+    pub new_findings: Vec<Finding>,
+    /// Findings covered by the baseline (frozen debt).
+    pub frozen: usize,
+    /// Groups now *below* their baseline: `(key, baselined, current)` —
+    /// the ratchet can be tightened with `--write-baseline`.
+    pub improved: Vec<(String, u64, u64)>,
+}
+
+impl RatchetVerdict {
+    /// Whether the run passes the ratchet.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.new_findings.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Builds the baseline that would freeze exactly `findings`.
+    /// [`BAD_SUPPRESSION`] findings are never frozen: a suppression must
+    /// be fixed, not ratcheted.
+    #[must_use]
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries: BTreeMap<String, u64> = BTreeMap::new();
+        for f in findings {
+            if f.rule != BAD_SUPPRESSION {
+                *entries.entry(key(f)).or_insert(0) += 1;
+            }
+        }
+        Self { entries }
+    }
+
+    /// Serializes to the committed JSON format (sorted keys, stable
+    /// output).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"entries\": {\n");
+        let n = self.entries.len();
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the committed JSON format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformation: the ratchet must
+    /// never silently pass because its baseline failed to parse.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser { b: text.as_bytes(), pos: 0 };
+        let mut entries = BTreeMap::new();
+        p.skip_ws();
+        p.expect_byte(b'{')?;
+        loop {
+            p.skip_ws();
+            if p.eat(b'}') {
+                break;
+            }
+            let k = p.string()?;
+            p.skip_ws();
+            p.expect_byte(b':')?;
+            p.skip_ws();
+            if k == "entries" {
+                p.expect_byte(b'{')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(b'}') {
+                        break;
+                    }
+                    let ek = p.string()?;
+                    p.skip_ws();
+                    p.expect_byte(b':')?;
+                    p.skip_ws();
+                    let v = p.number()?;
+                    if entries.insert(ek.clone(), v).is_some() {
+                        return Err(format!("duplicate baseline key `{ek}`"));
+                    }
+                    p.skip_ws();
+                    let _ = p.eat(b',');
+                }
+            } else {
+                // Scalar metadata fields (`schema`, …): value must be a
+                // bare number.
+                let _ = p.number()?;
+            }
+            p.skip_ws();
+            let _ = p.eat(b',');
+        }
+        Ok(Self { entries })
+    }
+
+    /// Diffs `findings` against this baseline.
+    #[must_use]
+    pub fn ratchet(&self, findings: &[Finding]) -> RatchetVerdict {
+        // Group current findings by key, preserving order within a group.
+        let mut groups: BTreeMap<String, Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            groups.entry(key(f)).or_default().push(f);
+        }
+        let mut new_findings = Vec::new();
+        let mut frozen = 0usize;
+        let mut improved = Vec::new();
+        for (k, group) in &groups {
+            let allowed = if group[0].rule == BAD_SUPPRESSION {
+                0 // never baselinable, even by a hand-edited entry
+            } else {
+                self.entries.get(k).copied().unwrap_or(0)
+            };
+            let current = group.len() as u64;
+            if current > allowed {
+                new_findings.extend(group.iter().map(|&f| f.clone()));
+            } else {
+                frozen += group.len();
+                if current < allowed {
+                    improved.push((k.clone(), allowed, current));
+                }
+            }
+        }
+        // Groups that vanished entirely are also improvements.
+        for (k, &allowed) in &self.entries {
+            if !groups.contains_key(k) {
+                improved.push((k.clone(), allowed, 0));
+            }
+        }
+        improved.sort();
+        RatchetVerdict { new_findings, frozen, improved }
+    }
+}
+
+fn key(f: &Finding) -> String {
+    format!("{}|{}", f.rule, f.path)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.b.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_byte(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(c), self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let start = self.pos;
+        while self.pos < self.b.len() && self.b[self.pos] != b'"' {
+            self.pos += 1; // keys never contain escapes
+        }
+        if self.pos >= self.b.len() {
+            return Err("unterminated string".to_string());
+        }
+        let s = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+        self.pos += 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.b.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32) -> Finding {
+        Finding { rule, path: path.to_string(), line, message: String::new() }
+    }
+
+    #[test]
+    fn roundtrip_json() {
+        let f = vec![
+            finding("panic-in-lib", "crates/core/src/a.rs", 10),
+            finding("panic-in-lib", "crates/core/src/a.rs", 20),
+            finding("det-hash-iter", "crates/lp/src/b.rs", 5),
+        ];
+        let b = Baseline::from_findings(&f);
+        let parsed = Baseline::parse(&b.to_json()).expect("roundtrip");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.entries["panic-in-lib|crates/core/src/a.rs"], 2);
+        assert_eq!(parsed.entries["det-hash-iter|crates/lp/src/b.rs"], 1);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::parse("{ \"schema\": 1, \"entries\": {} }").expect("empty");
+        assert!(b.entries.is_empty());
+        assert_eq!(Baseline::parse(&Baseline::default().to_json()), Ok(Baseline::default()));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error_not_a_silent_pass() {
+        for bad in ["", "{", "{ \"entries\": { \"k\": }}", "{ \"entries\": [1] }"] {
+            assert!(Baseline::parse(bad).is_err(), "{bad:?}");
+        }
+        let dup = "{ \"entries\": { \"a|b\": 1, \"a|b\": 2 } }";
+        assert!(Baseline::parse(dup).expect_err("dup").contains("duplicate"));
+    }
+
+    #[test]
+    fn ratchet_passes_at_or_below_budget_and_fails_above() {
+        let frozen = vec![
+            finding("panic-in-lib", "crates/core/src/a.rs", 10),
+            finding("panic-in-lib", "crates/core/src/a.rs", 20),
+        ];
+        let b = Baseline::from_findings(&frozen);
+        // Same count (lines moved): pass.
+        let moved = vec![
+            finding("panic-in-lib", "crates/core/src/a.rs", 11),
+            finding("panic-in-lib", "crates/core/src/a.rs", 25),
+        ];
+        let v = b.ratchet(&moved);
+        assert!(v.pass());
+        assert_eq!(v.frozen, 2);
+        // One more: the whole group is reported.
+        let grew = vec![
+            finding("panic-in-lib", "crates/core/src/a.rs", 10),
+            finding("panic-in-lib", "crates/core/src/a.rs", 20),
+            finding("panic-in-lib", "crates/core/src/a.rs", 30),
+        ];
+        let v = b.ratchet(&grew);
+        assert!(!v.pass());
+        assert_eq!(v.new_findings.len(), 3);
+        // Fewer: pass, with the improvement reported.
+        let shrunk = vec![finding("panic-in-lib", "crates/core/src/a.rs", 10)];
+        let v = b.ratchet(&shrunk);
+        assert!(v.pass());
+        assert_eq!(v.improved, vec![("panic-in-lib|crates/core/src/a.rs".to_string(), 2, 1)]);
+    }
+
+    #[test]
+    fn unbaselined_file_fails_immediately() {
+        let b = Baseline::default();
+        let v = b.ratchet(&[finding("det-hash-iter", "crates/core/src/new.rs", 3)]);
+        assert!(!v.pass());
+        assert_eq!(v.new_findings.len(), 1);
+    }
+
+    #[test]
+    fn bad_suppressions_cannot_be_baselined() {
+        let f = vec![finding(BAD_SUPPRESSION, "crates/core/src/a.rs", 1)];
+        assert!(Baseline::from_findings(&f).entries.is_empty(), "never written");
+        // Even a hand-edited entry is ignored.
+        let mut b = Baseline::default();
+        b.entries.insert("bad-suppression|crates/core/src/a.rs".to_string(), 5);
+        assert!(!b.ratchet(&f).pass(), "never honored");
+    }
+
+    #[test]
+    fn vanished_groups_show_as_improvements() {
+        let b = Baseline::from_findings(&[finding("panic-in-lib", "crates/core/src/a.rs", 1)]);
+        let v = b.ratchet(&[]);
+        assert!(v.pass());
+        assert_eq!(v.improved, vec![("panic-in-lib|crates/core/src/a.rs".to_string(), 1, 0)]);
+    }
+}

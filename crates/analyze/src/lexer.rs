@@ -1,0 +1,367 @@
+//! A hand-rolled Rust lexer — just enough tokenization for lint rules.
+//!
+//! The lexer splits source text into identifiers, punctuation, literals,
+//! comments and lifetimes, each stamped with its 1-based line number. It is
+//! deliberately *not* a full Rust lexer: its one job is to make sure rules
+//! never match inside string literals or comments, and that comments (which
+//! carry `sf-allow` suppressions and `sf: hot-path` fences) survive with
+//! their text intact. The tricky corners it does handle correctly:
+//!
+//! - nested block comments (`/* /* */ */`),
+//! - string escapes and raw strings (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! - char literals vs lifetimes (`'a'` vs `'a`),
+//! - numbers containing `.` without swallowing range operators (`0..n`).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String, char, byte or numeric literal.
+    Literal,
+    /// Line or block comment; `text` holds the content after `//` or
+    /// between `/*` and `*/`.
+    Comment,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token's text. For comments, the content without the delimiters.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into tokens. Malformed input (unterminated strings or
+/// comments) never panics: the open token simply extends to end of file.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { b: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.b.len() {
+            let c = self.b[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokenKind::Punct, self.pos, self.pos + 1, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.b[start..end.min(self.b.len())]).into_owned();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.b.len() && self.b[end] != b'\n' {
+            end += 1;
+        }
+        self.push(TokenKind::Comment, start, end, line);
+        self.pos = end;
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.b.len() && depth > 0 {
+            match self.b[self.pos] {
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let end = if depth == 0 { self.pos - 2 } else { self.pos };
+        self.push(TokenKind::Comment, start, end, line);
+    }
+
+    /// Ordinary (possibly byte-) string: `"…"` with `\` escapes.
+    fn string(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.b.len() {
+            match self.b[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Literal, start, self.pos.min(self.b.len()), line);
+    }
+
+    /// Raw string starting at `self.pos` (the `r`/`b` prefix already
+    /// consumed by the caller): `#…#"` then content until `"` + same `#`s.
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.b.len() {
+            if self.b[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            if self.b[self.pos] == b'"'
+                && self.b[self.pos + 1..].iter().take(hashes).filter(|&&c| c == b'#').count()
+                    == hashes
+            {
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Literal, start, self.pos.min(self.b.len()), line);
+    }
+
+    /// `'a'` / `'\n'` are char literals; `'a` / `'static` are lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let next = self.peek(1);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(c) if is_ident_continue(c) => self.peek(2) == Some(b'\''),
+            Some(_) => true, // e.g. `'.'`, `' '`
+            None => false,
+        };
+        if is_char {
+            self.pos += 1;
+            if self.peek(0) == Some(b'\\') {
+                self.pos += 2; // escape + escaped char
+                while self.pos < self.b.len() && self.b[self.pos] != b'\'' {
+                    self.pos += 1; // `\u{…}` payloads
+                }
+                self.pos += 1;
+            } else {
+                self.pos += 2; // char + closing quote
+            }
+            self.push(TokenKind::Literal, start, self.pos.min(self.b.len()), line);
+        } else {
+            self.pos += 1;
+            let id_start = self.pos;
+            while self.pos < self.b.len() && is_ident_continue(self.b[self.pos]) {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Lifetime, id_start, self.pos, line);
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.b.len() && is_ident_continue(self.b[self.pos]) {
+            self.pos += 1;
+        }
+        let ident = &self.b[start..self.pos];
+        // Raw-string prefixes: the quote (or `#…"`) follows immediately.
+        let raw_prefix = matches!(ident, b"r" | b"br" | b"rb");
+        match self.peek(0) {
+            Some(b'"') if raw_prefix => self.raw_string(start),
+            Some(b'#') if raw_prefix && self.raw_hashes_then_quote() => self.raw_string(start),
+            _ => self.push(TokenKind::Ident, start, self.pos, line),
+        }
+    }
+
+    /// Whether `self.pos` sits on `#…#"` (a raw-string guard, not an
+    /// attribute).
+    fn raw_hashes_then_quote(&self) -> bool {
+        let mut i = self.pos;
+        while self.b.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.b.get(i) == Some(&b'"')
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.b.len() {
+            let c = self.b[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else if c == b'.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !self.b[start..self.pos].contains(&b'.')
+            {
+                // `1.5` but not `0..n` and not a second dot.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, start, self.pos, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = lex("let x = a.b();");
+        assert_eq!(idents("let x = a.b();"), vec!["let", "x", "a", "b"]);
+        assert!(toks.iter().any(|t| t.is_punct(';')));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "HashMap unwrap";"#), vec!["let", "s"]);
+        assert_eq!(idents("let s = \"multi\nline\"; x"), vec!["let", "s", "x"]);
+        // Escaped quote does not end the string.
+        assert_eq!(idents(r#"let s = "a\"HashMap"; y"#), vec!["let", "s", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        assert_eq!(idents(r##"let s = r"HashMap"; x"##), vec!["let", "s", "x"]);
+        let src = "let s = r#\"unwrap \" still in\"#; tail";
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+        let src = "let s = br##\"clone \"# nested\"##; tail";
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("code(); // sf-allow(rule): why\nnext();");
+        let c: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Comment).collect();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].text, " sf-allow(rule): why");
+        assert_eq!(c[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(idents("a /* outer /* inner */ still comment */ b"), vec!["a", "b"]);
+        let c = toks.iter().find(|t| t.kind == TokenKind::Comment);
+        assert!(c.is_some_and(|t| t.text.contains("inner")));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // `'a'` is a char literal, `'a` in a generic list is a lifetime.
+        let toks = lex("fn f<'a>(c: char) { let x = 'a'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, vec!["a"]);
+        let lits = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lits, 2, "{toks:?}");
+        assert_eq!(idents("let x: &'static str = s;"), vec!["let", "x", "str", "s"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..n { let f = 1.5; }");
+        let lits: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).map(|t| &t.text).collect();
+        assert_eq!(lits, vec!["0", "1.5"]);
+        assert!(idents("for i in 0..n {}").contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let toks = lex("a\n\nb // c\nd");
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(3));
+        assert_eq!(find("d"), Some(4));
+    }
+
+    #[test]
+    fn unterminated_tokens_do_not_panic() {
+        let _ = lex("let s = \"never closed");
+        let _ = lex("/* never closed");
+        let _ = lex("let s = r#\"never closed");
+        let _ = lex("let c = '");
+    }
+}

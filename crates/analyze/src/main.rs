@@ -1,0 +1,101 @@
+//! `sunfloor-analyze` — run the determinism & hot-path lint pass over the
+//! workspace.
+//!
+//! ```text
+//! sunfloor-analyze [--root DIR] [--write-baseline] [--quiet]
+//!
+//!   --root DIR         workspace root (default: nearest ancestor with
+//!                      Cargo.toml + crates/)
+//!   --write-baseline   rewrite lint-baseline.json to freeze the current
+//!                      findings (use after paying down debt, or to ratchet
+//!                      tighter after improvements)
+//!   --quiet            print nothing on a clean pass
+//! ```
+//!
+//! Exit codes: 0 clean, 1 new findings, 2 usage/I-O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use sunfloor_analyze::{baseline::Baseline, check_workspace, find_root, BASELINE_FILE};
+
+struct Args {
+    root: Option<PathBuf>,
+    write_baseline: bool,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args { root: None, write_baseline: false, quiet: false };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                parsed.root = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => parsed.write_baseline = true,
+            "--quiet" => parsed.quiet = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: sunfloor-analyze [--root DIR] [--write-baseline] [--quiet]");
+            return ExitCode::from(2);
+        }
+    };
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = args.root.or_else(|| find_root(&cwd)) else {
+        eprintln!("error: no workspace root found above {} (want Cargo.toml + crates/)", cwd.display());
+        return ExitCode::from(2);
+    };
+
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let frozen = Baseline::from_findings(&report.findings);
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, frozen.to_json()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} entries freezing {} findings)",
+            path.display(),
+            frozen.entries.len(),
+            report.findings.iter().filter(|f| f.rule != "bad-suppression").count()
+        );
+        // Bad suppressions are never baselinable; still fail on them.
+        let bad = report.findings.iter().filter(|f| f.rule == "bad-suppression").count();
+        if bad > 0 {
+            eprintln!("{bad} bad-suppression finding(s) cannot be baselined:");
+            for f in report.findings.iter().filter(|f| f.rule == "bad-suppression") {
+                eprintln!("  {f}");
+            }
+            return ExitCode::from(1);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !report.pass() {
+        print!("{}", report.render());
+        return ExitCode::from(1);
+    }
+    if !args.quiet {
+        print!("{}", report.render());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,382 @@
+//! The analyzed view of one source file: its tokens plus the structural
+//! facts rules need — which crate it belongs to, which token ranges are
+//! test code, which functions are fenced `// sf: hot-path`, and which
+//! lines carry `// sf-allow(rule): reason` suppressions.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Crates whose results must be bit-for-bit reproducible: everything that
+/// feeds the golden-fingerprint determinism suites. The `det-*` rules only
+/// fire inside these.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["core", "partition", "floorplan", "lp", "models", "baselines"];
+
+/// An inline suppression: `// sf-allow(rule): reason`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule the suppression targets.
+    pub rule: String,
+    /// Mandatory justification (trimmed, non-empty once validated).
+    pub reason: String,
+    /// Line the suppression comment sits on.
+    pub comment_line: u32,
+    /// Line whose findings it suppresses (same line for trailing comments,
+    /// the next code line for standalone comment lines).
+    pub target_line: u32,
+}
+
+/// A `// sf-allow` comment that does not parse: missing reason, missing
+/// rule, or bad shape. Always a hard failure — suppressions must justify
+/// themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedSuppression {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// A function body fenced `// sf: hot-path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotRegion {
+    /// Name of the fenced function.
+    pub fn_name: String,
+    /// Token-index range of the function (from the `fn` keyword through
+    /// the closing brace of its body).
+    pub tokens: (usize, usize),
+}
+
+/// One source file, lexed and annotated.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Crate directory name (`core` for `crates/core/src/…`), or the
+    /// workspace-root facade name for `src/`, `tests/`, `examples/`.
+    pub crate_name: String,
+    /// Whether the *whole file* is test/bench/example code by location.
+    pub file_is_test: bool,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Token-index ranges under `#[cfg(test)]`.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Hot-path fenced functions.
+    pub hot_regions: Vec<HotRegion>,
+    /// Parsed suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Suppression comments that failed to parse.
+    pub malformed: Vec<MalformedSuppression>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `text` as the file at `path` (repo-relative,
+    /// forward slashes).
+    #[must_use]
+    pub fn parse(path: &str, text: &str) -> Self {
+        let tokens = lex(text);
+        let crate_name = crate_of(path);
+        let file_is_test = path_is_test(path);
+        let test_regions = find_test_regions(&tokens);
+        let hot_regions = find_hot_regions(&tokens);
+        let (suppressions, malformed) = find_suppressions(&tokens);
+        Self {
+            path: path.to_string(),
+            crate_name,
+            file_is_test,
+            tokens,
+            test_regions,
+            hot_regions,
+            suppressions,
+            malformed,
+        }
+    }
+
+    /// Whether this file belongs to a deterministic crate.
+    #[must_use]
+    pub fn is_deterministic_crate(&self) -> bool {
+        DETERMINISTIC_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// Whether token `idx` is test code — either the whole file is, or the
+    /// token falls in a `#[cfg(test)]` region.
+    #[must_use]
+    pub fn token_is_test(&self, idx: usize) -> bool {
+        self.file_is_test || self.test_regions.iter().any(|&(s, e)| idx >= s && idx <= e)
+    }
+
+    /// The hot region containing token `idx`, if any.
+    #[must_use]
+    pub fn hot_region_of(&self, idx: usize) -> Option<&HotRegion> {
+        self.hot_regions.iter().find(|h| idx >= h.tokens.0 && idx <= h.tokens.1)
+    }
+}
+
+/// Crate directory name from a repo-relative path.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_string(),
+        // Workspace-root facade package: src/, tests/, examples/.
+        _ => "sunfloor".to_string(),
+    }
+}
+
+/// Test/bench/example code by file location alone.
+fn path_is_test(path: &str) -> bool {
+    let in_dir = |d: &str| path.starts_with(&format!("{d}/")) || path.contains(&format!("/{d}/"));
+    in_dir("tests") || in_dir("benches") || in_dir("examples") || path.ends_with("/tests.rs")
+}
+
+/// Index of the matching close brace for the open brace at `open`
+/// (comments ignored); `None` if unbalanced.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Finds token ranges guarded by `#[cfg(test)]`: from the attribute through
+/// the guarded item's closing `}` (or `;` for `mod tests;` / `use` items).
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_at(tokens, i) {
+            // Scan forward to the guarded item's body (first `{` before any
+            // `;` ends the item at its matching brace; a `;` first means a
+            // braceless item).
+            let mut j = i;
+            let mut end = None;
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    end = matching_brace(tokens, j);
+                    break;
+                }
+                if tokens[j].is_punct(';') {
+                    end = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(e) = end {
+                out.push((i, e));
+                i = e + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether tokens at `i` spell `#[cfg(test)]` (comments skipped).
+fn is_cfg_test_at(tokens: &[Token], i: usize) -> bool {
+    let expected: [&dyn Fn(&Token) -> bool; 7] = [
+        &|t| t.is_punct('#'),
+        &|t| t.is_punct('['),
+        &|t| t.is_ident("cfg"),
+        &|t| t.is_punct('('),
+        &|t| t.is_ident("test"),
+        &|t| t.is_punct(')'),
+        &|t| t.is_punct(']'),
+    ];
+    let mut j = i;
+    for check in expected {
+        // Comments may sit between attribute tokens; skip them.
+        while tokens.get(j).is_some_and(|t| t.kind == TokenKind::Comment) {
+            j += 1;
+        }
+        match tokens.get(j) {
+            Some(t) if check(t) => j += 1,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Finds `// sf: hot-path` fences. The fence marks the *next* `fn` after
+/// the comment; the region runs from that `fn` keyword through its body's
+/// closing brace, so attributes and doc lines between fence and `fn` are
+/// fine.
+fn find_hot_regions(tokens: &[Token]) -> Vec<HotRegion> {
+    let mut out = Vec::new();
+    for (ci, c) in tokens.iter().enumerate() {
+        if c.kind != TokenKind::Comment || c.text.trim() != "sf: hot-path" {
+            continue;
+        }
+        let Some(fn_idx) = (ci + 1..tokens.len()).find(|&j| tokens[j].is_ident("fn")) else {
+            continue;
+        };
+        let fn_name = tokens
+            .get(fn_idx + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map_or_else(|| "<anonymous>".to_string(), |t| t.text.clone());
+        let Some(open) = (fn_idx..tokens.len()).find(|&j| tokens[j].is_punct('{')) else {
+            continue;
+        };
+        if let Some(close) = matching_brace(tokens, open) {
+            out.push(HotRegion { fn_name, tokens: (fn_idx, close) });
+        }
+    }
+    out
+}
+
+/// Parses every `sf-allow` comment into a [`Suppression`] or a
+/// [`MalformedSuppression`].
+fn find_suppressions(tokens: &[Token]) -> (Vec<Suppression>, Vec<MalformedSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (ci, c) in tokens.iter().enumerate() {
+        if c.kind != TokenKind::Comment {
+            continue;
+        }
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("sf-allow") else { continue };
+        let parsed = parse_allow(rest);
+        match parsed {
+            Ok((rule, reason)) => {
+                let target_line = suppression_target(tokens, ci);
+                ok.push(Suppression { rule, reason, comment_line: c.line, target_line });
+            }
+            Err(problem) => bad.push(MalformedSuppression { line: c.line, problem }),
+        }
+    }
+    (ok, bad)
+}
+
+/// Parses the tail of `sf-allow…`: expects `(rule): reason`.
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `sf-allow(rule): reason`".to_string())?;
+    let (rule, after) =
+        rest.split_once(')').ok_or_else(|| "unclosed rule name parenthesis".to_string())?;
+    let rule = rule.trim();
+    if rule.is_empty() {
+        return Err("empty rule name".to_string());
+    }
+    let reason = after
+        .strip_prefix(':')
+        .ok_or_else(|| "missing `:` before the reason".to_string())?
+        .trim();
+    if reason.is_empty() {
+        return Err(format!("suppression of `{rule}` carries no reason — a reason is mandatory"));
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// The line a suppression applies to: its own line when code precedes the
+/// comment on that line, otherwise the next line holding a non-comment
+/// token.
+fn suppression_target(tokens: &[Token], comment_idx: usize) -> u32 {
+    let line = tokens[comment_idx].line;
+    let has_code_before = tokens[..comment_idx]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| t.kind != TokenKind::Comment);
+    if has_code_before {
+        return line;
+    }
+    tokens[comment_idx + 1..]
+        .iter()
+        .find(|t| t.kind != TokenKind::Comment)
+        .map_or(line, |t| t.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/core/src/paths.rs"), "core");
+        assert_eq!(crate_of("crates/lp/src/solver/warm.rs"), "lp");
+        assert_eq!(crate_of("src/lib.rs"), "sunfloor");
+        assert_eq!(crate_of("tests/determinism.rs"), "sunfloor");
+    }
+
+    #[test]
+    fn test_paths_detected() {
+        assert!(path_is_test("tests/full_flow.rs"));
+        assert!(path_is_test("crates/core/tests/properties.rs"));
+        assert!(path_is_test("crates/bench/benches/synthesis.rs"));
+        assert!(path_is_test("examples/quickstart.rs"));
+        assert!(path_is_test("crates/partition/src/tests.rs"));
+        assert!(!path_is_test("crates/core/src/paths.rs"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod_block() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    fn t() { inner(); }\n}\nfn after() {}",
+        );
+        assert_eq!(f.test_regions.len(), 1);
+        let lib = f.tokens.iter().position(|t| t.is_ident("lib_code"));
+        let inner = f.tokens.iter().position(|t| t.is_ident("inner"));
+        let after = f.tokens.iter().position(|t| t.is_ident("after"));
+        assert!(lib.is_some_and(|i| !f.token_is_test(i)));
+        assert!(inner.is_some_and(|i| f.token_is_test(i)));
+        assert!(after.is_some_and(|i| !f.token_is_test(i)));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item() {
+        let f = SourceFile::parse("crates/core/src/x.rs", "#[cfg(test)]\nmod tests;\nfn real() {}");
+        assert_eq!(f.test_regions.len(), 1);
+        let real = f.tokens.iter().position(|t| t.is_ident("real"));
+        assert!(real.is_some_and(|i| !f.token_is_test(i)));
+    }
+
+    #[test]
+    fn hot_fence_marks_next_fn_body() {
+        let src = "// sf: hot-path\n#[inline]\nfn fast(x: u32) -> u32 { x + helper() }\nfn slow() { other(); }";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert_eq!(f.hot_regions.len(), 1);
+        assert_eq!(f.hot_regions[0].fn_name, "fast");
+        let helper = f.tokens.iter().position(|t| t.is_ident("helper"));
+        let other = f.tokens.iter().position(|t| t.is_ident("other"));
+        assert!(helper.is_some_and(|i| f.hot_region_of(i).is_some()));
+        assert!(other.is_some_and(|i| f.hot_region_of(i).is_none()));
+    }
+
+    #[test]
+    fn suppressions_parse_with_targets() {
+        let src = "// sf-allow(det-hash-iter): keyed lookups only\nuse std::collections::HashMap;\nlet x = 1; // sf-allow(panic-in-lib): trailing case\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rule, "det-hash-iter");
+        assert_eq!(f.suppressions[0].target_line, 2, "standalone comment targets the next line");
+        assert_eq!(f.suppressions[1].target_line, 3, "trailing comment targets its own line");
+        assert!(f.malformed.is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_malformed() {
+        for bad in
+            ["// sf-allow(det-hash-iter):", "// sf-allow(det-hash-iter)", "// sf-allow(): why"]
+        {
+            let f = SourceFile::parse("crates/core/src/x.rs", bad);
+            assert!(f.suppressions.is_empty(), "{bad}");
+            assert_eq!(f.malformed.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn suppression_inside_string_or_doc_example_is_inert() {
+        let src = "let s = \"// sf-allow(det-hash-iter): in a string\";\n/// e.g. `// sf-allow(x): y`\nfn f() {}";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.suppressions.is_empty());
+        assert!(f.malformed.is_empty());
+    }
+}

@@ -179,8 +179,9 @@ pub fn optimized_mesh(bench: &Benchmark, lib: &NocLibrary, cfg: &MeshConfig) -> 
         indirect_switches: Vec::new(),
     };
 
+    // sf-allow(det-hash-iter): keyed lookups only — never iterated; links are pushed in flow order
     let mut link_index: std::collections::HashMap<(usize, usize, MessageType), usize> =
-        std::collections::HashMap::new();
+        std::collections::HashMap::new(); // sf-allow(det-hash-iter): same map, continuation line
     for e in graph.edge_list() {
         let mut path = Vec::new();
         let (mut x, mut y, mut z) = (

@@ -364,6 +364,34 @@ mod tests {
         assert_eq!(report.skipped.len(), TRACKED_METRICS.len() - 1);
     }
 
+    /// A metric the baseline tracks but the new artifact no longer emits
+    /// is reported as skipped — dropping or renaming a metric cannot
+    /// masquerade as either a pass or a regression.
+    #[test]
+    fn metric_in_baseline_but_absent_from_new_run_is_skipped() {
+        let current = BASELINE.replace("\"partition_phase1_k8_s\": 0.000216725,", "");
+        let report = compare(BASELINE, &current, 0.30);
+        assert!(!report.regressed(), "{}", report.render());
+        assert!(report.skipped.contains(&"partition_phase1_k8_s".to_string()));
+        assert!(report.deltas.iter().all(|d| d.path != "partition_phase1_k8_s"));
+    }
+
+    /// The gate is strict-greater: a delta landing exactly on the
+    /// tolerance boundary passes; any amount beyond it fails.
+    #[test]
+    fn delta_exactly_at_tolerance_boundary_passes() {
+        let base = r#"{ "sweep": { "serial_s": 10.0 } }"#;
+        let at_boundary = r#"{ "sweep": { "serial_s": 13.0 } }"#; // exactly +30%
+        let report = compare(base, at_boundary, 0.30);
+        assert!(!report.regressed(), "{}", report.render());
+        let d = report.deltas.iter().find(|d| d.path == "sweep.serial_s").unwrap();
+        assert_eq!(d.relative_regression, 0.30);
+        assert!(!d.regressed);
+
+        let over = r#"{ "sweep": { "serial_s": 13.001 } }"#;
+        assert!(compare(base, over, 0.30).regressed());
+    }
+
     /// Once both sides carry the phase-4 partition metrics they are
     /// compared, not skipped — the forward-gating path.
     #[test]

@@ -74,6 +74,19 @@ pub enum CliError {
     Run(Box<dyn Error>),
 }
 
+impl CliError {
+    /// Process exit code for this error: `2` for usage mistakes (the
+    /// invocation itself was wrong — scripts can tell "fix the command
+    /// line" apart from "the run failed") and `1` for runtime failures.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Self::Usage(_) => 2,
+            Self::Run(_) => 1,
+        }
+    }
+}
+
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -579,5 +592,24 @@ mod tests {
         let err = run(&opts).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
         assert!(err.to_string().contains("alpha"), "{err}");
+    }
+
+    #[test]
+    fn usage_errors_exit_2_run_errors_exit_1() {
+        let usage = Options::parse(&args(&["--bogus"])).unwrap_err();
+        assert_eq!(usage.exit_code(), 2);
+
+        // A well-formed invocation against a missing spec file is a
+        // runtime failure, not a usage mistake.
+        let opts = Options::parse(&args(&[
+            "--cores",
+            "/nonexistent/cores.txt",
+            "--comm",
+            "/nonexistent/comm.txt",
+        ]))
+        .unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(matches!(err, CliError::Run(_)), "{err}");
+        assert_eq!(err.exit_code(), 1);
     }
 }

@@ -11,19 +11,17 @@ fn main() -> ExitCode {
             print!("{report}");
             ExitCode::SUCCESS
         }
-        Err(CliError::Usage(msg)) => {
-            eprintln!("error: {msg}");
-            eprintln!(
-                "usage: sunfloor3d --cores <file> --comm <file> [--max-ill N] \
-                 [--frequency MHZ[,MHZ..]] [--alpha A] [--mode auto|phase1|phase2] \
-                 [--switches lo..hi] [--step N] [--jobs N] [--seed U64] \
-                 [--no-layout] [--out DIR]"
-            );
-            ExitCode::FAILURE
-        }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if let CliError::Usage(_) = e {
+                eprintln!(
+                    "usage: sunfloor3d --cores <file> --comm <file> [--max-ill N] \
+                     [--frequency MHZ[,MHZ..]] [--alpha A] [--mode auto|phase1|phase2] \
+                     [--switches lo..hi] [--step N] [--jobs N] [--seed U64] \
+                     [--no-layout] [--out DIR]"
+                );
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

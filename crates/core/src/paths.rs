@@ -583,11 +583,13 @@ impl<'a> Router<'a> {
         })
     }
 
+    // sf: hot-path
     fn live_link(&self, u: usize, v: usize, class: MessageType) -> Option<usize> {
         let li = self.alloc.link_of[(class_index(class) * self.nsw + u) * self.nsw + v];
         (li != usize::MAX).then_some(li)
     }
 
+    // sf: hot-path
     fn route_all(&mut self, alpha: f64) -> Result<(), PathError> {
         let mut order = std::mem::take(&mut self.alloc.order);
         let mut weights = std::mem::take(&mut self.alloc.weights);
@@ -604,6 +606,7 @@ impl<'a> Router<'a> {
         Ok(())
     }
 
+    // sf: hot-path
     fn route_flow(&mut self, flow_idx: usize) -> Result<(), PathError> {
         let e = self.graph.edge_list()[flow_idx];
         let bw_gbps = e.bandwidth_mbs * 8.0 / 1000.0;
@@ -611,7 +614,7 @@ impl<'a> Router<'a> {
         let d_sw = self.topo.core_attach[e.dst];
 
         if s_sw == d_sw {
-            self.topo.flow_paths[flow_idx] = FlowPath { switches: vec![s_sw] };
+            self.topo.flow_paths[flow_idx] = FlowPath { switches: vec![s_sw] }; // sf-allow(hot-path-alloc): per-flow result path, built once per routed flow
             return Ok(());
         }
 
@@ -646,6 +649,7 @@ impl<'a> Router<'a> {
     /// `alloc.link_ids`) into the class CDG one at a time. On the first
     /// dependency that would close a cycle, rolls the batch back and returns
     /// the *second* link of the offending turn.
+    // sf: hot-path
     fn try_insert_deps(&mut self, class: MessageType) -> Option<usize> {
         let ci = class_index(class);
         let mut added = std::mem::take(&mut self.alloc.cdg_added);
@@ -671,6 +675,7 @@ impl<'a> Router<'a> {
         bad
     }
 
+    // sf: hot-path
     fn dijkstra(
         &mut self,
         src: usize,
@@ -718,7 +723,7 @@ impl<'a> Router<'a> {
         if self.alloc.dij_stamp[dst] != gen || !self.alloc.dist[dst].is_finite() {
             return None;
         }
-        let mut path = vec![dst];
+        let mut path = vec![dst]; // sf-allow(hot-path-alloc): the returned path is the per-flow result value
         let mut cur = dst;
         while cur != src {
             cur = self.alloc.prev[cur];
@@ -730,6 +735,7 @@ impl<'a> Router<'a> {
 
     /// Marginal cost of sending the flow over `u → v`, or `None` when the
     /// edge is forbidden (Algorithm 3's `INF`).
+    // sf: hot-path
     fn edge_cost(&self, u: usize, v: usize, bw_gbps: f64, class: MessageType) -> Option<f64> {
         let (lu, lv) = (self.topo.switch_layer[u], self.topo.switch_layer[v]);
         let delta = lu.abs_diff(lv);
@@ -782,6 +788,7 @@ impl<'a> Router<'a> {
     /// Ensures all links along `path` exist (creating them as needed), adds
     /// the flow's bandwidth, and leaves the link indices used, in order, in
     /// `alloc.link_ids`.
+    // sf: hot-path
     fn realize_links(&mut self, path: &[usize], class: MessageType, bw_gbps: f64, flow_idx: usize) {
         let mut ids = std::mem::take(&mut self.alloc.link_ids);
         ids.clear();
@@ -798,7 +805,7 @@ impl<'a> Router<'a> {
                         from: u,
                         to: v,
                         bandwidth_gbps: 0.0,
-                        flows: Vec::new(),
+                        flows: Vec::new(), // sf-allow(hot-path-alloc): one empty Vec per newly created link, not per candidate
                         class,
                     });
                     self.alloc.link_of[(class_index(class) * self.nsw + u) * self.nsw + v] = li;
@@ -822,6 +829,7 @@ impl<'a> Router<'a> {
     /// Rolls a flow back out of the given links. Links that become empty are
     /// released from the port/ill budgets and the live index, but keep their
     /// slot in `topo.links` as tombstones so CDG indices stay stable.
+    // sf: hot-path
     fn unrealize_flow(&mut self, flow_idx: usize, link_ids: &[usize], bw_gbps: f64) {
         for &li in link_ids {
             let link = &mut self.topo.links[li];
@@ -859,7 +867,7 @@ impl<'a> Router<'a> {
 mod tests {
     use super::*;
     use crate::spec::{CommSpec, Core, Flow, SocSpec};
-    use std::collections::{HashMap, HashSet};
+    use std::collections::{BTreeMap, BTreeSet};
 
     /// 4 cores on 2 layers, 2 switches (one per layer), star traffic.
     fn setup() -> (SocSpec, CommSpec, CommGraph) {
@@ -923,9 +931,8 @@ mod tests {
         assert_eq!(topo.flow_paths[3].switches, vec![0]);
         assert_eq!(topo.flow_paths[0].switches, vec![0, 1]);
         // Request and response use separate links.
-        let classes: HashSet<MessageType> = topo.links.iter().map(|l| l.class).collect();
-        assert!(classes.contains(&MessageType::Request));
-        assert!(classes.contains(&MessageType::Response));
+        assert!(topo.links.iter().any(|l| l.class == MessageType::Request));
+        assert!(topo.links.iter().any(|l| l.class == MessageType::Response));
         for l in &topo.links {
             for &fi in &l.flows {
                 assert_eq!(g.edge_list()[fi].class, l.class, "class mixing on a link");
@@ -1167,7 +1174,7 @@ mod tests {
         .unwrap();
         // Rebuild the CDG from the final paths and assert acyclicity.
         for class in [MessageType::Request, MessageType::Response] {
-            let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+            let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
             let link_idx = |u: usize, v: usize| {
                 topo.links
                     .iter()
@@ -1187,9 +1194,9 @@ mod tests {
                 }
             }
             // Kahn's algorithm: if all nodes drain, the graph is acyclic.
-            let nodes: HashSet<usize> =
+            let nodes: BTreeSet<usize> =
                 adj.keys().copied().chain(adj.values().flatten().copied()).collect();
-            let mut indeg: HashMap<usize, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+            let mut indeg: BTreeMap<usize, usize> = nodes.iter().map(|&n| (n, 0)).collect();
             for vs in adj.values() {
                 for &v in vs {
                     *indeg.get_mut(&v).unwrap() += 1;

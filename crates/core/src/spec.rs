@@ -8,7 +8,7 @@
 //! across different cores, latency constraints and message type
 //! (request/response) of the different traffic flows").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -91,7 +91,7 @@ impl SocSpec {
         if self.layers == 0 {
             return Err(SpecError::ZeroLayers);
         }
-        let mut seen = HashMap::new();
+        let mut seen = BTreeMap::new();
         for (i, c) in self.cores.iter().enumerate() {
             if c.width <= 0.0 || c.height <= 0.0 {
                 return Err(SpecError::BadGeometry { core: c.name.clone() });

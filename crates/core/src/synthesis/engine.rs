@@ -290,7 +290,7 @@ impl<'a> SynthesisEngine<'a> {
         policy: StopPolicy,
         mut observer: Option<&mut dyn SweepObserver>,
     ) -> SynthesisOutcome {
-        let started = Instant::now();
+        let started = Instant::now(); // sf-allow(nondet-source): the Deadline StopPolicy is wall-clock by design; results stay deterministic, only the cut-off point varies
         let mut outcome = SynthesisOutcome::default();
         if self.cfg.mode != SynthesisMode::Phase2Only {
             // The shared warm-chained base partitions (computed on first

@@ -277,14 +277,14 @@ mod tests {
 
     #[test]
     fn observer_receives_one_terminal_event_per_candidate() {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let (soc, comm) = small_soc();
         let engine = SynthesisEngine::new(&soc, &comm, quick_cfg()).unwrap();
         let mut events: Vec<SweepEvent> = Vec::new();
         let outcome = engine.run_with_observer(&mut |e: &SweepEvent| events.push(e.clone()));
 
-        let mut started: HashMap<String, usize> = HashMap::new();
-        let mut terminal: HashMap<String, usize> = HashMap::new();
+        let mut started: BTreeMap<String, usize> = BTreeMap::new();
+        let mut terminal: BTreeMap<String, usize> = BTreeMap::new();
         for e in &events {
             match e {
                 SweepEvent::CandidateStarted { candidate } => {

@@ -113,7 +113,7 @@ proptest! {
             prop_assert_eq!(path[0], core_attach[e.src]);
             prop_assert_eq!(*path.last().unwrap(), core_attach[e.dst]);
             // Paths are simple (no switch repeated).
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for &s in path {
                 prop_assert!(seen.insert(s), "cycle in path {path:?}");
             }

@@ -196,6 +196,7 @@ impl NetCache {
 
     /// Net `k`'s weighted HPWL over block centers — the exact per-net term
     /// of [`Floorplan::hpwl`].
+    // sf: hot-path
     fn measure(net: &Net, x: &[f64], y: &[f64], w: &[f64], h: &[f64]) -> f64 {
         if net.pins.len() < 2 {
             return 0.0;
@@ -221,6 +222,7 @@ impl NetCache {
 
     /// Re-measures every net incident to a moved block against the
     /// candidate placement, logging old values for [`Self::revert`].
+    // sf: hot-path
     #[allow(clippy::too_many_arguments)]
     fn update_for_move(
         &mut self,
@@ -248,6 +250,7 @@ impl NetCache {
 
     /// Sum of the cached per-net values, in net order — bit-identical to a
     /// fresh `hpwl` accumulation.
+    // sf: hot-path
     fn total(&self) -> f64 {
         let mut total = 0.0;
         for &c in &self.cost {
@@ -257,6 +260,7 @@ impl NetCache {
     }
 
     /// Rolls the last [`Self::update_for_move`] back (candidate rejected).
+    // sf: hot-path
     fn revert(&mut self) {
         for &(k, old) in self.undo.iter().rev() {
             self.cost[k] = old;
@@ -429,6 +433,7 @@ fn run_sa_seeded(
 /// ideal-position deviation. The bounding box comes straight from the
 /// packer (a packed placement is flush against both axes, so the box
 /// equals the extent maxima the original min/max fold produced).
+// sf: hot-path
 #[allow(clippy::too_many_arguments)]
 fn cost_of(
     x: &[f64],
@@ -469,6 +474,7 @@ fn cost_of(
 /// Returns `(from, to)` so the move can be undone without cloning. `ranks`
 /// is the permutation's inverse: it locates `b` without a scan and is
 /// patched up for the shifted range afterwards.
+// sf: hot-path
 fn reinsert(
     perm: &mut Vec<usize>,
     ranks: &mut [usize],
@@ -487,6 +493,7 @@ fn reinsert(
 }
 
 /// Inverse of [`reinsert`]: the block sits at `to`; put it back at `from`.
+// sf: hot-path
 fn undo_reinsert(perm: &mut Vec<usize>, ranks: &mut [usize], from: usize, to: usize) {
     let b = perm.remove(to);
     perm.insert(from, b);

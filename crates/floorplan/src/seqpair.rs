@@ -182,6 +182,7 @@ impl SequencePair {
     /// # Panics
     ///
     /// Panics if any slice length disagrees with the sequence length.
+    // sf: hot-path
     pub fn pack_coords_ranked(
         &self,
         pp: &[usize],

@@ -33,6 +33,7 @@ fn max_iterations(tab: &Tableau) -> u32 {
 /// product would use (bit-identical), but with sequential memory access.
 /// Rows whose basic cost is exactly zero contribute exactly nothing and
 /// are skipped.
+// sf: hot-path
 pub(crate) fn price(tab: &Tableau, cost: &[f64], col_limit: usize, z: &mut [f64]) {
     let m = tab.rows();
     for v in z[..col_limit].iter_mut() {
@@ -50,6 +51,7 @@ pub(crate) fn price(tab: &Tableau, cost: &[f64], col_limit: usize, z: &mut [f64]
     }
 }
 
+// sf: hot-path
 fn objective_value(tab: &Tableau, cost: &[f64]) -> f64 {
     let mut obj = 0.0;
     for i in 0..tab.rows() {
@@ -65,6 +67,7 @@ fn objective_value(tab: &Tableau, cost: &[f64]) -> f64 {
 /// implementation: Dantzig pricing (most negative reduced cost) with
 /// Bland's smallest-index rule after half the iteration budget, and a
 /// Bland smallest-basis-index tie-break in the ratio test.
+// sf: hot-path
 pub(crate) fn primal(
     tab: &mut Tableau,
     cost: &[f64],
@@ -138,6 +141,7 @@ pub(crate) fn primal(
 /// `min (cost_j − z_j) / (−a_rj)` over `a_rj < −ε`, ties broken towards
 /// the smallest column index. A row with no negative entry proves primal
 /// infeasibility.
+// sf: hot-path
 pub(crate) fn dual(
     tab: &mut Tableau,
     cost: &[f64],

@@ -1,0 +1,20 @@
+//! Tier-1 wiring for the determinism & hot-path lint pass: `cargo test`
+//! at the workspace root runs exactly the check CI's `lint` job runs, so
+//! a new violation (or a stale suppression) cannot land through the
+//! normal test gate either.
+
+use std::path::Path;
+use sunfloor_analyze::{check_workspace, find_root};
+
+#[test]
+fn workspace_lints_clean_against_committed_baseline() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let report = check_workspace(&root).expect("lint pass runs");
+    assert!(
+        report.pass(),
+        "sunfloor-analyze found new violations — fix them, add a \
+         `// sf-allow(rule): reason`, or (for ratcheted rules) re-freeze \
+         with `cargo run -p sunfloor-analyze -- --write-baseline`:\n{}",
+        report.render()
+    );
+}
