@@ -1,0 +1,396 @@
+//! Intra-workspace call-edge extraction and hot-path reachability.
+//!
+//! For every symbol in a [`SymbolTable`], the call graph records which
+//! other workspace symbols its body may call. Resolution is lexical and
+//! deliberately conservative-towards-edges for the names that matter:
+//!
+//! - `foo(…)` — free call: resolves to free fns named `foo`, preferring a
+//!   same-file definition, then same-crate, then workspace-wide.
+//! - `Type::foo(…)` — qualified call: resolves to `foo` in `impl Type`
+//!   (with `Self::` mapped to the enclosing impl); a lowercase qualifier
+//!   is treated as a module path and resolves to free fns named `foo`.
+//! - `recv.foo(…)` — method call: the receiver type is unknown to a
+//!   lexer, so it resolves to every workspace *method* named `foo` —
+//!   except ubiquitous std names ([`STD_METHODS`]), which would wire the
+//!   whole workspace together through `push`/`get`/`len` lookalikes.
+//!
+//! [`Reachability`] then walks edges from the `// sf: hot-path` fenced
+//! fns, restricted to the deterministic hot crates
+//! ([`HOT_TRANSITIVE_CRATES`]), and keeps the shortest call chain to each
+//! reached symbol so findings can explain *how* the hot path gets there.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Crates whose fns participate in transitive hot-path checking. The
+/// other deterministic crates (`models`, `baselines`) hold no hot loops
+/// and stay out so their accessors cannot create spurious chains.
+pub const HOT_TRANSITIVE_CRATES: &[&str] = &["core", "partition", "floorplan", "lp"];
+
+/// Std-prelude method names that are never resolved as workspace call
+/// edges: a lexical resolver cannot tell `vec.push(x)` from a workspace
+/// method named `push`, and these names are pervasive enough that linking
+/// them would connect everything to everything.
+pub const STD_METHODS: &[&str] = &[
+    "push", "pop", "get", "get_mut", "len", "is_empty", "iter", "iter_mut", "into_iter", "next",
+    "insert", "remove", "contains", "contains_key", "clear", "extend", "clone", "clone_from",
+    "to_vec", "to_owned", "to_string", "collect", "map", "filter", "find", "position", "any",
+    "all", "fold", "sum", "min", "max", "rev", "zip", "enumerate", "take", "skip", "chain",
+    "count", "last", "first", "sort", "sort_by", "sort_by_key", "sort_unstable",
+    "sort_unstable_by", "binary_search", "binary_search_by", "windows", "chunks", "split",
+    "split_at", "swap", "fill", "resize", "truncate", "drain", "retain", "entry", "keys",
+    "values", "unwrap", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "expect", "ok",
+    "err", "as_ref", "as_mut", "as_slice", "as_str", "as_bytes", "borrow", "borrow_mut", "abs",
+    "min_by", "max_by", "min_by_key", "max_by_key", "total_cmp", "partial_cmp", "cmp", "eq",
+    "ne", "lt", "gt", "le", "ge", "hash", "fmt", "write", "writeln", "read", "flush", "lock",
+    "load", "store", "fetch_add", "wait", "notify_all", "join", "spawn", "copied", "cloned",
+    "flatten", "flat_map", "step_by", "saturating_sub", "saturating_add", "checked_sub",
+    "checked_add", "wrapping_sub", "wrapping_add", "powi", "powf", "sqrt", "floor", "ceil",
+    "round", "exp", "ln", "log2", "mul_add", "rem_euclid", "div_euclid", "to_bits",
+    "from_bits", "is_finite", "is_nan", "then", "then_some", "and_then", "or_else", "map_or",
+    "map_or_else", "ok_or", "ok_or_else", "take_while", "skip_while", "peekable", "peek",
+    "starts_with", "ends_with", "trim", "parse", "chars", "bytes", "lines", "split_once",
+    "replace", "concat", "repeat", "extend_from_slice", "push_str", "push_front", "push_back",
+    "pop_front", "pop_back", "front", "back", "with_capacity", "reserve", "shrink_to_fit",
+];
+
+/// Rust keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "move", "fn", "impl", "struct", "enum", "trait", "where", "unsafe", "let", "pub", "mod",
+    "use", "ref", "mut", "dyn", "type", "const", "static", "crate", "super", "await", "async",
+    "box", "yield",
+];
+
+/// One call site inside a symbol's body (kept for diagnostics/tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Calling symbol id.
+    pub caller: usize,
+    /// Called symbol id.
+    pub callee: usize,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// The per-symbol call edges of a workspace.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[sym]` — callee symbol ids, sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+    /// Every resolved call site.
+    pub sites: Vec<CallSite>,
+}
+
+impl CallGraph {
+    /// Extracts and resolves every call edge in `files` against `syms`.
+    #[must_use]
+    pub fn build(files: &[SourceFile], syms: &SymbolTable) -> Self {
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); syms.fns.len()];
+        let mut sites = Vec::new();
+        // Token index → symbol id per file, so call sites land in the
+        // innermost enclosing symbol (symbols never partially overlap).
+        for (caller, def) in syms.fns.iter().enumerate() {
+            let file = &files[def.file];
+            collect_calls(file, def.file, caller, def.body, syms, &mut edges, &mut sites);
+        }
+        for e in &mut edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+        Self { edges, sites }
+    }
+}
+
+/// Scans the body token range of `caller` for call sites and resolves
+/// them.
+#[allow(clippy::too_many_arguments)]
+fn collect_calls(
+    file: &SourceFile,
+    file_idx: usize,
+    caller: usize,
+    body: (usize, usize),
+    syms: &SymbolTable,
+    edges: &mut [Vec<usize>],
+    sites: &mut Vec<CallSite>,
+) {
+    let toks = &file.tokens;
+    let next_code =
+        |from: usize| (from..=body.1.min(toks.len() - 1)).find(|&j| toks[j].kind != TokenKind::Comment);
+    let prev_code = |at: usize| (body.0..at).rev().find(|&j| toks[j].kind != TokenKind::Comment);
+    let caller_owner = syms.fns[caller].owner.clone();
+
+    for i in body.0..=body.1.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // A call looks like `name (` with no `!` (macro) in between.
+        let Some(after) = next_code(i + 1) else { continue };
+        if !toks[after].is_punct('(') {
+            continue;
+        }
+        // `fn name(` is a definition (nested fn), not a call.
+        if prev_code(i).is_some_and(|j| toks[j].is_ident("fn")) {
+            continue;
+        }
+        let name = t.text.as_str();
+        // Qualifier: `Q :: name (` or `. name (`.
+        let mut qualifier: Option<&str> = None;
+        let mut is_method_call = false;
+        if let Some(p1) = prev_code(i) {
+            if toks[p1].is_punct('.') {
+                is_method_call = true;
+            } else if toks[p1].is_punct(':') {
+                if let Some(p2) = prev_code(p1) {
+                    if toks[p2].is_punct(':') {
+                        if let Some(p3) = prev_code(p2) {
+                            if toks[p3].kind == TokenKind::Ident {
+                                qualifier = Some(toks[p3].text.as_str());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let resolved = resolve(
+            syms,
+            name,
+            qualifier,
+            is_method_call,
+            caller_owner.as_deref(),
+            file_idx,
+            &syms.fns[caller].crate_name,
+        );
+        for callee in resolved {
+            if callee != caller {
+                edges[caller].push(callee);
+                sites.push(CallSite { caller, callee, line: t.line });
+            }
+        }
+    }
+}
+
+/// Resolves one call by name/qualifier to candidate symbol ids. Test
+/// symbols are never call targets (test helpers are unreachable from lib
+/// code; shadowing lib names with test names must not create edges).
+fn resolve(
+    syms: &SymbolTable,
+    name: &str,
+    qualifier: Option<&str>,
+    is_method_call: bool,
+    caller_owner: Option<&str>,
+    caller_file: usize,
+    caller_crate: &str,
+) -> Vec<usize> {
+    let all = syms.candidates(name);
+    if all.is_empty() {
+        return Vec::new();
+    }
+    let live = |&id: &usize| !syms.fns[id].is_test;
+    if is_method_call {
+        if STD_METHODS.contains(&name) {
+            return Vec::new();
+        }
+        return all.iter().copied().filter(live).filter(|&id| syms.fns[id].is_method).collect();
+    }
+    if let Some(q) = qualifier {
+        let owner = if q == "Self" { caller_owner } else { Some(q) };
+        let by_owner: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(live)
+            .filter(|&id| syms.fns[id].owner.as_deref() == owner)
+            .collect();
+        if !by_owner.is_empty() {
+            return by_owner;
+        }
+        // A lowercase qualifier is a module path (`phase1::connectivity`),
+        // which still names a free fn.
+        if q.starts_with(|c: char| c.is_lowercase()) {
+            return all
+                .iter()
+                .copied()
+                .filter(live)
+                .filter(|&id| syms.fns[id].owner.is_none())
+                .collect();
+        }
+        return Vec::new();
+    }
+    // Free call: innermost match wins — same file, then same crate, then
+    // anywhere (pub use re-exports make cross-crate free calls real).
+    let free: Vec<usize> =
+        all.iter().copied().filter(live).filter(|&id| syms.fns[id].owner.is_none()).collect();
+    let same_file: Vec<usize> =
+        free.iter().copied().filter(|&id| syms.fns[id].file == caller_file).collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> =
+        free.iter().copied().filter(|&id| syms.fns[id].crate_name == caller_crate).collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    free
+}
+
+/// Shortest hot-path call chains: for each symbol reachable from a fenced
+/// fn (roots included), the chain of symbol ids leading to it.
+#[derive(Debug, Default)]
+pub struct Reachability {
+    /// Symbol id → call chain from a fenced root (`chain[0]` is the root,
+    /// last element is the symbol itself).
+    pub chains: BTreeMap<usize, Vec<usize>>,
+}
+
+impl Reachability {
+    /// BFS from every hot-fenced symbol over `graph`, restricted to
+    /// [`HOT_TRANSITIVE_CRATES`]. Roots are visited in symbol order, so
+    /// chains are deterministic; ties keep the earliest-rooted, shortest
+    /// chain.
+    #[must_use]
+    pub fn from_hot_fences(files: &[SourceFile], syms: &SymbolTable, graph: &CallGraph) -> Self {
+        let mut roots: Vec<usize> = Vec::new();
+        for (id, def) in syms.fns.iter().enumerate() {
+            if def.is_test || !HOT_TRANSITIVE_CRATES.contains(&def.crate_name.as_str()) {
+                continue;
+            }
+            let file = &files[def.file];
+            if file.hot_regions.iter().any(|h| h.tokens.0 == def.body.0) {
+                roots.push(id);
+            }
+        }
+        let mut chains: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in &roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = chains.entry(r) {
+                e.insert(vec![r]);
+                queue.push_back(r);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let chain = chains[&s].clone();
+            for &callee in &graph.edges[s] {
+                let def = &syms.fns[callee];
+                if def.is_test || !HOT_TRANSITIVE_CRATES.contains(&def.crate_name.as_str()) {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = chains.entry(callee) {
+                    let mut c = chain.clone();
+                    c.push(callee);
+                    e.insert(c);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        Self { chains }
+    }
+
+    /// Renders a chain as `root → … → symbol` display names.
+    #[must_use]
+    pub fn render_chain(&self, syms: &SymbolTable, id: usize) -> String {
+        self.chains.get(&id).map_or_else(String::new, |chain| {
+            chain.iter().map(|&s| syms.display(s)).collect::<Vec<_>>().join(" → ")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolTable) {
+        let files: Vec<SourceFile> =
+            srcs.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let syms = SymbolTable::build(&files);
+        (files, syms)
+    }
+
+    fn id_of(syms: &SymbolTable, name: &str) -> usize {
+        let c = syms.candidates(name);
+        assert_eq!(c.len(), 1, "ambiguous {name}");
+        c[0]
+    }
+
+    #[test]
+    fn free_calls_resolve_same_file_first() {
+        let (files, syms) = setup(&[
+            ("crates/core/src/a.rs", "fn helper() {}\nfn caller() { helper(); }"),
+            ("crates/lp/src/b.rs", "fn helper() {}"),
+        ]);
+        let g = CallGraph::build(&files, &syms);
+        let caller = id_of(&syms, "caller");
+        let helpers = syms.candidates("helper");
+        let same_file =
+            *helpers.iter().find(|&&h| syms.fns[h].file == syms.fns[caller].file).unwrap();
+        assert_eq!(g.edges[caller], vec![same_file]);
+    }
+
+    #[test]
+    fn qualified_and_method_calls_resolve_by_owner_and_name() {
+        let (files, syms) = setup(&[(
+            "crates/core/src/a.rs",
+            "struct S;\nimpl S {\n    fn new() -> S { S }\n    fn work(&self) {}\n}\n\
+             fn caller(s: &S) { let t = S::new(); s.work(); }",
+        )]);
+        let g = CallGraph::build(&files, &syms);
+        let caller = id_of(&syms, "caller");
+        let mut expect = vec![id_of(&syms, "new"), id_of(&syms, "work")];
+        expect.sort_unstable();
+        assert_eq!(g.edges[caller], expect);
+    }
+
+    #[test]
+    fn std_method_names_do_not_create_edges() {
+        let (files, syms) = setup(&[(
+            "crates/core/src/a.rs",
+            "struct S;\nimpl S {\n    fn push(&self) {}\n}\nfn caller(v: &mut Vec<u32>) { v.push(1); }",
+        )]);
+        let g = CallGraph::build(&files, &syms);
+        let caller = id_of(&syms, "caller");
+        assert!(g.edges[caller].is_empty(), "`push` is a std-prelude name: {:?}", g.edges);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let (files, syms) = setup(&[(
+            "crates/core/src/a.rs",
+            "fn target() {}\nfn caller(n: u32) { if n > 0 { } vec![target; 1]; }",
+        )]);
+        let g = CallGraph::build(&files, &syms);
+        let caller = id_of(&syms, "caller");
+        assert!(g.edges[caller].is_empty(), "{:?}", g.sites);
+    }
+
+    #[test]
+    fn reachability_follows_chains_within_hot_crates() {
+        let (files, syms) = setup(&[(
+            "crates/core/src/a.rs",
+            "// sf: hot-path\nfn hot() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn cold() { leaf(); }",
+        )]);
+        let g = CallGraph::build(&files, &syms);
+        let r = Reachability::from_hot_fences(&files, &syms, &g);
+        let hot = id_of(&syms, "hot");
+        let mid = id_of(&syms, "mid");
+        let leaf = id_of(&syms, "leaf");
+        let cold = id_of(&syms, "cold");
+        assert_eq!(r.chains[&hot], vec![hot]);
+        assert_eq!(r.chains[&mid], vec![hot, mid]);
+        assert_eq!(r.chains[&leaf], vec![hot, mid, leaf]);
+        assert!(!r.chains.contains_key(&cold));
+        assert_eq!(r.render_chain(&syms, leaf), "core::a::hot → core::a::mid → core::a::leaf");
+    }
+
+    #[test]
+    fn reachability_stops_at_non_hot_crates() {
+        let (files, syms) = setup(&[
+            ("crates/core/src/a.rs", "// sf: hot-path\nfn hot() { model_helper(); }"),
+            ("crates/models/src/b.rs", "pub fn model_helper() { deeper(); }\nfn deeper() {}"),
+        ]);
+        let g = CallGraph::build(&files, &syms);
+        let r = Reachability::from_hot_fences(&files, &syms, &g);
+        assert_eq!(r.chains.len(), 1, "models is not a hot-transitive crate: {:?}", r.chains);
+    }
+}

@@ -239,6 +239,16 @@ impl Lexer<'_> {
         match self.peek(0) {
             Some(b'"') if raw_prefix => self.raw_string(start),
             Some(b'#') if raw_prefix && self.raw_hashes_then_quote() => self.raw_string(start),
+            // Raw identifier `r#type`: one Ident token whose text keeps the
+            // `r#` prefix, so `r#fn` / `r#unwrap` never masquerade as the
+            // bare keyword or method name to the rules.
+            Some(b'#') if ident == b"r" && self.peek(1).is_some_and(is_ident_start) => {
+                self.pos += 1; // the `#`
+                while self.pos < self.b.len() && is_ident_continue(self.b[self.pos]) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Ident, start, self.pos, line);
+            }
             _ => self.push(TokenKind::Ident, start, self.pos, line),
         }
     }
@@ -355,6 +365,39 @@ mod tests {
         assert_eq!(find("a"), Some(1));
         assert_eq!(find("b"), Some(3));
         assert_eq!(find("d"), Some(4));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents_not_raw_string_starts() {
+        // `r#fn` must not look like the `fn` keyword (or a raw string).
+        let toks = lex("let r#fn = r#type + r#unwrap();");
+        let names: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text.as_str()).collect();
+        assert_eq!(names, vec!["let", "r#fn", "r#type", "r#unwrap"]);
+        assert!(!toks.iter().any(|t| t.is_ident("fn")), "{toks:?}");
+        // The tail after a raw identifier is still lexed (no raw-string
+        // swallow): the `(` and `;` survive as punctuation.
+        assert!(toks.iter().any(|t| t.is_punct('(')));
+        assert!(toks.iter().any(|t| t.is_punct(';')));
+    }
+
+    #[test]
+    fn br_hash_without_quote_is_not_a_raw_string() {
+        // `br#` at EOF (or before a non-quote) stays ident + punct.
+        let toks = lex("br#");
+        assert!(toks.iter().any(|t| t.is_ident("br")), "{toks:?}");
+        assert!(toks.iter().any(|t| t.is_punct('#')), "{toks:?}");
+        // …while a real raw byte string still lexes as one literal.
+        assert_eq!(idents("let s = br#\"HashMap\"#; x"), vec!["let", "s", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        let src = "let s = r###\"inner \"## still \" inside\"###; tail";
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+        let toks = lex(src);
+        let lit = toks.iter().find(|t| t.kind == TokenKind::Literal).expect("literal");
+        assert!(lit.text.contains("still"), "{lit:?}");
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! The engine's headline guarantee — serial and parallel sweeps are
 //! bit-for-bit identical — used to rest on convention. This crate turns the
 //! conventions into enforced rules: a dependency-free, hand-rolled Rust
-//! lexer ([`lexer`]), a rule engine ([`rules`]) with five rules, inline
-//! `// sf-allow(rule): reason` suppressions that *require* a reason
+//! lexer ([`lexer`]), a workspace symbol table and call graph
+//! ([`symbols`], [`callgraph`]), a rule engine ([`rules`]) with six rules,
+//! inline `// sf-allow(rule): reason` suppressions that *require* a reason
 //! ([`source`]), and a committed ratchet baseline (`lint-baseline.json`,
-//! [`baseline`]) that freezes pre-existing debt so only new findings fail.
+//! [`baseline`]) that freezes pre-existing debt so only new findings fail —
+//! and fails when the frozen budget goes stale (self-tightening).
 //!
 //! The rules:
 //!
@@ -16,7 +18,14 @@
 //! | `float-partial-cmp` | everywhere | `partial_cmp(…).unwrap()` instead of `total_cmp` |
 //! | `nondet-source` | deterministic crates | `Instant::now`, `SystemTime::now`, `thread_rng`, env reads |
 //! | `panic-in-lib` | non-test code, ratcheted | `unwrap()`/`expect(…)`/`panic!` |
-//! | `hot-path-alloc` | `// sf: hot-path` fenced fns | `Vec::new`, `vec!`, `collect`, `clone`, `format!`, `Box::new` |
+//! | `hot-path-alloc` | `// sf: hot-path` fenced fns + transitive callees | `Vec::new`, `vec!`, `collect`, `clone`, `format!`, `Box::new` |
+//! | `hot-path-panic` | fenced fns + transitive callees | `unwrap()`/`expect(…)`/`panic!` reachable from a hot loop |
+//!
+//! The two hot-path rules are *transitive*: reachability is computed over
+//! the workspace call graph from every fenced fn (within the hot crates
+//! `core`, `partition`, `floorplan`, `lp`), and a violation in an unfenced
+//! helper is reported at the offending line together with the call chain
+//! that makes it hot.
 //!
 //! Run it over the workspace with `cargo run -p sunfloor-analyze`; CI runs
 //! the same command, and the repo's tier-1 integration tests call
@@ -26,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
 use baseline::{Baseline, RatchetVerdict};
-use rules::{check_file, Finding};
+use rules::{check_files, Finding};
 use source::SourceFile;
 use std::fmt::Write as _;
 use std::fs;
@@ -79,8 +90,8 @@ impl Report {
         for (k, allowed, current) in &self.verdict.improved {
             let _ = writeln!(
                 out,
-                "ratchet can tighten: {k} is down to {current} (baseline {allowed}) — \
-                 re-run with --write-baseline"
+                "ratchet is stale — re-freeze: {k} is down to {current} (baseline {allowed}); \
+                 lock the improvement in with --write-baseline"
             );
         }
         let _ = writeln!(
@@ -105,14 +116,9 @@ impl Report {
 /// suppression) and re-analyze without touching the tree.
 #[must_use]
 pub fn analyze_sources(inputs: &[(String, String)], baseline: &Baseline) -> Report {
-    let mut findings = Vec::new();
-    let mut suppressions_used = 0usize;
-    for (path, text) in inputs {
-        let file = SourceFile::parse(path, text);
-        let (f, used) = check_file(&file);
-        findings.extend(f);
-        suppressions_used += used;
-    }
+    let files: Vec<SourceFile> =
+        inputs.iter().map(|(path, text)| SourceFile::parse(path, text)).collect();
+    let (mut findings, suppressions_used) = check_files(&files);
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     let verdict = baseline.ratchet(&findings);
     Report { files: inputs.len(), suppressions_used, findings, verdict }

@@ -2,7 +2,7 @@
 //! workspace.
 //!
 //! ```text
-//! sunfloor-analyze [--root DIR] [--write-baseline] [--quiet]
+//! sunfloor-analyze [--root DIR] [--write-baseline] [--quiet] [--json] [--github]
 //!
 //!   --root DIR         workspace root (default: nearest ancestor with
 //!                      Cargo.toml + crates/)
@@ -10,22 +10,33 @@
 //!                      findings (use after paying down debt, or to ratchet
 //!                      tighter after improvements)
 //!   --quiet            print nothing on a clean pass
+//!   --json             machine-readable report on stdout: a stable, sorted
+//!                      findings array plus counters (for tooling; implies
+//!                      nothing about exit codes, which are unchanged)
+//!   --github           emit GitHub Actions `::error file=…,line=…::`
+//!                      workflow annotations for every NEW finding, so CI
+//!                      failures surface inline on the PR diff
 //! ```
 //!
 //! Exit codes: 0 clean, 1 new findings, 2 usage/I-O error.
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use sunfloor_analyze::{baseline::Baseline, check_workspace, find_root, BASELINE_FILE};
+use sunfloor_analyze::rules::Finding;
+use sunfloor_analyze::{baseline::Baseline, check_workspace, find_root, Report, BASELINE_FILE};
 
 struct Args {
     root: Option<PathBuf>,
     write_baseline: bool,
     quiet: bool,
+    json: bool,
+    github: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
-    let mut parsed = Args { root: None, write_baseline: false, quiet: false };
+    let mut parsed =
+        Args { root: None, write_baseline: false, quiet: false, json: false, github: false };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -35,10 +46,99 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             }
             "--write-baseline" => parsed.write_baseline = true,
             "--quiet" => parsed.quiet = true,
+            "--json" => parsed.json = true,
+            "--github" => parsed.github = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(parsed)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report: the full (already path/line/rule-sorted)
+/// findings array, whether each is frozen by the baseline, and the
+/// counters the human rendering summarizes. Output is byte-stable for a
+/// given tree + baseline.
+fn render_json(report: &Report) -> String {
+    let is_new = |f: &Finding| {
+        report.verdict.new_findings.iter().any(|n| {
+            n.path == f.path && n.line == f.line && n.rule == f.rule && n.message == f.message
+        })
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files\": {},", report.files);
+    let _ = writeln!(out, "  \"suppressions_used\": {},", report.suppressions_used);
+    let _ = writeln!(out, "  \"frozen\": {},", report.verdict.frozen);
+    let _ = writeln!(out, "  \"new\": {},", report.verdict.new_findings.len());
+    let _ = writeln!(out, "  \"stale_ratchet\": {},", !report.verdict.improved.is_empty());
+    let _ = writeln!(out, "  \"pass\": {},", report.pass());
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"new\": {}, \"message\": \"{}\"}}",
+            if i == 0 { "" } else { "," },
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            is_new(f),
+            json_escape(&f.message)
+        );
+    }
+    if report.findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// GitHub Actions workflow annotations for the findings CI should block
+/// on: one `::error` per new finding, one per stale-ratchet group.
+/// Annotation bodies must be single-line; `%`, CR and LF are escaped per
+/// the workflow-command encoding rules.
+fn render_github(report: &Report) -> String {
+    let esc = |s: &str| s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A");
+    let mut out = String::new();
+    for f in &report.verdict.new_findings {
+        let _ = writeln!(
+            out,
+            "::error file={},line={},title=sunfloor-analyze {}::{}",
+            esc(&f.path),
+            f.line,
+            esc(f.rule),
+            esc(&f.message)
+        );
+    }
+    for (k, allowed, current) in &report.verdict.improved {
+        let _ = writeln!(
+            out,
+            "::error title=sunfloor-analyze stale ratchet::{} is down to {} (baseline {}); \
+             lock the improvement in with --write-baseline",
+            esc(k),
+            current,
+            allowed
+        );
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -47,7 +147,9 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: sunfloor-analyze [--root DIR] [--write-baseline] [--quiet]");
+            eprintln!(
+                "usage: sunfloor-analyze [--root DIR] [--write-baseline] [--quiet] [--json] [--github]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -90,6 +192,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if args.github {
+        // Annotations go to stdout — the Actions runner scans it for
+        // workflow commands; a clean pass emits none.
+        print!("{}", render_github(&report));
+    }
+    if args.json {
+        print!("{}", render_json(&report));
+        return if report.pass() { ExitCode::SUCCESS } else { ExitCode::from(1) };
+    }
+
     if !report.pass() {
         print!("{}", report.render());
         return ExitCode::from(1);
@@ -98,4 +210,60 @@ fn main() -> ExitCode {
         print!("{}", report.render());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunfloor_analyze::analyze_sources;
+
+    fn report_for(sources: &[(&str, &str)], baseline: &Baseline) -> Report {
+        let owned: Vec<(String, String)> =
+            sources.iter().map(|(p, t)| ((*p).to_string(), (*t).to_string())).collect();
+        analyze_sources(&owned, baseline)
+    }
+
+    #[test]
+    fn json_output_is_byte_stable_and_flags_new_vs_frozen() {
+        let frozen_src = ("crates/sim/src/a.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        let base = Baseline::from_findings(
+            &report_for(&[frozen_src], &Baseline::default()).findings,
+        );
+        let sources =
+            [frozen_src, ("crates/sim/src/b.rs", "fn g(x: Option<u32>) -> u32 { x.unwrap() }")];
+        let report = report_for(&sources, &base);
+        let json = render_json(&report);
+        assert_eq!(json, render_json(&report_for(&sources, &base)), "byte-stable");
+        assert!(json.contains("\"pass\": false"), "{json}");
+        assert!(json.contains(r#""path": "crates/sim/src/a.rs", "line": 1, "new": false"#), "{json}");
+        assert!(json.contains(r#""path": "crates/sim/src/b.rs", "line": 1, "new": true"#), "{json}");
+        let a = json.find("crates/sim/src/a.rs").expect("frozen finding listed");
+        let b = json.find("crates/sim/src/b.rs").expect("new finding listed");
+        assert!(a < b, "findings sorted by path");
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn github_annotations_cover_new_findings_and_stale_ratchets_only() {
+        let frozen_src = ("crates/sim/src/a.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        let base = Baseline::from_findings(
+            &report_for(&[frozen_src], &Baseline::default()).findings,
+        );
+        // Frozen debt: no annotations.
+        assert_eq!(render_github(&report_for(&[frozen_src], &base)), "");
+        // A new finding annotates its file and line.
+        let grown = [frozen_src, ("crates/sim/src/b.rs", "fn g() { panic!(\"x\") }")];
+        let gh = render_github(&report_for(&grown, &base));
+        assert!(gh.contains("::error file=crates/sim/src/b.rs,line=1,"), "{gh}");
+        assert!(!gh.contains("a.rs"), "frozen debt is not annotated: {gh}");
+        // A stale ratchet (debt paid down, baseline not re-frozen) annotates.
+        let gh = render_github(&report_for(&[("crates/sim/src/a.rs", "fn f() {}")], &base));
+        assert!(gh.contains("stale ratchet"), "{gh}");
+        assert!(gh.contains("--write-baseline"), "{gh}");
+    }
 }

@@ -1,12 +1,20 @@
-//! The five lint rules, plus the always-on `bad-suppression` meta rule.
+//! The lint rules, plus the always-on `bad-suppression` meta rule.
 //!
-//! Rules are lexical: they walk the token stream of a [`SourceFile`] and
-//! report per-line findings. They never look inside strings or comments
-//! (the lexer guarantees that), and they use the file's region annotations
-//! to scope themselves to deterministic crates, non-test code, or
-//! hot-path fenced functions.
+//! Most rules are lexical: they walk the token stream of a [`SourceFile`]
+//! and report per-line findings. They never look inside strings or
+//! comments (the lexer guarantees that), and they use the file's region
+//! annotations to scope themselves to deterministic crates, non-test
+//! code, or hot-path fenced functions.
+//!
+//! The two hot-path rules are *transitive*: [`check_files`] builds a
+//! workspace [`SymbolTable`] and [`CallGraph`], computes which fns are
+//! reachable from a `// sf: hot-path` fence within the deterministic hot
+//! crates, and checks every reachable fn — findings land at the
+//! offending line and carry the call chain that reaches it.
 
+use crate::callgraph::{CallGraph, Reachability};
 use crate::source::{SourceFile, Suppression};
+use crate::symbols::SymbolTable;
 use std::fmt;
 
 /// `HashMap`/`HashSet` in a deterministic crate.
@@ -17,15 +25,25 @@ pub const FLOAT_PARTIAL_CMP: &str = "float-partial-cmp";
 pub const NONDET_SOURCE: &str = "nondet-source";
 /// `unwrap`/`expect`/`panic!` in library (non-test) code — ratcheted.
 pub const PANIC_IN_LIB: &str = "panic-in-lib";
-/// Allocation inside a `// sf: hot-path` fenced function.
+/// Allocation inside a `// sf: hot-path` fenced function, or any fn
+/// reachable from one (transitive).
 pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// `unwrap`/`expect`/`panic!` reachable from a hot-path fence
+/// (transitive).
+pub const HOT_PATH_PANIC: &str = "hot-path-panic";
 /// Malformed, unknown-rule or unused `sf-allow` comments. Never
 /// baselined, never suppressible.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 
 /// Every real (suppressible, baselinable) rule.
-pub const RULES: &[&str] =
-    &[DET_HASH_ITER, FLOAT_PARTIAL_CMP, NONDET_SOURCE, PANIC_IN_LIB, HOT_PATH_ALLOC];
+pub const RULES: &[&str] = &[
+    DET_HASH_ITER,
+    FLOAT_PARTIAL_CMP,
+    NONDET_SOURCE,
+    PANIC_IN_LIB,
+    HOT_PATH_ALLOC,
+    HOT_PATH_PANIC,
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,18 +64,48 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Runs every rule on `file` and resolves suppressions: suppressed
-/// findings are dropped, and each malformed / unknown-rule / unused
-/// suppression becomes a [`BAD_SUPPRESSION`] finding. Returns the kept
-/// findings and the number of suppressions that were consumed.
+/// Runs every rule over the whole analyzed file set — per-file lexical
+/// rules plus the transitive hot-path rules over the workspace call
+/// graph — and resolves suppressions per file. Returns all kept findings
+/// and the total number of suppressions consumed.
+#[must_use]
+pub fn check_files(files: &[SourceFile]) -> (Vec<Finding>, usize) {
+    let syms = SymbolTable::build(files);
+    let graph = CallGraph::build(files, &syms);
+    let reach = Reachability::from_hot_fences(files, &syms, &graph);
+    let mut transitive: Vec<Vec<Finding>> = vec![Vec::new(); files.len()];
+    transitive_hot_rules(files, &syms, &reach, &mut transitive);
+
+    let mut all = Vec::new();
+    let mut used_total = 0usize;
+    for (fi, file) in files.iter().enumerate() {
+        let (f, used) = check_one_file(file, std::mem::take(&mut transitive[fi]));
+        all.extend(f);
+        used_total += used;
+    }
+    (all, used_total)
+}
+
+/// Single-file convenience: runs [`check_files`] over just `file`. The
+/// call graph then only sees that file, so same-file transitive findings
+/// are still caught.
 #[must_use]
 pub fn check_file(file: &SourceFile) -> (Vec<Finding>, usize) {
+    check_files(std::slice::from_ref(file))
+}
+
+/// Per-file lexical rules + the file's share of transitive findings,
+/// followed by suppression resolution: suppressed findings are dropped,
+/// and each malformed / unknown-rule / unused suppression becomes a
+/// [`BAD_SUPPRESSION`] finding.
+fn check_one_file(file: &SourceFile, transitive: Vec<Finding>) -> (Vec<Finding>, usize) {
     let mut raw = Vec::new();
     det_hash_iter(file, &mut raw);
     float_partial_cmp(file, &mut raw);
     nondet_source(file, &mut raw);
     panic_in_lib(file, &mut raw);
     hot_path_alloc(file, &mut raw);
+    raw.extend(transitive);
     dedup_per_line(&mut raw);
 
     let mut used = vec![false; file.suppressions.len()];
@@ -282,59 +330,59 @@ fn nondet_source(file: &SourceFile, out: &mut Vec<Finding>) {
 /// crate. Existing debt is frozen in `lint-baseline.json`; only *new*
 /// sites fail the pass.
 fn panic_in_lib(file: &SourceFile, out: &mut Vec<Finding>) {
-    for (i, t) in file.tokens.iter().enumerate() {
-        let panicky = match t.text.as_str() {
-            "unwrap" | "expect" => {
-                next_code(file, i + 1).is_some_and(|j| file.tokens[j].is_punct('('))
-            }
-            "panic" => next_code(file, i + 1).is_some_and(|j| file.tokens[j].is_punct('!')),
-            _ => false,
-        };
-        if !panicky || t.kind != crate::lexer::TokenKind::Ident || file.token_is_test(i) {
+    for i in 0..file.tokens.len() {
+        if file.token_is_test(i) {
             continue;
         }
-        // `fn expect(…)` definitions are not call sites.
-        let prev_code = (0..i).rev().find(|&j| !is_comment(file, j));
-        if prev_code.is_some_and(|j| file.tokens[j].is_ident("fn")) {
-            continue;
+        if let Some(what) = panic_pattern_at(file, i) {
+            push(
+                file,
+                out,
+                PANIC_IN_LIB,
+                i,
+                format!(
+                    "`{what}` in library code — return a typed error (ratcheted: pre-existing \
+                     sites are frozen in lint-baseline.json)"
+                ),
+            );
         }
-        push(
-            file,
-            out,
-            PANIC_IN_LIB,
-            i,
-            format!(
-                "`{}` in library code — return a typed error (ratcheted: pre-existing \
-                 sites are frozen in lint-baseline.json)",
-                t.text
-            ),
-        );
     }
+}
+
+/// Whether token `i` is a panic site: `unwrap(`/`expect(`/`panic!`
+/// (definitions like `fn expect(…)` excluded). Returns the offending name.
+fn panic_pattern_at(file: &SourceFile, i: usize) -> Option<&'static str> {
+    let t = &file.tokens[i];
+    if t.kind != crate::lexer::TokenKind::Ident {
+        return None;
+    }
+    let what = match t.text.as_str() {
+        "unwrap" if next_code(file, i + 1).is_some_and(|j| file.tokens[j].is_punct('(')) => {
+            "unwrap"
+        }
+        "expect" if next_code(file, i + 1).is_some_and(|j| file.tokens[j].is_punct('(')) => {
+            "expect"
+        }
+        "panic" if next_code(file, i + 1).is_some_and(|j| file.tokens[j].is_punct('!')) => {
+            "panic!"
+        }
+        _ => return None,
+    };
+    // `fn expect(…)` definitions are not call sites.
+    let prev_code = (0..i).rev().find(|&j| !is_comment(file, j));
+    if prev_code.is_some_and(|j| file.tokens[j].is_ident("fn")) {
+        return None;
+    }
+    Some(what)
 }
 
 /// `hot-path-alloc`: allocation primitives inside a function fenced
 /// `// sf: hot-path`. The fenced loops were made allocation-free in PRs
 /// 3–5; this keeps them that way.
 fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Finding>) {
-    for (i, t) in file.tokens.iter().enumerate() {
+    for i in 0..file.tokens.len() {
         let Some(region) = file.hot_region_of(i) else { continue };
-        let what = if t.is_ident("Vec") || t.is_ident("Box") || t.is_ident("String") {
-            match_path_seg(file, i + 1, &["new", "with_capacity", "from"])
-                .map(|_| format!("`{}::…` constructor", t.text))
-        } else if t.is_ident("vec") || t.is_ident("format") {
-            next_code(file, i + 1)
-                .filter(|&j| file.tokens[j].is_punct('!'))
-                .map(|_| format!("`{}!`", t.text))
-        } else if t.is_ident("collect") || t.is_ident("clone") || t.is_ident("to_vec")
-            || t.is_ident("to_owned") || t.is_ident("to_string")
-        {
-            next_code(file, i + 1)
-                .filter(|&j| file.tokens[j].is_punct('(') || file.tokens[j].is_punct(':'))
-                .map(|_| format!("`.{}()`", t.text))
-        } else {
-            None
-        };
-        if let Some(what) = what {
+        if let Some(what) = alloc_pattern_at(file, i) {
             push(
                 file,
                 out,
@@ -346,6 +394,85 @@ fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Finding>) {
                     region.fn_name
                 ),
             );
+        }
+    }
+}
+
+/// Whether token `i` is an allocation primitive (`Vec::new`, `vec!`,
+/// `.collect()`, `.clone()`, `format!`, `Box::new`, …). Returns a short
+/// description of what allocates.
+fn alloc_pattern_at(file: &SourceFile, i: usize) -> Option<String> {
+    let t = &file.tokens[i];
+    if t.is_ident("Vec") || t.is_ident("Box") || t.is_ident("String") {
+        match_path_seg(file, i + 1, &["new", "with_capacity", "from"])
+            .map(|_| format!("`{}::…` constructor", t.text))
+    } else if t.is_ident("vec") || t.is_ident("format") {
+        next_code(file, i + 1)
+            .filter(|&j| file.tokens[j].is_punct('!'))
+            .map(|_| format!("`{}!`", t.text))
+    } else if t.is_ident("collect")
+        || t.is_ident("clone")
+        || t.is_ident("to_vec")
+        || t.is_ident("to_owned")
+        || t.is_ident("to_string")
+    {
+        next_code(file, i + 1)
+            .filter(|&j| file.tokens[j].is_punct('(') || file.tokens[j].is_punct(':'))
+            .map(|_| format!("`.{}()`", t.text))
+    } else {
+        None
+    }
+}
+
+/// The transitive hot-path rules: every fn reachable from a fenced fn
+/// (within the hot crates) is checked for allocations and panic sites.
+/// Findings land at the offending line in the fn's own file, with the
+/// call chain that reaches it in the message. Fenced fns themselves are
+/// covered by the direct [`hot_path_alloc`] pass, so only *helpers*
+/// (chain length > 1) get transitive allocation findings; panic sites
+/// are checked everywhere the hot path reaches, fences included.
+fn transitive_hot_rules(
+    files: &[SourceFile],
+    syms: &SymbolTable,
+    reach: &Reachability,
+    out: &mut [Vec<Finding>],
+) {
+    for (&id, chain) in &reach.chains {
+        let def = &syms.fns[id];
+        let file = &files[def.file];
+        let is_root = chain.len() == 1;
+        let chain_text = reach.render_chain(syms, id);
+        let end = def.body.1.min(file.tokens.len().saturating_sub(1));
+        for i in def.body.0..=end {
+            if !is_root && file.hot_region_of(i).is_none() {
+                if let Some(what) = alloc_pattern_at(file, i) {
+                    out[def.file].push(Finding {
+                        rule: HOT_PATH_ALLOC,
+                        path: file.path.clone(),
+                        line: file.tokens[i].line,
+                        message: format!(
+                            "{what} in `{}`, reachable from the hot path: {chain_text} — \
+                             hot helpers must not allocate per call",
+                            def.name
+                        ),
+                    });
+                }
+            }
+            if file.token_is_test(i) {
+                continue;
+            }
+            if let Some(what) = panic_pattern_at(file, i) {
+                out[def.file].push(Finding {
+                    rule: HOT_PATH_PANIC,
+                    path: file.path.clone(),
+                    line: file.tokens[i].line,
+                    message: format!(
+                        "`{what}` in `{}`, reachable from the hot path: {chain_text} — \
+                         hot loops must not panic; handle the case or prove it impossible",
+                        def.name
+                    ),
+                });
+            }
         }
     }
 }
@@ -494,5 +621,40 @@ mod tests {
         let src = "// sf-allow(det-hash-iter): wrong rule for this line\nfn f() { let t = Instant::now(); }";
         let f = check("crates/core/src/x.rs", src);
         assert!(rules_of(&f).contains(&NONDET_SOURCE), "{f:?}");
+    }
+
+    #[test]
+    fn second_suppression_of_same_rule_on_same_line_audits_unused() {
+        // A standalone and a trailing suppression both target the unwrap
+        // line; the single finding consumes exactly one (the first in
+        // source order) and the redundant one must be flagged, not
+        // silently hoarded as a spare.
+        let src = "// sf-allow(panic-in-lib): first — documented invariant\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() } // sf-allow(panic-in-lib): second, redundant\n";
+        let file = SourceFile::parse("crates/core/src/x.rs", src);
+        let (findings, used) = check_file(&file);
+        assert_eq!(used, 1, "exactly one suppression consumed: {findings:?}");
+        assert_eq!(rules_of(&findings), vec![BAD_SUPPRESSION], "{findings:?}");
+        assert!(
+            findings[0].message.contains("matched no finding"),
+            "the spare audits as unused: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn suppression_inside_cfg_test_is_unused_and_flagged() {
+        // Rules skip test code, so a suppression living inside a
+        // `#[cfg(test)]` module can never match a finding — it must fail
+        // the audit rather than rot in place.
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   // sf-allow(panic-in-lib): tests may panic anyway\n\
+                   \x20   fn t(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   }\n";
+        let file = SourceFile::parse("crates/core/src/x.rs", src);
+        let (findings, used) = check_file(&file);
+        assert_eq!(used, 0, "{findings:?}");
+        assert_eq!(rules_of(&findings), vec![BAD_SUPPRESSION], "{findings:?}");
     }
 }

@@ -1,0 +1,370 @@
+//! Workspace symbol extraction: every `fn`/method definition, per crate
+//! and module, recovered from the token streams the lexer already
+//! produces.
+//!
+//! A [`SymbolTable`] is the substrate the call graph ([`crate::callgraph`])
+//! resolves names against. Extraction is lexical but structure-aware: it
+//! tracks `impl` blocks (so methods know their owning type), skips
+//! bodiless trait-method declarations, and records whether a definition
+//! sits in test code so test-only helpers never become call-graph targets
+//! for the hot-path rules.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// One `fn` definition somewhere in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` type the definition sits in, if any (`None` = free fn).
+    pub owner: Option<String>,
+    /// Index of the defining file in the analyzed file slice.
+    pub file: usize,
+    /// Crate the definition belongs to (directory name under `crates/`).
+    pub crate_name: String,
+    /// Display module path, e.g. `core::synthesis::engine`.
+    pub module: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the definition in its file: from the `fn`
+    /// keyword through the body's closing brace.
+    pub body: (usize, usize),
+    /// Whether the definition is test code (test file or `#[cfg(test)]`).
+    pub is_test: bool,
+    /// Whether the first parameter is `self` (a method).
+    pub is_method: bool,
+}
+
+/// All [`FnDef`]s of an analyzed file set, indexed by simple name.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every extracted definition, in (file, token) order.
+    pub fns: Vec<FnDef>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Extracts every fn/method definition from `files`.
+    #[must_use]
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut fns = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            extract_file(fi, file, &mut fns);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        Self { fns, by_name }
+    }
+
+    /// Symbol ids whose simple name is `name` (definition order).
+    #[must_use]
+    pub fn candidates(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// `module::name` (methods display as `module::Owner::name`).
+    #[must_use]
+    pub fn display(&self, id: usize) -> String {
+        let f = &self.fns[id];
+        match &f.owner {
+            Some(o) => format!("{}::{}::{}", f.module, o, f.name),
+            None => format!("{}::{}", f.module, f.name),
+        }
+    }
+}
+
+/// Display module path from a repo-relative file path:
+/// `crates/core/src/synthesis/engine.rs` → `core::synthesis::engine`.
+fn module_of(path: &str) -> String {
+    let trimmed = path.strip_suffix(".rs").unwrap_or(path);
+    let mut segs: Vec<&str> = trimmed
+        .split('/')
+        .filter(|s| !matches!(*s, "crates" | "src"))
+        .collect();
+    if segs.last().is_some_and(|s| matches!(*s, "lib" | "main" | "mod")) {
+        segs.pop();
+    }
+    segs.join("::")
+}
+
+/// Walks one file's tokens, tracking `impl`-block ownership by brace
+/// depth, and records each `fn name … { … }` definition.
+fn extract_file(fi: usize, file: &SourceFile, out: &mut Vec<FnDef>) {
+    let toks = &file.tokens;
+    // `impl` owners by the brace depth their block body opened at.
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Comment {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while impl_stack.last().is_some_and(|&(d, _)| d > depth) {
+                impl_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") {
+            if let Some((owner, body_open)) = impl_owner(file, i) {
+                // The owner becomes active once the impl body's `{` opens
+                // (depth+1 inside it).
+                impl_stack.push((depth + 1, owner));
+                i = body_open; // the `{` itself is handled above
+                continue;
+            }
+        }
+        if t.is_ident("fn") {
+            if let Some(def) = fn_def_at(fi, file, i, &impl_stack) {
+                // Skip the body: nested fns are intentionally not symbols
+                // of their own (only callable from inside, so the call
+                // graph attributes their contents to the enclosing fn).
+                let after = def.body.1;
+                out.push(def);
+                i = after + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses the header of the `impl` at token `i`: returns the self-type
+/// name and the index of the body's opening `{`.
+fn impl_owner(file: &SourceFile, i: usize) -> Option<(String, usize)> {
+    let toks = &file.tokens;
+    let mut j = i + 1;
+    // Skip the generic parameter list, if any.
+    if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+        let mut angle = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                angle += 1;
+            } else if toks[j].is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect idents until the body `{`; `impl Trait for Type` names the
+    // type after `for`, a bare `impl Type` names the first ident.
+    let mut first = None;
+    let mut after_for = None;
+    let mut saw_for = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            let name = after_for.or(first)?;
+            return Some((name, j));
+        }
+        if t.is_punct(';') {
+            return None; // e.g. `impl Trait for Type;` — no body
+        }
+        if t.kind == TokenKind::Ident {
+            if t.text == "for" {
+                saw_for = true;
+            } else if t.text == "where" {
+                // Type name is settled before the where-clause.
+            } else if saw_for && after_for.is_none() {
+                after_for = Some(t.text.clone());
+            } else if first.is_none() {
+                first = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses the `fn` definition at token `i`, if it has a body.
+fn fn_def_at(
+    fi: usize,
+    file: &SourceFile,
+    i: usize,
+    impl_stack: &[(usize, String)],
+) -> Option<FnDef> {
+    let toks = &file.tokens;
+    let next_code =
+        |from: usize| (from..toks.len()).find(|&j| toks[j].kind != TokenKind::Comment);
+    let name_idx = next_code(i + 1)?;
+    let name_tok = &toks[name_idx];
+    if name_tok.kind != TokenKind::Ident {
+        return None; // e.g. `fn(` in a fn-pointer type
+    }
+    // Find the parameter list to classify methods, then the body.
+    let open_paren = next_code(name_idx + 1).filter(|&j| {
+        // Skip a generic list between name and params.
+        toks[j].is_punct('(') || toks[j].is_punct('<')
+    })?;
+    let params_open = if toks[open_paren].is_punct('<') {
+        let mut angle = 0i32;
+        let mut j = open_paren;
+        loop {
+            if j >= toks.len() {
+                return None;
+            }
+            if toks[j].is_punct('<') {
+                angle += 1;
+            } else if toks[j].is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        next_code(j + 1).filter(|&j| toks[j].is_punct('('))?
+    } else {
+        open_paren
+    };
+    let is_method = (params_open + 1..toks.len())
+        .find(|&j| toks[j].kind != TokenKind::Comment)
+        .is_some_and(|j| {
+            toks[j].is_ident("self")
+                || (toks[j].is_punct('&')
+                    && (j + 1..toks.len())
+                        .filter(|&k| toks[k].kind != TokenKind::Comment)
+                        .take(3)
+                        .any(|k| toks[k].is_ident("self")))
+                || (toks[j].is_ident("mut")
+                    && next_code(j + 1).is_some_and(|k| toks[k].is_ident("self")))
+        });
+    // Body: the first `{` before a `;` at this level ends the item.
+    let mut j = params_open;
+    let open_brace = loop {
+        if j >= toks.len() {
+            return None;
+        }
+        if toks[j].is_punct('{') {
+            break j;
+        }
+        if toks[j].is_punct(';') {
+            return None; // bodiless trait declaration
+        }
+        j += 1;
+    };
+    let close = matching_brace_tokens(file, open_brace)?;
+    Some(FnDef {
+        name: name_tok.text.clone(),
+        owner: impl_stack.last().map(|(_, o)| o.clone()),
+        file: fi,
+        crate_name: file.crate_name.clone(),
+        module: module_of(&file.path),
+        line: toks[i].line,
+        body: (i, close),
+        is_test: file.token_is_test(i),
+        is_method,
+    })
+}
+
+fn matching_brace_tokens(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in file.tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(path: &str, src: &str) -> SymbolTable {
+        SymbolTable::build(std::slice::from_ref(&SourceFile::parse(path, src)))
+    }
+
+    #[test]
+    fn free_fns_and_methods_extracted() {
+        let t = table(
+            "crates/core/src/x.rs",
+            "fn free(a: u32) -> u32 { a }\n\
+             struct S;\n\
+             impl S {\n    fn method(&self) -> u32 { free(1) }\n    fn assoc() {}\n}\n",
+        );
+        assert_eq!(t.fns.len(), 3, "{:?}", t.fns);
+        let free = &t.fns[t.candidates("free")[0]];
+        assert!(free.owner.is_none() && !free.is_method);
+        let method = &t.fns[t.candidates("method")[0]];
+        assert_eq!(method.owner.as_deref(), Some("S"));
+        assert!(method.is_method);
+        let assoc = &t.fns[t.candidates("assoc")[0]];
+        assert_eq!(assoc.owner.as_deref(), Some("S"));
+        assert!(!assoc.is_method);
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_self_type() {
+        let t = table(
+            "crates/lp/src/x.rs",
+            "impl<T: Ord> Iterator for Wrapper<T> {\n    fn next(&mut self) -> Option<T> { None }\n}",
+        );
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].owner.as_deref(), Some("Wrapper"));
+        assert_eq!(t.display(0), "lp::x::Wrapper::next");
+    }
+
+    #[test]
+    fn bodiless_trait_decls_and_fn_pointer_types_skipped() {
+        let t = table(
+            "crates/core/src/x.rs",
+            "trait T { fn decl(&self) -> u32; }\nfn takes(f: fn(u32) -> u32) -> u32 { f(1) }",
+        );
+        assert_eq!(t.fns.len(), 1, "{:?}", t.fns);
+        assert_eq!(t.fns[0].name, "takes");
+    }
+
+    #[test]
+    fn test_code_is_marked() {
+        let t = table(
+            "crates/core/src/x.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}",
+        );
+        let lib = &t.fns[t.candidates("lib")[0]];
+        let helper = &t.fns[t.candidates("helper")[0]];
+        assert!(!lib.is_test);
+        assert!(helper.is_test);
+    }
+
+    #[test]
+    fn module_paths_come_from_file_paths() {
+        assert_eq!(module_of("crates/core/src/synthesis/engine.rs"), "core::synthesis::engine");
+        assert_eq!(module_of("crates/partition/src/lib.rs"), "partition");
+        assert_eq!(module_of("crates/core/src/synthesis/mod.rs"), "core::synthesis");
+        assert_eq!(module_of("tests/determinism.rs"), "tests::determinism");
+    }
+
+    #[test]
+    fn generic_fns_with_where_clauses() {
+        let t = table(
+            "crates/core/src/x.rs",
+            "fn generic<T: Clone>(x: T) -> T where T: Send { x.clone() }",
+        );
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].name, "generic");
+        assert!(!t.fns[0].is_method);
+    }
+}

@@ -91,8 +91,8 @@ fn injecting_a_synthetic_violation_fails_the_pass() {
     // group exceeds its baselined count, so the ratchet must fire.
     let idx = sources
         .iter()
-        .position(|(p, _)| p == "crates/core/src/eval.rs")
-        .expect("eval.rs is analyzed");
+        .position(|(p, _)| p == "crates/benchmarks/src/synthetic.rs")
+        .expect("synthetic.rs is analyzed");
     let mut grown = sources.clone();
     grown[idx].1.push_str("\nfn injected_probe(x: Option<u32>) -> u32 { x.unwrap() }\n");
     let report = analyze_sources(&grown, &baseline);
@@ -102,8 +102,46 @@ fn injecting_a_synthetic_violation_fails_the_pass() {
             .verdict
             .new_findings
             .iter()
-            .any(|f| f.rule == "panic-in-lib" && f.path == "crates/core/src/eval.rs"),
+            .any(|f| f.rule == "panic-in-lib" && f.path == "crates/benchmarks/src/synthetic.rs"),
         "{}",
         report.render()
     );
+}
+
+#[test]
+fn allocation_in_unfenced_helper_reachable_from_hot_path_fails_with_chain() {
+    let root = root();
+    let baseline = load_baseline(&root).expect("committed baseline parses");
+    let sources = collect_sources(&root).expect("sources readable");
+
+    // `Tableau::row_prefix` carries no `// sf: hot-path` fence of its own,
+    // but the fenced `price` in pricing.rs calls it — the transitive rule
+    // must walk that edge and flag an allocation injected into the helper,
+    // reporting the call chain from the fenced root.
+    let idx = sources
+        .iter()
+        .position(|(p, _)| p == "crates/lp/src/solver/tableau.rs")
+        .expect("tableau.rs is analyzed");
+    let marker = "let stride = self.stride();";
+    assert!(sources[idx].1.contains(marker), "row_prefix body changed; update this test");
+    let mut mutated = sources.clone();
+    mutated[idx].1 = mutated[idx].1.replacen(
+        marker,
+        "let stride = self.stride();\n        let _probe = vec![0u8; col_limit];",
+        1,
+    );
+    let report = analyze_sources(&mutated, &baseline);
+    assert!(!report.pass(), "allocation in a hot-reachable helper must fail the pass");
+    let finding = report
+        .verdict
+        .new_findings
+        .iter()
+        .find(|f| f.rule == "hot-path-alloc" && f.path == "crates/lp/src/solver/tableau.rs")
+        .unwrap_or_else(|| {
+            panic!("expected a transitive hot-path-alloc finding:\n{}", report.render())
+        });
+    assert!(finding.message.contains("reachable from the hot path"), "{}", finding.message);
+    assert!(finding.message.contains("row_prefix"), "names the helper: {}", finding.message);
+    assert!(finding.message.contains(" → "), "renders the chain: {}", finding.message);
+    assert!(finding.message.contains("price"), "chain starts at a fenced root: {}", finding.message);
 }

@@ -72,9 +72,24 @@ fn time_per_rep<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// Runs the hot-path measurements and writes [`BENCH_ARTIFACT_PATH`].
+///
+/// Measurement setup failures (a config the builder rejects, an
+/// unroutable benchmark) surface as an error artifact rather than a
+/// panic, so a bench run can never take the experiments binary down.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn bench_phase5(effort: Effort) -> Artifact {
+    match try_bench_phase5(effort) {
+        Ok(artifact) => artifact,
+        Err(e) => Artifact::Text {
+            id: "bench_phase5".to_string(),
+            title: "Hot-path wall-clock baseline (media26)".to_string(),
+            body: format!("{{\n  \"error\": \"{e}\"\n}}\n"),
+        },
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn try_bench_phase5(effort: Effort) -> Result<Artifact, String> {
     let (sweep_reps, route_reps, sa_iters, sa_reps) = match effort {
         Effort::Quick => (1u32, 20u32, 5_000u32, 3u32),
         Effort::Full => (3, 200, 30_000, 5),
@@ -93,23 +108,26 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
             .run_layout(false)
             .jobs(jobs)
             .build()
-            .expect("valid sweep config")
+            .map_err(|e| format!("sweep config rejected: {e}"))
     };
     // A cold first run: engine construction plus the sweep, including the
     // one-time warm-chained Phase-1 seed partitions. Every further run
     // (and every extra frequency) reuses the cached seeds, which is what
-    // the steady-state `serial_s` below measures.
+    // the steady-state `serial_s` below measures. The config and engine
+    // are validated by the `?`s below, so the timed closure can drop
+    // failures silently — they cannot occur once setup has succeeded.
     let first_run_s = time_per_rep(sweep_reps, || {
-        SynthesisEngine::new(&bench.soc, &bench.comm, sweep_cfg(1))
-            .expect("valid benchmark")
-            .run()
+        sweep_cfg(1)
+            .ok()
+            .and_then(|cfg| SynthesisEngine::new(&bench.soc, &bench.comm, cfg).ok())
+            .map(|engine| engine.run())
     });
-    let serial_engine =
-        SynthesisEngine::new(&bench.soc, &bench.comm, sweep_cfg(1)).expect("valid benchmark");
+    let serial_engine = SynthesisEngine::new(&bench.soc, &bench.comm, sweep_cfg(1)?)
+        .map_err(|e| format!("media26 rejected by the engine: {e}"))?;
     let candidates = serial_engine.candidates().len();
     let sweep_serial_s = time_per_rep(sweep_reps, || serial_engine.run());
-    let parallel_engine =
-        SynthesisEngine::new(&bench.soc, &bench.comm, sweep_cfg(jobs)).expect("valid benchmark");
+    let parallel_engine = SynthesisEngine::new(&bench.soc, &bench.comm, sweep_cfg(jobs)?)
+        .map_err(|e| format!("media26 rejected by the engine: {e}"))?;
     let sweep_parallel_s = time_per_rep(sweep_reps, || parallel_engine.run());
 
     // Partition-cache and placement-LP counters of one full serial sweep.
@@ -124,14 +142,16 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
     // restart budget). The from-scratch cold form phase 3 tracked stays
     // alongside, plus the θ-escalation step on the (much denser) SPG.
     let seed = 0xC0FFEE_u64;
+    // Validated once by the `?` on `conn` below; the timed closures only
+    // repeat calls that have already succeeded.
     let partition_cold_s = time_per_rep(route_reps, || {
-        phase1::connectivity(&graph, &bench.soc, 8, 0.6, None, 15.0, seed).unwrap()
+        phase1::connectivity(&graph, &bench.soc, 8, 0.6, None, 15.0, seed).ok()
     });
     let mut cache = PartitionCache::new();
     let prev = phase1::connectivity_cached(
         &graph, &bench.soc, 7, 0.6, None, 15.0, seed, None, &mut cache,
     )
-    .unwrap();
+    .map_err(|e| format!("phase-1 partition at k=7 failed on media26: {e}"))?;
     let warm: Vec<u32> = prev.core_attach.iter().map(|&a| a as u32).collect();
     let partition_warm_s = time_per_rep(route_reps, || {
         phase1::connectivity_cached(
@@ -145,7 +165,7 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
             Some(&warm),
             &mut cache,
         )
-        .unwrap()
+        .ok()
     });
     let partition_theta_s = time_per_rep(route_reps, || {
         phase1::connectivity_cached(
@@ -159,13 +179,27 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
             Some(&warm),
             &mut cache,
         )
-        .unwrap()
+        .ok()
     });
 
     // One routing pass at 8 switches.
-    let conn = phase1::connectivity(&graph, &bench.soc, 8, 0.6, None, 15.0, seed).unwrap();
+    let conn = phase1::connectivity(&graph, &bench.soc, 8, 0.6, None, 15.0, seed)
+        .map_err(|e| format!("phase-1 partition at k=8 failed on media26: {e}"))?;
     let path_cfg = PathConfig::new(25, lib.switch.max_size_for_frequency(400.0), 400.0);
     let mut alloc = PathAllocator::new();
+    alloc
+        .compute_paths(
+            &graph,
+            &conn.core_attach,
+            &conn.switch_layer,
+            &conn.est_positions,
+            &core_layers,
+            bench.soc.layers,
+            &lib,
+            &path_cfg,
+            0.6,
+        )
+        .map_err(|e| format!("k=8 routing pass failed on media26: {e}"))?;
     let route_s = time_per_rep(route_reps, || {
         alloc
             .compute_paths(
@@ -179,7 +213,7 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
                 &path_cfg,
                 0.6,
             )
-            .unwrap()
+            .ok()
     });
     let flows = graph.edge_list().len();
     let flows_per_s = flows as f64 / route_s;
@@ -214,22 +248,32 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
     let routed_k8 = &chain
         .iter()
         .find(|(k, _)| *k == 8)
-        .expect("k=8 must route on media26: the placement_lp_k8 metrics are keyed to it")
+        .ok_or("k=8 must route on media26: the placement_lp_k8 metrics are keyed to it")?
         .1;
     let routed_chain: Vec<&Topology> = chain.iter().map(|(_, t)| t).collect();
 
+    // One validation solve before the clocks start: if the LP rejects the
+    // routed k=8 topology the run aborts with a message instead of timing
+    // garbage, and the timed closures can fold failures into 0.0.
     let mut cold_solver = PlacementSolver::new();
+    {
+        let mut topo = routed_k8.clone();
+        cold_solver.begin_candidate();
+        cold_solver
+            .place(&mut topo, &bench.soc, &graph)
+            .map_err(|e| format!("placement LP failed on routed k=8: {e}"))?;
+    }
     let place_cold_s = time_per_rep(route_reps, || {
         let mut topo = routed_k8.clone();
         cold_solver.begin_candidate();
-        cold_solver.place(&mut topo, &bench.soc, &graph).unwrap();
-        topo
+        let obj = cold_solver.place(&mut topo, &bench.soc, &graph).unwrap_or(0.0);
+        (topo, obj)
     });
     let mut warm_solver = PlacementSolver::new();
     let place_warm_s = time_per_rep(route_reps, || {
         let mut topo = routed_k8.clone();
-        warm_solver.place(&mut topo, &bench.soc, &graph).unwrap();
-        topo
+        let obj = warm_solver.place(&mut topo, &bench.soc, &graph).unwrap_or(0.0);
+        (topo, obj)
     });
     let mut chain_cold_solver = PlacementSolver::new();
     let chain_cold_s = time_per_rep(route_reps, || {
@@ -237,7 +281,7 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
         for routed in &routed_chain {
             let mut topo = (*routed).clone();
             chain_cold_solver.begin_candidate();
-            objs += chain_cold_solver.place(&mut topo, &bench.soc, &graph).unwrap();
+            objs += chain_cold_solver.place(&mut topo, &bench.soc, &graph).unwrap_or(0.0);
         }
         objs
     });
@@ -246,7 +290,7 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
         let mut objs = 0.0;
         for routed in &routed_chain {
             let mut topo = (*routed).clone();
-            objs += chain_warm_solver.place(&mut topo, &bench.soc, &graph).unwrap();
+            objs += chain_warm_solver.place(&mut topo, &bench.soc, &graph).unwrap_or(0.0);
         }
         objs
     });
@@ -345,9 +389,9 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
         eprintln!("warning: could not write {BENCH_ARTIFACT_PATH}: {e}");
     }
 
-    Artifact::Text {
+    Ok(Artifact::Text {
         id: "bench_phase5".to_string(),
         title: "Hot-path wall-clock baseline (media26)".to_string(),
         body: json,
-    }
+    })
 }

@@ -163,7 +163,7 @@ pub fn evaluate(
         // Extra pipeline stages: core->first switch, inter-switch hops,
         // last switch->core.
         let first = path.switches[0];
-        let last = *path.switches.last().expect("non-empty path");
+        let last = path.switches[path.switches.len() - 1];
         cycles += f64::from(lib.link.pipeline_stages(
             manhattan(soc.cores[e.src].center(), topo.switch_pos[first]),
             frequency_mhz,

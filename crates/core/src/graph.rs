@@ -236,6 +236,7 @@ impl CommGraph {
                     .neighbors(a)
                     .iter()
                     .position(|&(t, _)| t as usize == b)
+                    // sf-allow(panic-in-lib): invariant — `graph` was built from these same edges with a positive reference weight, so the directed entry exists; a miss is template corruption, not a recoverable state
                     .expect("flow edge present in the reference SPG");
                 let idx = offsets[a] + pos;
                 contrib[idx].push(h);
@@ -454,9 +455,9 @@ impl PartitionCache {
     pub fn pg(&mut self, graph: &CommGraph, alpha: f64) -> &WeightedGraph {
         let rebuild = !matches!(&self.pg, Some((a, _)) if *a == alpha);
         if rebuild {
-            self.pg = Some((alpha, graph.partitioning_graph(alpha)));
+            self.pg = None;
         }
-        &self.pg.as_ref().expect("pg cached").1
+        &self.pg.get_or_insert_with(|| (alpha, graph.partitioning_graph(alpha))).1
     }
 
     /// The SPG at `theta`, derived by rescaling the cached template in
@@ -474,10 +475,11 @@ impl PartitionCache {
             None => true,
         };
         if rebuild {
-            self.spg = Some(graph.spg_template(soc, alpha, theta_max));
+            self.spg = None;
             self.spg_alpha = alpha;
         }
-        let template = self.spg.as_mut().expect("spg template cached");
+        let template =
+            self.spg.get_or_insert_with(|| graph.spg_template(soc, alpha, theta_max));
         template.rescale(theta);
         &template.graph
     }

@@ -223,13 +223,14 @@ impl PlacementSolver {
         }
 
         let key = topo.switch_count();
-        let state = match self.states.iter().position(|(k, _)| *k == key) {
-            Some(i) => &mut self.states[i].1,
+        let slot = match self.states.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
             None => {
                 self.states.push((key, PlacementState::new()));
-                &mut self.states.last_mut().expect("just pushed").1
+                self.states.len() - 1
             }
         };
+        let state = &mut self.states[slot].1;
         let positions = self.problem.solve_with(state)?;
         let (rx, ry) = state.reports();
         self.stats.record(rx);

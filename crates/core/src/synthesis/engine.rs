@@ -381,7 +381,12 @@ impl<'a> SynthesisEngine<'a> {
                             &mut placement,
                         );
                         let (lock, cvar) = &slots[i];
-                        *lock.lock().expect("no poisoned slot") = Some(ev);
+                        // Poison recovery: a slot holds a plain Option, so
+                        // the value is valid even if another worker
+                        // panicked mid-sweep (the panic still propagates at
+                        // scope join).
+                        *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(ev);
                         cvar.notify_all();
                     }
                 });
@@ -396,11 +401,16 @@ impl<'a> SynthesisEngine<'a> {
                     stopped = true;
                     break;
                 }
-                let mut guard = lock.lock().expect("no poisoned slot");
-                while guard.is_none() {
-                    guard = cvar.wait(guard).expect("no poisoned slot");
-                }
-                let ev = guard.take().expect("slot filled");
+                let mut guard =
+                    lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let ev = loop {
+                    if let Some(ev) = guard.take() {
+                        break ev;
+                    }
+                    guard = cvar
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                };
                 drop(guard);
                 debug_assert_eq!(ev.candidate, candidates[i]);
                 self.commit(ev, observer, outcome);
@@ -505,7 +515,7 @@ impl<'a> SynthesisEngine<'a> {
         // Resolve the base seed: from the precomputed warm-chained set, or
         // (defensively — cannot happen for counts the engine itself
         // enumerates) computed through this worker's cache.
-        let computed: Option<Phase1Seed>;
+        let mut computed: Option<Phase1Seed> = None;
         let seed: &Phase1Seed = match self.phase1_seeds().get(count) {
             Some(Ok(seed)) => {
                 cache.stats.base_cache_hits += 1;
@@ -530,8 +540,7 @@ impl<'a> SynthesisEngine<'a> {
             ) {
                 Ok(conn) => {
                     let assignment = conn.core_attach.iter().map(|&a| a as u32).collect();
-                    computed = Some(Phase1Seed { conn, assignment });
-                    computed.as_ref().expect("just set")
+                    &*computed.insert(Phase1Seed { conn, assignment })
                 }
                 Err(e) => {
                     ev.attempts.push(reject(None, e.into()));

@@ -452,12 +452,14 @@ fn block_sizes(assignment: &[u32], used: usize) -> Vec<usize> {
 /// labels stay dense. Ties break towards the lowest label.
 fn merge_smallest_block(g: &WeightedGraph, assignment: &mut [u32], used: usize) {
     let sizes = block_sizes(assignment, used);
-    let victim = sizes
+    let Some(victim) = sizes
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
         .map(|(p, _)| p as u32)
-        .expect("at least one block");
+    else {
+        return; // no blocks: nothing to merge
+    };
     let mut conn_to = vec![0.0f64; used];
     for (v, &a) in assignment.iter().enumerate() {
         if a != victim {
@@ -470,12 +472,14 @@ fn merge_smallest_block(g: &WeightedGraph, assignment: &mut [u32], used: usize) 
             }
         }
     }
-    let target = (0..used as u32)
+    let Some(target) = (0..used as u32)
         .filter(|&p| p != victim)
         .max_by(|&a, &b| {
             conn_to[a as usize].total_cmp(&conn_to[b as usize]).then(b.cmp(&a))
         })
-        .expect("at least two blocks when merging");
+    else {
+        return; // a single block cannot be merged into anything
+    };
     let last = used as u32 - 1;
     for a in assignment.iter_mut() {
         if *a == victim {
@@ -515,11 +519,11 @@ fn bisect_members(
             .map(|&(_, w)| w)
             .sum()
     };
-    let seed = (0..m)
-        .min_by(|&a, &b| {
-            internal(a, &ws.local).total_cmp(&internal(b, &ws.local)).then(a.cmp(&b))
-        })
-        .expect("non-empty block");
+    let Some(seed) = (0..m).min_by(|&a, &b| {
+        internal(a, &ws.local).total_cmp(&internal(b, &ws.local)).then(a.cmp(&b))
+    }) else {
+        return (Vec::new(), 0.0); // empty block: nothing to bisect
+    };
 
     let absorb = |i: usize, local: &[usize], side0: &mut [bool], attraction: &mut [f64]| {
         side0[i] = true;
@@ -532,12 +536,11 @@ fn bisect_members(
     };
     absorb(seed, &ws.local, &mut ws.side0, &mut ws.attraction);
     for _ in 1..n1 {
-        let next = (0..m)
-            .filter(|&i| !ws.side0[i])
-            .max_by(|&a, &b| {
-                ws.attraction[a].total_cmp(&ws.attraction[b]).then(b.cmp(&a))
-            })
-            .expect("ungrown member remains");
+        let Some(next) = (0..m).filter(|&i| !ws.side0[i]).max_by(|&a, &b| {
+            ws.attraction[a].total_cmp(&ws.attraction[b]).then(b.cmp(&a))
+        }) else {
+            break; // every member already absorbed: growth is complete
+        };
         absorb(next, &ws.local, &mut ws.side0, &mut ws.attraction);
     }
 
@@ -606,7 +609,9 @@ fn split_best_block(
             best = Some((cross, size, block, members, mask));
         }
     }
-    let (_, _, _, members, mask) = best.expect("a splittable block exists");
+    let Some((_, _, _, members, mask)) = best else {
+        return; // every block is a singleton: nothing can be split
+    };
     for (i, &v) in members.iter().enumerate() {
         if mask[i] {
             assignment[v] = used as u32;
@@ -622,19 +627,19 @@ fn rebalance(g: &WeightedGraph, assignment: &mut [u32], parts: usize) {
     let mut sizes = block_sizes(assignment, parts);
     let mut conn = Connectivity::new(g, assignment, parts);
     while sizes.iter().any(|&s| s > base + 1 || s < base) {
-        let donor = (0..parts)
-            .max_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(b.cmp(&a)))
-            .expect("at least one block") as u32;
-        let recv = (0..parts)
-            .min_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(a.cmp(&b)))
-            .expect("at least one block") as u32;
+        let (Some(donor), Some(recv)) = (
+            (0..parts).max_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(b.cmp(&a))),
+            (0..parts).min_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(a.cmp(&b))),
+        ) else {
+            break; // zero blocks: nothing to rebalance
+        };
+        let (donor, recv) = (donor as u32, recv as u32);
         debug_assert!(sizes[donor as usize] > sizes[recv as usize]);
-        let v = (0..n)
-            .filter(|&v| assignment[v] == donor)
-            .max_by(|&a, &b| {
-                conn.gain(a, donor, recv).total_cmp(&conn.gain(b, donor, recv)).then(b.cmp(&a))
-            })
-            .expect("donor block is non-empty");
+        let Some(v) = (0..n).filter(|&v| assignment[v] == donor).max_by(|&a, &b| {
+            conn.gain(a, donor, recv).total_cmp(&conn.gain(b, donor, recv)).then(b.cmp(&a))
+        }) else {
+            break; // donor emptied out: sizes are as balanced as they get
+        };
         conn.apply_move(g, assignment, &mut sizes, v, recv);
     }
 }

@@ -288,6 +288,9 @@ impl WeightedGraph {
                 }
             }
         }
+        // sf-allow(panic-in-lib): invariant — `cold_restarts` is forced to at
+        // least 1 whenever no warm candidate seeded `best`, so one of the two
+        // branches above always stores a partitioning before we get here
         Ok(best.expect("a warm candidate or at least one cold restart ran"))
     }
 }

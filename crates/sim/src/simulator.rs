@@ -144,6 +144,11 @@ impl Simulator {
                     .position(|l| {
                         l.from == w[0] && l.to == w[1] && l.flows.contains(&fi)
                     })
+                    // sf-allow(panic-in-lib): invariant — the route was read
+                    // out of this same topology's `paths`, and every hop of a
+                    // routed flow is backed by a link listing that flow; a
+                    // miss means the topology is internally inconsistent, not
+                    // a state the simulator can recover from
                     .expect("flow's link exists in topology");
                 route.push(link(li));
             }
@@ -368,12 +373,18 @@ impl Simulator {
         if !self.head_is_routable(input, ch, cycle, false) {
             return false;
         }
-        let mut flit = match input {
+        let popped = match input {
             InputRef::Channel(c) => {
                 self.channels[c].sent_at = cycle;
-                self.channels[c].buf.pop_front().expect("peeked flit exists")
+                self.channels[c].buf.pop_front()
             }
-            InputRef::Source(f) => self.sources[f].pop_front().expect("peeked flit exists"),
+            InputRef::Source(f) => self.sources[f].pop_front(),
+        };
+        // `head_is_routable` above peeked a flit at this input, so the queue
+        // is non-empty; an empty pop means no movable flit, same as the
+        // routability check failing.
+        let Some(mut flit) = popped else {
+            return false;
         };
         if matches!(input, InputRef::Channel(_)) {
             flit.hop += 1;
