@@ -11,8 +11,8 @@ use sunfloor_core::graph::{CommGraph, PartitionCache};
 use sunfloor_core::paths::{PathAllocator, PathConfig};
 use sunfloor_core::phase1;
 use sunfloor_floorplan::{
-    anneal, insert_components, AnnealConfig, Block, InsertRequest, Net, PackScratch, PlacedBlock,
-    SequencePair,
+    anneal, anneal_tempered, insert_components, AnnealConfig, Block, InsertRequest, Net,
+    PackScratch, PlacedBlock, SequencePair, TemperConfig,
 };
 use sunfloor_lp::{PlacementProblem, PlacementState};
 use sunfloor_models::NocLibrary;
@@ -251,6 +251,48 @@ fn bench_pack_lcs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel-tempering annealer at the 65-block pipeline scale: the
+/// serial chain (one replica is bit-identical to `anneal`) against 2 and 4
+/// exchange-coupled replicas at the same per-replica budget. Wall-clock
+/// stays near the serial chain while the aggregate move budget scales with
+/// the replica count.
+fn bench_anneal_tempering(c: &mut Criterion) {
+    let blocks: Vec<Block> = (0..65)
+        .map(|i| {
+            Block::new(
+                format!("stage{i}"),
+                1.2 + f64::from(i % 5) * 0.3,
+                1.1 + f64::from(i % 7) * 0.2,
+            )
+            .rotatable()
+        })
+        .collect();
+    let mut nets = Vec::new();
+    for i in 0..64usize {
+        nets.push(Net::two_pin(i, i + 1, 1.0 + f64::from(i as u32 % 3) * 0.5));
+        if i % 4 == 0 && i + 2 < 65 {
+            nets.push(Net::two_pin(i, i + 2, 0.5));
+        }
+    }
+    let mut group = c.benchmark_group("anneal_tempering_65blocks");
+    group.sample_size(10);
+    for replicas in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(replicas),
+            &replicas,
+            |b, &replicas| {
+                let cfg = TemperConfig {
+                    base: AnnealConfig::default().with_iterations(10_000).with_seed(0xF1A7),
+                    replicas,
+                    ..TemperConfig::default()
+                };
+                b.iter(|| anneal_tempered(black_box(&blocks), &nets, &cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_mesh_mapping(c: &mut Criterion) {
     let bench = distributed(4);
     let lib = NocLibrary::lp65();
@@ -270,6 +312,7 @@ criterion_group!(
     bench_phase1_connectivity,
     bench_router,
     bench_annealer,
+    bench_anneal_tempering,
     bench_pack_lcs,
     bench_mesh_mapping
 );

@@ -1,7 +1,7 @@
 //! The `bench` experiment: wall-clock measurements of the synthesis hot
-//! paths, written as a `BENCH_phase5.json` artifact so the repository's
+//! paths, written as a `BENCH_phase6.json` artifact so the repository's
 //! performance trajectory is tracked in-tree. The committed
-//! `BENCH_phase4.json` is the previous phase's baseline; the `--gate`
+//! `BENCH_phase5.json` is the previous phase's baseline; the `--gate`
 //! flag of the `experiments` binary diffs a fresh artifact against it
 //! (see [`crate::gate`]).
 //!
@@ -38,7 +38,13 @@
 //!   a 65-block set (`pack_lcs`, the pipeline-benchmark scale where the
 //!   asymptotics dominate),
 //! * the partition-cache counters of a full serial sweep
-//!   (`partition_cache_hits`).
+//!   (`partition_cache_hits`),
+//! * the parallel-tempering annealer at the 65-block pipeline scale
+//!   (`tempering`): the serial chain (one replica is bit-identical to
+//!   [`anneal`]) against 2 and 4 exchange-coupled replicas at the same
+//!   per-replica budget — aggregate SA iterations per second, the
+//!   replica-exchange acceptance rate and the best-cost trajectory over
+//!   escalating iteration budgets.
 
 use crate::{Artifact, Effort};
 use std::fmt::Write as _;
@@ -50,15 +56,18 @@ use sunfloor_core::phase1;
 use sunfloor_core::place::PlacementSolver;
 use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 use sunfloor_core::topology::Topology;
-use sunfloor_floorplan::{anneal, AnnealConfig, Block, Net, PackScratch, SequencePair};
+use sunfloor_floorplan::{
+    anneal, anneal_tempered_with_stats, AnnealConfig, Block, Net, PackScratch, SequencePair,
+    TemperConfig,
+};
 use sunfloor_models::NocLibrary;
 
 /// File the measurements are persisted to (repo root when run via
 /// `cargo run -p sunfloor-bench --bin experiments -- bench`).
-pub const BENCH_ARTIFACT_PATH: &str = "BENCH_phase5.json";
+pub const BENCH_ARTIFACT_PATH: &str = "BENCH_phase6.json";
 
 /// The committed previous-phase baseline the gate diffs against.
-pub const BENCH_BASELINE_PATH: &str = "BENCH_phase4.json";
+pub const BENCH_BASELINE_PATH: &str = "BENCH_phase5.json";
 
 /// Times `f` over `reps` repetitions (after one warm-up call) and returns
 /// seconds per repetition.
@@ -77,11 +86,11 @@ fn time_per_rep<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
 /// unroutable benchmark) surface as an error artifact rather than a
 /// panic, so a bench run can never take the experiments binary down.
 #[must_use]
-pub fn bench_phase5(effort: Effort) -> Artifact {
-    match try_bench_phase5(effort) {
+pub fn bench_phase6(effort: Effort) -> Artifact {
+    match try_bench_phase6(effort) {
         Ok(artifact) => artifact,
         Err(e) => Artifact::Text {
-            id: "bench_phase5".to_string(),
+            id: "bench_phase6".to_string(),
             title: "Hot-path wall-clock baseline (media26)".to_string(),
             body: format!("{{\n  \"error\": \"{e}\"\n}}\n"),
         },
@@ -89,7 +98,7 @@ pub fn bench_phase5(effort: Effort) -> Artifact {
 }
 
 #[allow(clippy::too_many_lines)]
-fn try_bench_phase5(effort: Effort) -> Result<Artifact, String> {
+fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
     let (sweep_reps, route_reps, sa_iters, sa_reps) = match effort {
         Effort::Quick => (1u32, 20u32, 5_000u32, 3u32),
         Effort::Full => (3, 200, 30_000, 5),
@@ -330,8 +339,75 @@ fn try_bench_phase5(effort: Effort) -> Result<Artifact, String> {
         sp.pack_into_longest_path(&pack_blocks, &rotated, &mut scratch)
     });
 
+    // Parallel tempering at the 65-block pipeline scale (the phase-6
+    // tentpole): serial chain (one replica is bit-identical to `anneal`)
+    // vs 2 and 4 exchange-coupled replicas at the same per-replica
+    // budget. Aggregate throughput is `iterations · replicas / wall`; the
+    // replicas run on scoped threads, so on a ≥4-core machine the
+    // 4-replica aggregate should approach 4× the serial chain. On fewer
+    // cores the replicas time-share — the gap between the aggregate and
+    // `cores × serial` throughput is then the exchange-barrier overhead,
+    // not a property of the algorithm (the result is bit-identical either
+    // way), which is why the artifact records `cores` alongside.
+    let temper_blocks: Vec<Block> = (0..65)
+        .map(|i| {
+            Block::new(
+                format!("stage{i}"),
+                1.2 + f64::from(i % 5) * 0.3,
+                1.1 + f64::from(i % 7) * 0.2,
+            )
+            .rotatable()
+        })
+        .collect();
+    let mut temper_nets = Vec::new();
+    for i in 0..64usize {
+        temper_nets.push(Net::two_pin(i, i + 1, 1.0 + f64::from(i as u32 % 3) * 0.5));
+        if i % 4 == 0 && i + 2 < 65 {
+            temper_nets.push(Net::two_pin(i, i + 2, 0.5));
+        }
+    }
+    let temper_iters = match effort {
+        Effort::Quick => 4_000u32,
+        Effort::Full => 20_000,
+    };
+    let temper_cfg = |replicas: usize, iterations: u32| TemperConfig {
+        base: AnnealConfig::default().with_iterations(iterations).with_seed(0xF1A7),
+        replicas,
+        ..TemperConfig::default()
+    };
+    let temper_time = |replicas: usize| {
+        let cfg = temper_cfg(replicas, temper_iters);
+        time_per_rep(sa_reps, || anneal_tempered_with_stats(&temper_blocks, &temper_nets, &cfg))
+    };
+    let temper_serial_s = temper_time(1);
+    let temper_r2_s = temper_time(2);
+    let temper_r4_s = temper_time(4);
+    let aggregate = |replicas: usize, s: f64| f64::from(temper_iters) * replicas as f64 / s;
+    let temper_serial_iters_per_s = aggregate(1, temper_serial_s);
+    let temper_r2_iters_per_s = aggregate(2, temper_r2_s);
+    let temper_r4_iters_per_s = aggregate(4, temper_r4_s);
+    let (_, temper_r1_stats) =
+        anneal_tempered_with_stats(&temper_blocks, &temper_nets, &temper_cfg(1, temper_iters));
+    let (_, temper_r4_stats) =
+        anneal_tempered_with_stats(&temper_blocks, &temper_nets, &temper_cfg(4, temper_iters));
+    // Best-cost trajectory of the 4-replica run over escalating budgets
+    // (chunked stepping is bit-identical to one long run, so each budget
+    // is a true prefix of the full run's trajectory).
+    let trajectory: Vec<(u32, f64)> = [1u32, 2, 3, 4]
+        .iter()
+        .map(|&q| {
+            let budget = temper_iters / 4 * q;
+            let (_, s) = anneal_tempered_with_stats(
+                &temper_blocks,
+                &temper_nets,
+                &temper_cfg(4, budget),
+            );
+            (budget, s.best_cost)
+        })
+        .collect();
+
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"phase\": 5,");
+    let _ = writeln!(json, "  \"phase\": 6,");
     let _ = writeln!(json, "  \"benchmark\": \"media26\",");
     let _ = writeln!(
         json,
@@ -382,6 +458,39 @@ fn try_bench_phase5(effort: Effort) -> Result<Artifact, String> {
     let _ = writeln!(json, "    \"packs_per_s\": {:.0},", 1.0 / pack_lcs_s);
     let _ = writeln!(json, "    \"longest_path_per_pack_s\": {pack_ref_s:.9},");
     let _ = writeln!(json, "    \"speedup\": {:.2}", pack_ref_s / pack_lcs_s);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"tempering\": {{");
+    let _ = writeln!(json, "    \"cores\": {jobs},");
+    let _ = writeln!(json, "    \"blocks\": 65,");
+    let _ = writeln!(json, "    \"iterations_per_replica\": {temper_iters},");
+    let _ = writeln!(json, "    \"serial_s\": {temper_serial_s:.6},");
+    let _ = writeln!(json, "    \"r2_s\": {temper_r2_s:.6},");
+    let _ = writeln!(json, "    \"r4_s\": {temper_r4_s:.6},");
+    let _ = writeln!(json, "    \"serial_iters_per_s\": {temper_serial_iters_per_s:.0},");
+    let _ = writeln!(json, "    \"aggregate_iters_per_s_r2\": {temper_r2_iters_per_s:.0},");
+    let _ = writeln!(json, "    \"aggregate_iters_per_s_r4\": {temper_r4_iters_per_s:.0},");
+    let _ = writeln!(
+        json,
+        "    \"aggregate_speedup_r4\": {:.2},",
+        temper_r4_iters_per_s / temper_serial_iters_per_s
+    );
+    let _ = writeln!(json, "    \"swap_attempts\": {},", temper_r4_stats.swap_attempts);
+    let _ = writeln!(
+        json,
+        "    \"swap_acceptance\": {:.4},",
+        temper_r4_stats.swap_acceptance()
+    );
+    let _ = writeln!(json, "    \"best_cost_serial\": {:.6},", temper_r1_stats.best_cost);
+    let _ = writeln!(json, "    \"best_cost_r4\": {:.6},", temper_r4_stats.best_cost);
+    let _ = writeln!(json, "    \"best_cost_trajectory_r4\": [");
+    for (i, (budget, cost)) in trajectory.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"iterations\": {budget}, \"best_cost\": {cost:.6}}}{}",
+            if i + 1 < trajectory.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
@@ -390,7 +499,7 @@ fn try_bench_phase5(effort: Effort) -> Result<Artifact, String> {
     }
 
     Ok(Artifact::Text {
-        id: "bench_phase5".to_string(),
+        id: "bench_phase6".to_string(),
         title: "Hot-path wall-clock baseline (media26)".to_string(),
         body: json,
     })

@@ -47,11 +47,18 @@ pub const TRACKED_METRICS: &[TrackedMetric] = &[
     TrackedMetric { path: "routing.flows_per_s", direction: Direction::HigherIsBetter },
     TrackedMetric { path: "placement_lp_k8_s", direction: Direction::LowerIsBetter },
     // Present from phase 5 on (the warm-started placement-LP subsystem):
-    // skipped against the phase-4 baseline, self-activating once
-    // BENCH_phase5.json becomes the baseline.
+    // skipped against the phase-4 baseline, active now that
+    // BENCH_phase5.json is the baseline.
     TrackedMetric { path: "placement_lp_warm_k8_s", direction: Direction::LowerIsBetter },
     TrackedMetric { path: "placement_lp_chain.warm_s", direction: Direction::LowerIsBetter },
     TrackedMetric { path: "annealer.iterations_per_s", direction: Direction::HigherIsBetter },
+    // Present from phase 6 on (the parallel-tempering annealer): skipped
+    // against the phase-5 baseline, self-activating once BENCH_phase6.json
+    // becomes the baseline.
+    TrackedMetric {
+        path: "tempering.aggregate_iters_per_s_r4",
+        direction: Direction::HigherIsBetter,
+    },
 ];
 
 /// Comparison of one tracked metric.
@@ -301,17 +308,19 @@ mod tests {
     fn baseline_against_itself_passes() {
         let report = compare(BASELINE, BASELINE, 0.30);
         assert!(!report.regressed(), "{}", report.render());
-        // The phase-3 baseline predates the cold/θ partition metrics and
-        // the phase-5 warm placement-LP metrics, so those four are
-        // skipped; everything else compares equal.
-        assert_eq!(report.deltas.len(), TRACKED_METRICS.len() - 4);
+        // The phase-3 baseline predates the cold/θ partition metrics, the
+        // phase-5 warm placement-LP metrics and the phase-6 tempering
+        // metric, so those five are skipped; everything else compares
+        // equal.
+        assert_eq!(report.deltas.len(), TRACKED_METRICS.len() - 5);
         assert_eq!(
             report.skipped,
             vec![
                 "partition_phase1_k8_cold_s".to_string(),
                 "partition_phase1_k8_theta_spg_s".to_string(),
                 "placement_lp_warm_k8_s".to_string(),
-                "placement_lp_chain.warm_s".to_string()
+                "placement_lp_chain.warm_s".to_string(),
+                "tempering.aggregate_iters_per_s_r4".to_string()
             ]
         );
         assert!(report.deltas.iter().all(|d| d.relative_regression == 0.0));

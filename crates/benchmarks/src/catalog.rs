@@ -1,6 +1,6 @@
 //! The benchmark container type and the Table-I catalog.
 
-use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::spec::{CommSpec, SocSpec, SpecError};
 
 /// A complete benchmark: core specification (with layer assignment and
 /// per-layer initial floorplan) plus the communication specification.
@@ -15,17 +15,33 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
+    /// Builds a benchmark, validating the generated specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found in the core or communication
+    /// specification.
+    pub fn try_new(
+        name: impl Into<String>,
+        soc: SocSpec,
+        comm: CommSpec,
+    ) -> Result<Self, SpecError> {
+        soc.validate()?;
+        comm.validate(&soc)?;
+        Ok(Self { name: name.into(), soc, comm })
+    }
+
     /// Builds and validates a benchmark.
     ///
     /// # Panics
     ///
     /// Panics if the generated specification is internally inconsistent —
-    /// generators are expected to produce valid benchmarks.
+    /// generators are expected to produce valid benchmarks. Callers holding
+    /// untrusted specs should use [`Benchmark::try_new`] instead.
     #[must_use]
     pub fn new(name: impl Into<String>, soc: SocSpec, comm: CommSpec) -> Self {
-        soc.validate().expect("generator produced an invalid core spec");
-        comm.validate(&soc).expect("generator produced an invalid comm spec");
-        Self { name: name.into(), soc, comm }
+        // sf-allow(panic-in-lib): infallible convenience wrapper for the in-tree generators; try_new is the typed-error path
+        Self::try_new(name, soc, comm).expect("generator produced an invalid benchmark")
     }
 }
 
@@ -57,5 +73,15 @@ mod tests {
         );
         let cores: Vec<usize> = benches.iter().map(|b| b.soc.core_count()).collect();
         assert_eq!(cores, vec![36, 36, 36, 35, 65, 38]);
+    }
+
+    #[test]
+    fn try_new_surfaces_spec_errors_instead_of_panicking() {
+        let good = crate::distributed(4);
+        let mut bad_soc = good.soc.clone();
+        bad_soc.cores[0].layer = 99;
+        let err = Benchmark::try_new("broken", bad_soc, good.comm.clone());
+        assert!(err.is_err(), "an out-of-range layer must be a typed error");
+        assert!(Benchmark::try_new("ok", good.soc, good.comm).is_ok());
     }
 }

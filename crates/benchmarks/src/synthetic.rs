@@ -19,6 +19,26 @@ pub const PIPELINE_SEED_BASE: u64 = 0x65;
 /// Default RNG seed for [`tvopd`].
 pub const TVOPD_SEED: u64 = 0x38;
 
+/// Builds the validated `(SocSpec, CommSpec)` pair, runs the per-layer 2-D
+/// floorplanner and wraps the result. Every generator in this module
+/// funnels through here: the rosters are valid by construction (distinct
+/// names, layers in range, flow endpoints in bounds), so the spec
+/// constructors cannot fail on generator output.
+fn assemble(
+    name: String,
+    cores: Vec<Core>,
+    layers: u32,
+    flows: Vec<Flow>,
+    seed: u64,
+) -> Benchmark {
+    // sf-allow(panic-in-lib): generator rosters are valid by construction
+    let mut soc = SocSpec::new(cores, layers).expect("generator roster is valid");
+    // sf-allow(panic-in-lib): generator flows reference in-bounds cores only
+    let comm = CommSpec::new(flows, &soc).expect("generator flows are valid");
+    floorplan_layers(&mut soc, &comm, seed);
+    Benchmark::new(name, soc, comm)
+}
+
 /// `D_36_<flows_per_proc>`: 18 processors and 18 memories; each processor
 /// sends `flows_per_proc` request flows to distinct memories (chosen
 /// deterministically), with total bandwidth constant across the family.
@@ -55,8 +75,6 @@ pub fn distributed(flows_per_proc: usize) -> Benchmark {
             layer: 1,
         });
     }
-    let mut soc = SocSpec::new(cores, 2).expect("valid distributed roster");
-
     let bw_per_flow = DISTRIBUTED_TOTAL_MBS / (18.0 * flows_per_proc as f64);
     let mut flows = Vec::new();
     for p in 0..18usize {
@@ -75,9 +93,13 @@ pub fn distributed(flows_per_proc: usize) -> Benchmark {
             });
         }
     }
-    let comm = CommSpec::new(flows, &soc).expect("valid distributed flows");
-    floorplan_layers(&mut soc, &comm, 0x36_u64 + flows_per_proc as u64);
-    Benchmark::new(format!("D_36_{flows_per_proc}"), soc, comm)
+    assemble(
+        format!("D_36_{flows_per_proc}"),
+        cores,
+        2,
+        flows,
+        0x36_u64 + flows_per_proc as u64,
+    )
 }
 
 /// `D_35_bot`: bottleneck communication — 16 processors each with a private
@@ -118,8 +140,6 @@ pub fn bottleneck() -> Benchmark {
             layer: 1,
         });
     }
-    let mut soc = SocSpec::new(cores, 2).expect("valid bottleneck roster");
-
     let mut flows = Vec::new();
     for p in 0..16usize {
         // Private memory: heavy, tight latency.
@@ -148,9 +168,7 @@ pub fn bottleneck() -> Benchmark {
             });
         }
     }
-    let comm = CommSpec::new(flows, &soc).expect("valid bottleneck flows");
-    floorplan_layers(&mut soc, &comm, 0x35_u64);
-    Benchmark::new("D_35_bot", soc, comm)
+    assemble("D_35_bot".to_string(), cores, 2, flows, 0x35_u64)
 }
 
 /// `D_65_pipe`-style benchmark: `n` cores communicating in a pipeline, "each
@@ -191,7 +209,6 @@ pub fn pipeline_seeded(n: usize, seed_base: u64) -> Benchmark {
             layer: (i / per_layer) as u32,
         })
         .collect();
-    let mut soc = SocSpec::new(cores, layers).expect("valid pipeline roster");
 
     let mut flows = Vec::new();
     for i in 0..n - 1 {
@@ -213,14 +230,12 @@ pub fn pipeline_seeded(n: usize, seed_base: u64) -> Benchmark {
             });
         }
     }
-    let comm = CommSpec::new(flows, &soc).expect("valid pipeline flows");
-    floorplan_layers(&mut soc, &comm, seed_base.wrapping_add(n as u64));
     let name = if seed_base == PIPELINE_SEED_BASE {
         format!("D_{n}_pipe")
     } else {
         format!("D_{n}_pipe_s{seed_base}")
     };
-    Benchmark::new(name, soc, comm)
+    assemble(name, cores, layers, flows, seed_base.wrapping_add(n as u64))
 }
 
 /// `D_38_tvopd`: a TV object-plane-decoder-style design — three parallel
@@ -268,45 +283,45 @@ pub fn tvopd_seeded(seed: u64) -> Benchmark {
             });
         }
     }
-    let mut soc = SocSpec::new(cores, 2).expect("valid tvopd roster");
-
-    let idx = |name: &str, soc: &SocSpec| soc.core_index(name).expect("core exists");
+    // Core indices follow push order above: `stream_in` is 0, `mixer` is 1
+    // and stage `s` of pipeline `p` lands at `2 + 12·p + s`.
+    const STREAM_IN: usize = 0;
+    const MIXER: usize = 1;
+    let stage = |p: usize, s: usize| 2 + 12 * p + s;
     let mut flows = Vec::new();
-    for p in 0..3u32 {
+    for p in 0..3usize {
         // Demux from the shared stream input into each pipeline head.
         flows.push(Flow {
-            src: idx("stream_in", &soc),
-            dst: idx(&format!("p{p}s0"), &soc),
+            src: STREAM_IN,
+            dst: stage(p, 0),
             bandwidth_mbs: 140.0,
             max_latency_cycles: 10.0,
             message_type: MessageType::Request,
         });
-        for s in 0..11u32 {
+        for s in 0..11usize {
             flows.push(Flow {
-                src: idx(&format!("p{p}s{s}"), &soc),
-                dst: idx(&format!("p{p}s{}", s + 1), &soc),
-                bandwidth_mbs: 100.0 + 40.0 * f64::from(s % 2),
+                src: stage(p, s),
+                dst: stage(p, s + 1),
+                bandwidth_mbs: 100.0 + 40.0 * f64::from(s as u32 % 2),
                 max_latency_cycles: 10.0,
                 message_type: MessageType::Request,
             });
         }
         // Pipeline tail into the mixer.
         flows.push(Flow {
-            src: idx(&format!("p{p}s11"), &soc),
-            dst: idx("mixer", &soc),
+            src: stage(p, 11),
+            dst: MIXER,
             bandwidth_mbs: 130.0,
             max_latency_cycles: 10.0,
             message_type: MessageType::Request,
         });
     }
-    let comm = CommSpec::new(flows, &soc).expect("valid tvopd flows");
-    floorplan_layers(&mut soc, &comm, seed);
     let name = if seed == TVOPD_SEED {
         "D_38_tvopd".to_string()
     } else {
         format!("D_38_tvopd_s{seed}")
     };
-    Benchmark::new(name, soc, comm)
+    assemble(name, cores, 2, flows, seed)
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //!   --switches <lo..hi>   restrict the switch-count sweep
 //!   --step <n>            stride of the switch-count sweep    [1]
 //!   --jobs <n>            parallel candidate evaluation       [1]
+//!   --anneal-replicas <n> tempered-annealing layout replicas  [0 = off]
 //!   --seed <u64>          partitioner RNG seed (reproducible runs)
 //!   --no-layout           skip floorplan insertion
 //!   --out <dir>           write best-point artifacts (DOT, SVG, report)
@@ -20,7 +21,11 @@
 //! `--jobs` fans the design-space sweep out over scoped worker threads;
 //! results are committed in deterministic candidate order, so any `--jobs`
 //! value produces the same report. `--seed` pins the partitioner RNG so a
-//! run can be reproduced exactly.
+//! run can be reproduced exactly. `--anneal-replicas <n>` routes the layout
+//! step through the parallel-tempering floorplanner with `n` replicas; the
+//! result depends only on `n` and the seed, never on thread scheduling, and
+//! replica threading automatically collapses to one thread per candidate
+//! when `--jobs` already saturates the machine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +62,8 @@ pub struct Options {
     pub step: usize,
     /// Worker threads for candidate evaluation.
     pub jobs: usize,
+    /// Tempered-annealing layout replicas (`0` = classic shove insertion).
+    pub anneal_replicas: usize,
     /// Optional partitioner RNG seed.
     pub seed: Option<u64>,
     /// Run floorplan insertion.
@@ -115,6 +122,7 @@ impl Options {
         let mut switches = None;
         let mut step = 1usize;
         let mut jobs = 1usize;
+        let mut anneal_replicas = 0usize;
         let mut seed = None;
         let mut layout = true;
         let mut out = None;
@@ -192,6 +200,13 @@ impl Options {
                         ));
                     }
                 }
+                "--anneal-replicas" => {
+                    anneal_replicas = value("--anneal-replicas")?.parse().map_err(|_| {
+                        CliError::Usage(
+                            "--anneal-replicas expects a non-negative integer".into(),
+                        )
+                    })?;
+                }
                 "--seed" => {
                     seed = Some(value("--seed")?.parse().map_err(|_| {
                         CliError::Usage("--seed expects an unsigned 64-bit integer".into())
@@ -215,6 +230,7 @@ impl Options {
             switches,
             step,
             jobs,
+            anneal_replicas,
             seed,
             layout,
             out,
@@ -248,6 +264,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         .mode(opts.mode)
         .switch_count_step(opts.step)
         .jobs(opts.jobs)
+        .anneal_replicas(opts.anneal_replicas)
         .run_layout(opts.layout);
     if let Some((lo, hi)) = opts.switches {
         builder = builder.switch_count_range(lo, hi);
@@ -295,6 +312,15 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             lp.cold_solves,
             lp.simplex_iterations,
             lp.iterations_saved
+        ));
+    }
+    let anneal = outcome.anneal_stats;
+    if anneal.runs > 0 {
+        report.push_str(&format!(
+            "tempered layout: {} anneals, {} replica swaps attempted ({:.0}% accepted)\n",
+            anneal.runs,
+            anneal.swap_attempts,
+            anneal.swap_acceptance() * 100.0
         ));
     }
     report.push_str("switches  total_mW  latency_cyc  max_ill\n");
@@ -358,7 +384,8 @@ mod tests {
         let o = Options::parse(&args(&[
             "--cores", "a.cores", "--comm", "a.comm", "--max-ill", "12", "--frequency",
             "400,500", "--alpha", "0.7", "--mode", "phase2", "--switches", "2..8",
-            "--step", "2", "--jobs", "4", "--seed", "99", "--no-layout", "--out", "outdir",
+            "--step", "2", "--jobs", "4", "--anneal-replicas", "3", "--seed", "99",
+            "--no-layout", "--out", "outdir",
         ]))
         .unwrap();
         assert_eq!(o.max_ill, 12);
@@ -368,6 +395,7 @@ mod tests {
         assert_eq!(o.switches, Some((2, 8)));
         assert_eq!(o.step, 2);
         assert_eq!(o.jobs, 4);
+        assert_eq!(o.anneal_replicas, 3);
         assert_eq!(o.seed, Some(99));
         assert!(!o.layout);
         assert_eq!(o.out, Some(PathBuf::from("outdir")));
@@ -396,6 +424,7 @@ mod tests {
         assert_eq!(o.switches, None);
         assert_eq!(o.step, 1);
         assert_eq!(o.jobs, 1);
+        assert_eq!(o.anneal_replicas, 0);
         assert_eq!(o.seed, None);
         assert!(o.layout);
         assert_eq!(o.out, None);
@@ -456,6 +485,17 @@ mod tests {
     }
 
     #[test]
+    fn malformed_anneal_replicas_errors() {
+        for bad in ["lots", "-1", "2.5"] {
+            let err = Options::parse(&args(&[
+                "--cores", "a", "--comm", "b", "--anneal-replicas", bad,
+            ]))
+            .unwrap_err();
+            assert!(err.to_string().contains("--anneal-replicas"), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
     fn malformed_seed_errors() {
         for bad in ["random", "-1", "0x10", "1.0"] {
             let err = Options::parse(&args(&["--cores", "a", "--comm", "b", "--seed", bad]))
@@ -477,7 +517,7 @@ mod tests {
     fn flags_missing_their_value_error() {
         for flag in [
             "--cores", "--comm", "--max-ill", "--frequency", "--mode", "--switches", "--step",
-            "--jobs", "--seed",
+            "--jobs", "--anneal-replicas", "--seed",
         ] {
             let err = Options::parse(&args(&["--cores", "a", "--comm", "b", flag])).unwrap_err();
             assert!(err.to_string().contains("needs a value"), "{flag}: {err}");
@@ -555,6 +595,27 @@ mod tests {
         with_jobs.extend(["--jobs", "3"]);
         let parallel = run(&Options::parse(&args(&with_jobs)).unwrap()).unwrap();
         assert_eq!(serial, parallel, "--jobs must not change the report");
+    }
+
+    #[test]
+    fn tempered_layout_report_is_jobs_invariant_and_prints_stats() {
+        let (cores, comm) = write_specs("temper");
+        let base = [
+            "--cores",
+            cores.to_str().unwrap(),
+            "--comm",
+            comm.to_str().unwrap(),
+            "--seed",
+            "7",
+            "--anneal-replicas",
+            "2",
+        ];
+        let serial = run(&Options::parse(&args(&base)).unwrap()).unwrap();
+        assert!(serial.contains("tempered layout:"), "{serial}");
+        let mut with_jobs: Vec<&str> = base.to_vec();
+        with_jobs.extend(["--jobs", "3"]);
+        let parallel = run(&Options::parse(&args(&with_jobs)).unwrap()).unwrap();
+        assert_eq!(serial, parallel, "--jobs must not change the tempered report");
     }
 
     #[test]

@@ -17,8 +17,8 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: sunfloor3d --cores <file> --comm <file> [--max-ill N] \
                      [--frequency MHZ[,MHZ..]] [--alpha A] [--mode auto|phase1|phase2] \
-                     [--switches lo..hi] [--step N] [--jobs N] [--seed U64] \
-                     [--no-layout] [--out DIR]"
+                     [--switches lo..hi] [--step N] [--jobs N] \
+                     [--anneal-replicas N] [--seed U64] [--no-layout] [--out DIR]"
                 );
             }
             ExitCode::from(e.exit_code())

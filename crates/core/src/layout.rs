@@ -8,7 +8,11 @@
 
 use crate::spec::SocSpec;
 use crate::topology::Topology;
-use sunfloor_floorplan::{insert_components, Block, Floorplan, InsertRequest, PlacedBlock};
+use std::ops::AddAssign;
+use sunfloor_floorplan::{
+    anneal_tempered_constrained_with_stats, insert_components, Block, ConstrainedInput, Floorplan,
+    IdealTarget, InsertRequest, PlacedBlock, SequencePair, TemperConfig,
+};
 use sunfloor_models::NocLibrary;
 
 /// Result of laying out one design point.
@@ -33,6 +37,111 @@ impl Layout {
     }
 }
 
+/// Counters from the tempered-annealing layout path, accumulated per
+/// candidate like `PartitionStats`/`LpStats` so serial and parallel sweeps
+/// report identical totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnnealStats {
+    /// Tempered layer anneals executed.
+    pub runs: u64,
+    /// Replica-exchange attempts across all runs.
+    pub swap_attempts: u64,
+    /// Replica-exchange acceptances across all runs.
+    pub swap_accepts: u64,
+}
+
+impl AnnealStats {
+    /// Fraction of attempted replica exchanges that were accepted.
+    #[must_use]
+    pub fn swap_acceptance(&self) -> f64 {
+        if self.swap_attempts == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.swap_accepts as f64 / self.swap_attempts as f64
+            }
+        }
+    }
+}
+
+impl AddAssign for AnnealStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.runs += rhs.runs;
+        self.swap_attempts += rhs.swap_attempts;
+        self.swap_accepts += rhs.swap_accepts;
+    }
+}
+
+/// The cores of one layer as placed blocks, in `cores_in_layer` order.
+fn layer_cores(soc: &SocSpec, layer: u32) -> Vec<PlacedBlock> {
+    soc.cores_in_layer(layer)
+        .into_iter()
+        .map(|c| {
+            let core = &soc.cores[c];
+            PlacedBlock::new(Block::new(core.name.clone(), core.width, core.height), core.x, core.y)
+        })
+        .collect()
+}
+
+/// The NoC components destined for one layer: this layer's switches (with
+/// the switch ids they map back to), then the explicit TSV macros of every
+/// vertical link or core attachment whose interior crosses the layer
+/// (Fig. 2 — end-layer macros are embedded in the switch/NI itself).
+fn layer_requests(
+    topo: &Topology,
+    soc: &SocSpec,
+    lib: &NocLibrary,
+    layer: u32,
+) -> (Vec<InsertRequest>, Vec<usize>) {
+    let mut requests = Vec::new();
+    let mut switch_ids = Vec::new();
+    for s in 0..topo.switch_count() {
+        if topo.switch_layer[s] != layer {
+            continue;
+        }
+        let area = lib.switch.area_mm2(topo.input_ports(s), topo.output_ports(s));
+        let side = area.sqrt();
+        requests.push(InsertRequest::new(
+            Block::new(format!("sw{s}"), side, side),
+            topo.switch_pos[s],
+        ));
+        switch_ids.push(s);
+    }
+
+    let macro_side = lib.tsv.macro_area_mm2(lib.link.flit_width_bits).sqrt();
+    let add_macro = |a_layer: u32, b_layer: u32, a_pos: (f64, f64), b_pos: (f64, f64),
+                         tag: String,
+                         requests: &mut Vec<InsertRequest>| {
+        let (lo, hi) = if a_layer <= b_layer { (a_layer, b_layer) } else { (b_layer, a_layer) };
+        if lo < layer && layer < hi {
+            let mid = ((a_pos.0 + b_pos.0) / 2.0, (a_pos.1 + b_pos.1) / 2.0);
+            requests.push(InsertRequest::new(Block::new(tag, macro_side, macro_side), mid));
+        }
+    };
+    for (li, l) in topo.links.iter().enumerate() {
+        add_macro(
+            topo.switch_layer[l.from],
+            topo.switch_layer[l.to],
+            topo.switch_pos[l.from],
+            topo.switch_pos[l.to],
+            format!("tsv_l{li}"),
+            &mut requests,
+        );
+    }
+    for (c, &sw) in topo.core_attach.iter().enumerate() {
+        add_macro(
+            soc.cores[c].layer,
+            topo.switch_layer[sw],
+            soc.cores[c].center(),
+            topo.switch_pos[sw],
+            format!("tsv_c{c}"),
+            &mut requests,
+        );
+    }
+    (requests, switch_ids)
+}
+
 /// Inserts the NoC components of `topo` into the input core placement and
 /// rewrites `topo.switch_pos` with the final post-insertion switch centers.
 ///
@@ -50,72 +159,9 @@ pub fn layout_design(
     let mut core_disp = 0.0;
     let mut sw_dev = 0.0;
 
-    // Map: layer -> list of (switch index, request) so final centers can be
-    // written back to the right switches.
     for layer in 0..soc.layers {
-        let cores: Vec<PlacedBlock> = soc
-            .cores_in_layer(layer)
-            .into_iter()
-            .map(|c| {
-                let core = &soc.cores[c];
-                PlacedBlock::new(
-                    Block::new(core.name.clone(), core.width, core.height),
-                    core.x,
-                    core.y,
-                )
-            })
-            .collect();
-
-        let mut requests = Vec::new();
-        let mut switch_ids = Vec::new();
-        for s in 0..topo.switch_count() {
-            if topo.switch_layer[s] != layer {
-                continue;
-            }
-            let area = lib.switch.area_mm2(topo.input_ports(s), topo.output_ports(s));
-            let side = area.sqrt();
-            requests.push(InsertRequest::new(
-                Block::new(format!("sw{s}"), side, side),
-                topo.switch_pos[s],
-            ));
-            switch_ids.push(s);
-        }
-
-        // Explicit TSV macros on intermediate layers (links or vertical core
-        // attachments spanning >= 2 layers whose interior crosses `layer`).
-        let macro_side = lib.tsv.macro_area_mm2(lib.link.flit_width_bits).sqrt();
-        let add_macro = |a_layer: u32, b_layer: u32, a_pos: (f64, f64), b_pos: (f64, f64),
-                             tag: String,
-                             requests: &mut Vec<InsertRequest>| {
-            let (lo, hi) = if a_layer <= b_layer { (a_layer, b_layer) } else { (b_layer, a_layer) };
-            if lo < layer && layer < hi {
-                let mid = ((a_pos.0 + b_pos.0) / 2.0, (a_pos.1 + b_pos.1) / 2.0);
-                requests.push(InsertRequest::new(
-                    Block::new(tag, macro_side, macro_side),
-                    mid,
-                ));
-            }
-        };
-        for (li, l) in topo.links.iter().enumerate() {
-            add_macro(
-                topo.switch_layer[l.from],
-                topo.switch_layer[l.to],
-                topo.switch_pos[l.from],
-                topo.switch_pos[l.to],
-                format!("tsv_l{li}"),
-                &mut requests,
-            );
-        }
-        for (c, &sw) in topo.core_attach.iter().enumerate() {
-            add_macro(
-                soc.cores[c].layer,
-                topo.switch_layer[sw],
-                soc.cores[c].center(),
-                topo.switch_pos[sw],
-                format!("tsv_c{c}"),
-                &mut requests,
-            );
-        }
+        let cores = layer_cores(soc, layer);
+        let (requests, switch_ids) = layer_requests(topo, soc, lib, layer);
 
         let result = insert_components(&cores, &requests, search_radius_mm);
         core_disp += result.core_displacement;
@@ -133,6 +179,96 @@ pub fn layout_design(
         core_displacement_mm: core_disp,
         switch_deviation_mm: sw_dev,
     }
+}
+
+/// Weight charged per mm of a component's Manhattan deviation from its
+/// LP-ideal center in the tempered layout path (the same weight the
+/// §VIII-D constrained-floorplanner baseline uses).
+const IDEAL_WEIGHT: f64 = 2.0;
+
+/// Alternative to [`layout_design`]: places each layer's NoC components
+/// with the deterministic parallel-tempering constrained annealer instead
+/// of the shove-insertion routine. Cores keep their relative order (the
+/// constrained-mode guarantee) but may shift; components are pulled toward
+/// their LP-ideal centers. Rewrites `topo.switch_pos` like
+/// [`layout_design`] and additionally returns the accumulated
+/// [`AnnealStats`].
+///
+/// The per-layer seed is derived from `temper.base.rng_seed` and the layer
+/// index, so the result is a pure function of `(topo, soc, lib, temper)` —
+/// scheduling-independent like everything else in the sweep.
+#[must_use]
+pub fn layout_design_tempered(
+    topo: &mut Topology,
+    soc: &SocSpec,
+    lib: &NocLibrary,
+    temper: &TemperConfig,
+) -> (Layout, AnnealStats) {
+    let mut plans = Vec::with_capacity(soc.layers as usize);
+    let mut areas = Vec::with_capacity(soc.layers as usize);
+    let mut core_disp = 0.0;
+    let mut sw_dev = 0.0;
+    let mut stats = AnnealStats::default();
+
+    for layer in 0..soc.layers {
+        let cores = layer_cores(soc, layer);
+        let (requests, switch_ids) = layer_requests(topo, soc, lib, layer);
+
+        // Seed placement: cores as given, components centered on their
+        // ideal spots (overlaps are fine — the sequence pair only encodes
+        // relative order, and packing legalizes).
+        let mut blocks: Vec<Block> = cores.iter().map(|p| p.block.clone()).collect();
+        let mut placed = cores.clone();
+        let mut ideal: Vec<IdealTarget> = vec![None; cores.len()];
+        for req in &requests {
+            blocks.push(req.block.clone());
+            placed.push(PlacedBlock::new(
+                req.block.clone(),
+                req.ideal.0 - req.block.width / 2.0,
+                req.ideal.1 - req.block.height / 2.0,
+            ));
+            ideal.push(Some((req.ideal.0, req.ideal.1, IDEAL_WEIGHT)));
+        }
+        let input = ConstrainedInput {
+            seed: SequencePair::from_placement(&placed),
+            blocks,
+            ideal,
+            fixed_order_count: cores.len(),
+        };
+        // Decorrelate layers without losing determinism: the layer index
+        // perturbs the seed through a fixed odd constant.
+        let cfg_layer = temper
+            .clone()
+            .with_seed(temper.base.rng_seed ^ u64::from(layer).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (plan, tstats) = anneal_tempered_constrained_with_stats(&input, &[], &cfg_layer);
+        stats.runs += 1;
+        stats.swap_attempts += tstats.swap_attempts;
+        stats.swap_accepts += tstats.swap_accepts;
+
+        for (i, core) in cores.iter().enumerate() {
+            let moved = &plan.blocks[i];
+            core_disp += (moved.x - core.x).abs() + (moved.y - core.y).abs();
+        }
+        for (k, req) in requests.iter().enumerate() {
+            let c = plan.blocks[cores.len() + k].center();
+            sw_dev += (c.0 - req.ideal.0).abs() + (c.1 - req.ideal.1).abs();
+        }
+        for (k, &s) in switch_ids.iter().enumerate() {
+            topo.switch_pos[s] = plan.blocks[cores.len() + k].center();
+        }
+        areas.push(plan.area());
+        plans.push(plan);
+    }
+
+    (
+        Layout {
+            layers: plans,
+            layer_area_mm2: areas,
+            core_displacement_mm: core_disp,
+            switch_deviation_mm: sw_dev,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -214,6 +350,59 @@ mod tests {
             assert!(found, "switch {s} center not found in its layer plan");
         }
         let _ = before;
+    }
+
+    #[test]
+    fn tempered_layout_is_legal_and_writes_switch_centers_back() {
+        let (soc, _, mut topo) = three_layer_design();
+        let temper = TemperConfig {
+            base: sunfloor_floorplan::AnnealConfig::default().with_iterations(2_000),
+            replicas: 2,
+            ..TemperConfig::default()
+        };
+        let (layout, stats) = layout_design_tempered(&mut topo, &soc, &NocLibrary::lp65(), &temper);
+        assert_eq!(layout.layers.len(), 3);
+        for (l, plan) in layout.layers.iter().enumerate() {
+            assert!(plan.overlapping_pair().is_none(), "overlap on layer {l}");
+            // The cores stay first and keep their identity on each layer.
+            let cores: Vec<&str> = soc
+                .cores
+                .iter()
+                .filter(|c| c.layer == l as u32)
+                .map(|c| c.name.as_str())
+                .collect();
+            for (i, name) in cores.iter().enumerate() {
+                assert_eq!(plan.blocks[i].block.name, *name, "core order broken on layer {l}");
+            }
+        }
+        for s in 0..topo.switch_count() {
+            let plan = &layout.layers[topo.switch_layer[s] as usize];
+            let found = plan.blocks.iter().any(|b| {
+                b.block.name == format!("sw{s}") && {
+                    let (cx, cy) = b.center();
+                    (cx - topo.switch_pos[s].0).abs() < 1e-9
+                        && (cy - topo.switch_pos[s].1).abs() < 1e-9
+                }
+            });
+            assert!(found, "switch {s} center not written back");
+        }
+        assert_eq!(stats.runs, 3, "one tempered anneal per layer");
+    }
+
+    #[test]
+    fn tempered_layout_is_deterministic_across_runs() {
+        let temper = TemperConfig {
+            base: sunfloor_floorplan::AnnealConfig::default().with_iterations(2_000),
+            replicas: 3,
+            ..TemperConfig::default()
+        };
+        let (soc, _, mut topo_a) = three_layer_design();
+        let mut topo_b = topo_a.clone();
+        let (la, sa) = layout_design_tempered(&mut topo_a, &soc, &NocLibrary::lp65(), &temper);
+        let (lb, sb) = layout_design_tempered(&mut topo_b, &soc, &NocLibrary::lp65(), &temper);
+        assert_eq!(la, lb, "tempered layout must be a pure function of its inputs");
+        assert_eq!(sa, sb);
+        assert_eq!(topo_a.switch_pos, topo_b.switch_pos);
     }
 
     #[test]

@@ -98,6 +98,14 @@ pub struct SynthesisConfig {
     /// Worker threads for candidate evaluation (serial and parallel runs
     /// produce identical outcomes).
     pub parallelism: Parallelism,
+    /// Replicas of the parallel-tempering layout annealer. `0` (the
+    /// default) keeps the custom shove-insertion routine of §VII; `1` and
+    /// up replace it with the deterministic tempered constrained annealer
+    /// at that many exchange-coupled chains. Replica worker threads are
+    /// budgeted against [`SynthesisConfig::parallelism`]: a parallel sweep
+    /// runs each candidate's anneal single-threaded so the two fan-outs
+    /// never oversubscribe.
+    pub anneal_replicas: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -120,6 +128,7 @@ impl Default for SynthesisConfig {
             soft_switch_margin: 1,
             indirect_switch_rounds: 2,
             parallelism: Parallelism::Serial,
+            anneal_replicas: 0,
         }
     }
 }
@@ -355,6 +364,16 @@ impl SynthesisConfigBuilder {
         self.parallelism(if jobs <= 1 { Parallelism::Serial } else { Parallelism::Jobs(jobs) })
     }
 
+    /// Routes the layout step through the parallel-tempering constrained
+    /// annealer with `replicas` chains (`0` keeps the shove-insertion
+    /// routine). The result is deterministic for a given configuration
+    /// regardless of sweep parallelism or thread scheduling.
+    #[must_use]
+    pub fn anneal_replicas(mut self, replicas: usize) -> Self {
+        self.cfg.anneal_replicas = replicas;
+        self
+    }
+
     /// Validates and returns the finished configuration.
     ///
     /// # Errors
@@ -458,6 +477,7 @@ mod tests {
             .soft_margins(1, 2)
             .indirect_switch_rounds(4)
             .jobs(8)
+            .anneal_replicas(3)
             .build()
             .unwrap();
         assert_eq!(cfg.frequencies_mhz, vec![300.0, 500.0]);
@@ -473,6 +493,7 @@ mod tests {
         assert_eq!((cfg.soft_ill_margin, cfg.soft_switch_margin), (1, 2));
         assert_eq!(cfg.indirect_switch_rounds, 4);
         assert_eq!(cfg.parallelism, Parallelism::Jobs(8));
+        assert_eq!(cfg.anneal_replicas, 3);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use super::diagnostics::{RejectReason, SweepEvent, SweepObserver, SynthesisError
 use super::outcome::{DesignPoint, PhaseKind, RejectedPoint, SynthesisOutcome};
 use crate::eval::evaluate;
 use crate::graph::{CommGraph, PartitionCache, PartitionStats};
-use crate::layout::layout_design;
+use crate::layout::{layout_design, layout_design_tempered, AnnealStats};
 use crate::paths::{PathAllocator, PathConfig, PathError};
 use crate::phase1::{self, Connectivity};
 use crate::phase2;
@@ -20,6 +20,12 @@ use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 use sunfloor_partition::PartitionError;
+
+/// Per-replica iteration budget of the tempered layout annealer. Modest on
+/// purpose: the sweep runs one anneal per layer per candidate attempt, and
+/// tempering recovers quality through the aggregate replica budget rather
+/// than a long single chain.
+const TEMPERED_LAYOUT_ITERATIONS: u32 = 8_000;
 
 /// When the engine stops the sweep before exhausting every candidate.
 ///
@@ -71,6 +77,9 @@ struct CandidateEvaluation {
     /// Placement-LP counters this candidate accrued (same per-candidate
     /// determinism contract as `stats`).
     lp_stats: LpStats,
+    /// Tempered-layout counters this candidate accrued (same per-candidate
+    /// determinism contract as `stats`).
+    anneal_stats: AnnealStats,
 }
 
 impl CandidateEvaluation {
@@ -82,6 +91,7 @@ impl CandidateEvaluation {
             point: None,
             stats: PartitionStats::default(),
             lp_stats: LpStats::default(),
+            anneal_stats: AnnealStats::default(),
         }
     }
 }
@@ -441,6 +451,7 @@ impl<'a> SynthesisEngine<'a> {
             if ev.point.is_none() { ev.attempts.last().map(|a| a.reason.clone()) } else { None };
         outcome.partition_stats += ev.stats;
         outcome.lp_stats += ev.lp_stats;
+        outcome.anneal_stats += ev.anneal_stats;
         outcome.rejected.extend(ev.attempts);
         match ev.point {
             Some(point) => {
@@ -548,7 +559,15 @@ impl<'a> SynthesisEngine<'a> {
                 }
             },
         };
-        match self.try_candidate(freq, &seed.conn, PhaseKind::Phase1, false, alloc, placement) {
+        match self.try_candidate(
+            freq,
+            &seed.conn,
+            PhaseKind::Phase1,
+            false,
+            alloc,
+            placement,
+            &mut ev.anneal_stats,
+        ) {
             Ok(point) => {
                 ev.point = Some(point);
                 return ev;
@@ -575,8 +594,15 @@ impl<'a> SynthesisEngine<'a> {
             ) {
                 warm.clear();
                 warm.extend(conn.core_attach.iter().map(|&a| a as u32));
-                match self.try_candidate(freq, &conn, PhaseKind::Phase1, false, alloc, placement)
-                {
+                match self.try_candidate(
+                    freq,
+                    &conn,
+                    PhaseKind::Phase1,
+                    false,
+                    alloc,
+                    placement,
+                    &mut ev.anneal_stats,
+                ) {
                     Ok(point) => {
                         ev.point = Some(point);
                         return ev;
@@ -604,8 +630,15 @@ impl<'a> SynthesisEngine<'a> {
         let mut ev = CandidateEvaluation::new(candidate);
         match phase2::connectivity(&self.graph, self.soc, increment, max_sw, cfg.alpha, cfg.rng_seed)
         {
-            Ok(conn) => match self.try_candidate(freq, &conn, PhaseKind::Phase2, true, alloc, placement)
-            {
+            Ok(conn) => match self.try_candidate(
+                freq,
+                &conn,
+                PhaseKind::Phase2,
+                true,
+                alloc,
+                placement,
+                &mut ev.anneal_stats,
+            ) {
                 Ok(point) => ev.point = Some(point),
                 Err(reason) => ev.attempts.push(RejectedPoint {
                     requested_switches: conn.switch_count(),
@@ -627,7 +660,8 @@ impl<'a> SynthesisEngine<'a> {
     }
 
     /// Routes, places, lays out and evaluates one connectivity candidate,
-    /// applying the indirect-switch fallback on routing failure.
+    /// applying the indirect-switch fallback on routing failure. Counters
+    /// from the tempered layout path (if configured) accrue into `anneal`.
     #[allow(clippy::too_many_arguments)]
     fn try_candidate(
         &self,
@@ -637,6 +671,7 @@ impl<'a> SynthesisEngine<'a> {
         adjacent_only: bool,
         alloc: &mut PathAllocator,
         placement: &mut PlacementSolver,
+        anneal: &mut AnnealStats,
     ) -> Result<DesignPoint, RejectReason> {
         let cfg = &self.cfg;
         let soc = self.soc;
@@ -712,9 +747,29 @@ impl<'a> SynthesisEngine<'a> {
         // attempt chain.
         placement.place(&mut topo, soc, &self.graph).map_err(RejectReason::from)?;
 
-        // Physical insertion + final evaluation.
+        // Physical insertion + final evaluation: the shove-insertion
+        // routine by default, or the tempered constrained annealer when
+        // `anneal_replicas` is set. The replica pool is worker-aware: a
+        // parallel sweep already saturates the machine with candidate
+        // workers, so each anneal then multiplexes its replicas onto one
+        // thread (the *result* is identical either way — threads only
+        // schedule).
         let layout = if cfg.run_layout {
-            Some(layout_design(&mut topo, soc, &cfg.library, cfg.layout_search_radius_mm))
+            if cfg.anneal_replicas >= 1 {
+                let temper = sunfloor_floorplan::TemperConfig {
+                    base: sunfloor_floorplan::AnnealConfig::default()
+                        .with_iterations(TEMPERED_LAYOUT_ITERATIONS)
+                        .with_seed(cfg.rng_seed),
+                    replicas: cfg.anneal_replicas,
+                    threads: if cfg.parallelism.effective_jobs() > 1 { 1 } else { 0 },
+                    ..sunfloor_floorplan::TemperConfig::default()
+                };
+                let (l, stats) = layout_design_tempered(&mut topo, soc, &cfg.library, &temper);
+                *anneal += stats;
+                Some(l)
+            } else {
+                Some(layout_design(&mut topo, soc, &cfg.library, cfg.layout_search_radius_mm))
+            }
         } else {
             None
         };

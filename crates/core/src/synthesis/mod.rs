@@ -265,6 +265,26 @@ mod tests {
     }
 
     #[test]
+    fn tempered_layout_sweep_is_identical_serial_and_parallel() {
+        let (soc, comm) = small_soc();
+        let tempered = |jobs: usize| {
+            SynthesisConfig::builder()
+                .switch_count_range(2, 3)
+                .anneal_replicas(2)
+                .jobs(jobs)
+                .build()
+                .unwrap()
+        };
+        let serial = run(&soc, &comm, tempered(1));
+        assert!(!serial.points.is_empty(), "rejected: {:?}", serial.rejected);
+        assert!(serial.anneal_stats.runs > 0, "tempered layout path did not run");
+        for jobs in [2usize, 4] {
+            let parallel = run(&soc, &comm, tempered(jobs));
+            assert_eq!(serial, parallel, "jobs={jobs} diverged with anneal_replicas=2");
+        }
+    }
+
+    #[test]
     fn candidate_list_is_explicit_and_ordered() {
         let (soc, comm) = small_soc();
         let engine = SynthesisEngine::new(&soc, &comm, quick_cfg()).unwrap();

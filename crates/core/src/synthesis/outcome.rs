@@ -5,7 +5,7 @@
 use super::diagnostics::RejectReason;
 use crate::eval::DesignMetrics;
 use crate::graph::PartitionStats;
-use crate::layout::Layout;
+use crate::layout::{AnnealStats, Layout};
 use crate::place::LpStats;
 use crate::topology::Topology;
 use std::fmt;
@@ -84,6 +84,11 @@ pub struct SynthesisOutcome {
     /// [`SynthesisOutcome::partition_stats`], so the totals are
     /// scheduling-independent.
     pub lp_stats: LpStats,
+    /// How the tempered-annealing layout path behaved (runs, replica
+    /// exchanges), when [`super::SynthesisConfig::anneal_replicas`] routed
+    /// layout through it. Counted per candidate like the other stats, so
+    /// the totals are scheduling-independent.
+    pub anneal_stats: AnnealStats,
 }
 
 impl SynthesisOutcome {

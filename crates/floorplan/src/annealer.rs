@@ -288,143 +288,272 @@ fn run_sa_seeded(
     seed_sp: SequencePair,
     cfg: &AnnealConfig,
 ) -> Floorplan {
-    let n = blocks.len();
-    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
-    let mut sp = seed_sp;
-    let mut rotated = vec![false; n];
-    // Sequence ranks (inverse permutations), maintained incrementally by
-    // `reinsert`/`undo_reinsert` instead of rebuilt per pack; they also
-    // replace the O(n) position scan when removing a block.
-    let mut pp = vec![0usize; n];
-    let mut nn = vec![0usize; n];
-    for (i, &b) in sp.pos.iter().enumerate() {
-        pp[b] = i;
-    }
-    for (i, &b) in sp.neg.iter().enumerate() {
-        nn[b] = i;
-    }
+    let mut replica = ReplicaState::new(blocks, nets, movable, ideal, seed_sp, cfg, cfg.rng_seed, 1.0);
+    replica.step(cfg.iterations);
+    replica.build_best()
+}
 
-    // Reusable packing scratch (candidate coordinates), the accepted
-    // state's coordinate arrays, and the rotation-effective dimensions —
-    // maintained incrementally (a rotation move swaps one block's pair,
-    // and a rejected move swaps it back) instead of being rebuilt from the
-    // block list on every pack. The loop never clones a `Floorplan` and
-    // never allocates after this setup.
-    let mut scratch = PackScratch::default();
-    let mut cache = NetCache::new(n, nets);
-    let mut w = vec![0.0f64; n];
-    let mut h = vec![0.0f64; n];
-    for b in 0..n {
-        w[b] = blocks[b].width;
-        h[b] = blocks[b].height;
-    }
-    let (mut cur_x, mut cur_y);
-    let mut cur_cost;
-    {
+/// One complete annealing chain: the sequence pair, its incremental
+/// rank/pack/net-cache machinery, the accepted and best states, the RNG
+/// and the temperature schedule.
+///
+/// The serial annealer builds exactly one of these and steps it for the
+/// whole budget; [`crate::tempering`] builds N (one per replica, with a
+/// per-replica RNG seed and a ladder temperature multiplier) and steps
+/// them in barrier-synchronized chunks. Chunked stepping is bit-identical
+/// to one big `step` call — the state carries everything across calls —
+/// which is what makes single-replica tempering equal the serial annealer.
+pub(crate) struct ReplicaState<'a> {
+    blocks: &'a [Block],
+    nets: &'a [Net],
+    ideal: Option<&'a [IdealTarget]>,
+    cfg: &'a AnnealConfig,
+    /// Indices of blocks the moves may touch.
+    movable_idx: Vec<usize>,
+    sp: SequencePair,
+    rotated: Vec<bool>,
+    /// Sequence ranks (inverse permutations), maintained incrementally by
+    /// `reinsert`/`undo_reinsert` instead of rebuilt per pack; they also
+    /// replace the O(n) position scan when removing a block.
+    pp: Vec<usize>,
+    nn: Vec<usize>,
+    /// Reusable packing scratch (candidate coordinates), the accepted
+    /// state's coordinate arrays, and the rotation-effective dimensions —
+    /// maintained incrementally (a rotation move swaps one block's pair,
+    /// and a rejected move swaps it back) instead of being rebuilt from
+    /// the block list on every pack. `step` never clones a `Floorplan`
+    /// and never allocates after `new`.
+    scratch: PackScratch,
+    cache: NetCache,
+    w: Vec<f64>,
+    h: Vec<f64>,
+    cur_x: Vec<f64>,
+    cur_y: Vec<f64>,
+    cur_cost: f64,
+    best_cost: f64,
+    best_sp: SequencePair,
+    best_rot: Vec<bool>,
+    rng: StdRng,
+    /// Base temperature, decayed once per iteration. Identical across all
+    /// replicas of a tempered run because every replica starts from the
+    /// same seed placement and steps the same number of iterations.
+    temp: f64,
+    alpha: f64,
+    /// Temperature-ladder multiplier: moves are accepted against
+    /// `temp * ladder`. The serial annealer uses `1.0` (multiplying by
+    /// `1.0` is exact in IEEE arithmetic, so the serial path is untouched);
+    /// tempering swap rounds exchange these values between replicas.
+    ladder: f64,
+}
+
+impl<'a> ReplicaState<'a> {
+    /// Sets up a chain at `seed_sp` with its own RNG stream and ladder
+    /// slot. The temperature schedule starts where ~an average move is
+    /// accepted with p≈0.8 and decays geometrically to near-greedy over
+    /// `cfg.iterations` steps.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        blocks: &'a [Block],
+        nets: &'a [Net],
+        movable: &[bool],
+        ideal: Option<&'a [IdealTarget]>,
+        seed_sp: SequencePair,
+        cfg: &'a AnnealConfig,
+        rng_seed: u64,
+        ladder: f64,
+    ) -> Self {
+        let n = blocks.len();
+        let rng = StdRng::seed_from_u64(rng_seed);
+        let sp = seed_sp;
+        let rotated = vec![false; n];
+        let mut pp = vec![0usize; n];
+        let mut nn = vec![0usize; n];
+        for (i, &b) in sp.pos.iter().enumerate() {
+            pp[b] = i;
+        }
+        for (i, &b) in sp.neg.iter().enumerate() {
+            nn[b] = i;
+        }
+
+        let mut scratch = PackScratch::default();
+        let mut cache = NetCache::new(n, nets);
+        let mut w = vec![0.0f64; n];
+        let mut h = vec![0.0f64; n];
+        for b in 0..n {
+            w[b] = blocks[b].width;
+            h[b] = blocks[b].height;
+        }
         let bb = sp.pack_coords_ranked(&pp, &nn, &w, &h, &mut scratch);
         cache.rebuild_all(nets, &scratch.x, &scratch.y, &w, &h);
-        cur_cost = cost_of(&scratch.x, &scratch.y, &w, &h, bb, cache.total(), ideal, cfg);
-        cur_x = scratch.x.clone();
-        cur_y = scratch.y.clone();
+        let cur_cost = cost_of(&scratch.x, &scratch.y, &w, &h, bb, cache.total(), ideal, cfg);
+        let cur_x = scratch.x.clone();
+        let cur_y = scratch.y.clone();
+
+        let movable_idx: Vec<usize> = (0..n).filter(|&i| movable[i]).collect();
+        let temp = (cur_cost * 0.1).max(1e-6);
+        let t_final = temp * 1e-4;
+        let alpha = (t_final / temp).powf(1.0 / f64::from(cfg.iterations.max(2)));
+
+        Self {
+            blocks,
+            nets,
+            ideal,
+            cfg,
+            movable_idx,
+            best_cost: cur_cost,
+            best_sp: sp.clone(),
+            best_rot: rotated.clone(),
+            sp,
+            rotated,
+            pp,
+            nn,
+            scratch,
+            cache,
+            w,
+            h,
+            cur_x,
+            cur_y,
+            cur_cost,
+            rng,
+            temp,
+            alpha,
+            ladder,
+        }
     }
-    let mut best_cost = cur_cost;
-    let mut best_sp = sp.clone();
-    let mut best_rot = rotated.clone();
 
-    let build_best = |best_sp: &SequencePair, best_rot: &[bool]| best_sp.pack(blocks, best_rot);
-
-    if n < 2 {
-        return build_best(&best_sp, &best_rot);
+    /// Whether moves exist at all: degenerate inputs (fewer than two
+    /// blocks, or nothing movable) stay at the seed placement.
+    fn steppable(&self) -> bool {
+        self.blocks.len() >= 2 && !self.movable_idx.is_empty()
     }
 
-    // Temperature schedule: start where ~an average move is accepted with
-    // p≈0.8, decay geometrically to near-greedy.
-    let movable_idx: Vec<usize> = (0..n).filter(|&i| movable[i]).collect();
-    if movable_idx.is_empty() {
-        return build_best(&best_sp, &best_rot);
-    }
-    let mut temp = (cur_cost * 0.1).max(1e-6);
-    let t_final = temp * 1e-4;
-    let alpha = (t_final / temp).powf(1.0 / f64::from(cfg.iterations.max(2)));
-
-    for _ in 0..cfg.iterations {
-        let m = movable_idx[rng.gen_range(0..movable_idx.len())];
-        // Mutate in place, remembering how to undo.
-        let mv = match rng.gen_range(0..4u8) {
-            0 => {
-                let (f, t) = reinsert(&mut sp.pos, &mut pp, m, &mut rng);
-                Move::Perm(true, f, t)
-            }
-            1 => {
-                let (f, t) = reinsert(&mut sp.neg, &mut nn, m, &mut rng);
-                Move::Perm(false, f, t)
-            }
-            2 => {
-                let p = reinsert(&mut sp.pos, &mut pp, m, &mut rng);
-                let q = reinsert(&mut sp.neg, &mut nn, m, &mut rng);
-                Move::Both(p, q)
-            }
-            _ => {
-                if blocks[m].rotatable {
-                    rotated[m] = !rotated[m];
-                    std::mem::swap(&mut w[m], &mut h[m]);
-                    Move::Rot(m)
-                } else {
-                    let (f, t) = reinsert(&mut sp.pos, &mut pp, m, &mut rng);
+    /// Runs `iters` annealing iterations, advancing the RNG, the accepted
+    /// state and the base temperature. Acceptance tests use the effective
+    /// temperature `temp * ladder`.
+    // sf: hot-path
+    pub(crate) fn step(&mut self, iters: u32) {
+        if !self.steppable() {
+            return;
+        }
+        let n = self.blocks.len();
+        for _ in 0..iters {
+            let m = self.movable_idx[self.rng.gen_range(0..self.movable_idx.len())];
+            // Mutate in place, remembering how to undo.
+            let mv = match self.rng.gen_range(0..4u8) {
+                0 => {
+                    let (f, t) = reinsert(&mut self.sp.pos, &mut self.pp, m, &mut self.rng);
                     Move::Perm(true, f, t)
                 }
-            }
-        };
-        // The only block whose footprint can differ from the accepted
-        // state is the one a rotation move just flipped.
-        let rotated_block = match mv {
-            Move::Rot(b) if w[b] != h[b] => Some(b),
-            _ => None,
-        };
-
-        let bb = sp.pack_coords_ranked(&pp, &nn, &w, &h, &mut scratch);
-        // Only nets touching a block whose position or footprint changed
-        // need re-measuring.
-        let moved = (0..n).filter(|&b| {
-            scratch.x[b] != cur_x[b]
-                || scratch.y[b] != cur_y[b]
-                || rotated_block == Some(b)
-        });
-        cache.update_for_move(moved, nets, &scratch.x, &scratch.y, &w, &h);
-        let cand_cost = cost_of(&scratch.x, &scratch.y, &w, &h, bb, cache.total(), ideal, cfg);
-
-        let delta = cand_cost - cur_cost;
-        if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
-            // Accept: the candidate arrays become the current state.
-            std::mem::swap(&mut cur_x, &mut scratch.x);
-            std::mem::swap(&mut cur_y, &mut scratch.y);
-            cur_cost = cand_cost;
-            cache.undo.clear();
-            if cur_cost < best_cost {
-                best_cost = cur_cost;
-                best_sp.pos.clone_from(&sp.pos);
-                best_sp.neg.clone_from(&sp.neg);
-                best_rot.clone_from(&rotated);
-            }
-        } else {
-            // Reject: undo the move and the net-cache deltas.
-            cache.revert();
-            match mv {
-                Move::Perm(true, f, t) => undo_reinsert(&mut sp.pos, &mut pp, f, t),
-                Move::Perm(false, f, t) => undo_reinsert(&mut sp.neg, &mut nn, f, t),
-                Move::Both((pf, pt), (nf, nt)) => {
-                    undo_reinsert(&mut sp.neg, &mut nn, nf, nt);
-                    undo_reinsert(&mut sp.pos, &mut pp, pf, pt);
+                1 => {
+                    let (f, t) = reinsert(&mut self.sp.neg, &mut self.nn, m, &mut self.rng);
+                    Move::Perm(false, f, t)
                 }
-                Move::Rot(b) => {
-                    rotated[b] = !rotated[b];
-                    std::mem::swap(&mut w[b], &mut h[b]);
+                2 => {
+                    let p = reinsert(&mut self.sp.pos, &mut self.pp, m, &mut self.rng);
+                    let q = reinsert(&mut self.sp.neg, &mut self.nn, m, &mut self.rng);
+                    Move::Both(p, q)
+                }
+                _ => {
+                    if self.blocks[m].rotatable {
+                        self.rotated[m] = !self.rotated[m];
+                        std::mem::swap(&mut self.w[m], &mut self.h[m]);
+                        Move::Rot(m)
+                    } else {
+                        let (f, t) = reinsert(&mut self.sp.pos, &mut self.pp, m, &mut self.rng);
+                        Move::Perm(true, f, t)
+                    }
+                }
+            };
+            // The only block whose footprint can differ from the accepted
+            // state is the one a rotation move just flipped.
+            let rotated_block = match mv {
+                Move::Rot(b) if self.w[b] != self.h[b] => Some(b),
+                _ => None,
+            };
+
+            let bb =
+                self.sp.pack_coords_ranked(&self.pp, &self.nn, &self.w, &self.h, &mut self.scratch);
+            // Only nets touching a block whose position or footprint
+            // changed need re-measuring.
+            let (scratch, cur_x, cur_y) = (&self.scratch, &self.cur_x, &self.cur_y);
+            let moved = (0..n).filter(|&b| {
+                scratch.x[b] != cur_x[b] || scratch.y[b] != cur_y[b] || rotated_block == Some(b)
+            });
+            self.cache.update_for_move(moved, self.nets, &scratch.x, &scratch.y, &self.w, &self.h);
+            let cand_cost = cost_of(
+                &self.scratch.x,
+                &self.scratch.y,
+                &self.w,
+                &self.h,
+                bb,
+                self.cache.total(),
+                self.ideal,
+                self.cfg,
+            );
+
+            let delta = cand_cost - self.cur_cost;
+            let t_eff = self.temp * self.ladder;
+            if delta <= 0.0 || self.rng.gen_bool((-delta / t_eff).exp().clamp(0.0, 1.0)) {
+                // Accept: the candidate arrays become the current state.
+                std::mem::swap(&mut self.cur_x, &mut self.scratch.x);
+                std::mem::swap(&mut self.cur_y, &mut self.scratch.y);
+                self.cur_cost = cand_cost;
+                self.cache.undo.clear();
+                if self.cur_cost < self.best_cost {
+                    self.best_cost = self.cur_cost;
+                    self.best_sp.pos.clone_from(&self.sp.pos);
+                    self.best_sp.neg.clone_from(&self.sp.neg);
+                    self.best_rot.clone_from(&self.rotated);
+                }
+            } else {
+                // Reject: undo the move and the net-cache deltas.
+                self.cache.revert();
+                match mv {
+                    Move::Perm(true, f, t) => undo_reinsert(&mut self.sp.pos, &mut self.pp, f, t),
+                    Move::Perm(false, f, t) => undo_reinsert(&mut self.sp.neg, &mut self.nn, f, t),
+                    Move::Both((pf, pt), (nf, nt)) => {
+                        undo_reinsert(&mut self.sp.neg, &mut self.nn, nf, nt);
+                        undo_reinsert(&mut self.sp.pos, &mut self.pp, pf, pt);
+                    }
+                    Move::Rot(b) => {
+                        self.rotated[b] = !self.rotated[b];
+                        std::mem::swap(&mut self.w[b], &mut self.h[b]);
+                    }
                 }
             }
+            self.temp *= self.alpha;
         }
-        temp *= alpha;
     }
-    build_best(&best_sp, &best_rot)
+
+    /// Cost of the currently *accepted* state (the replica's energy).
+    pub(crate) fn cur_cost(&self) -> f64 {
+        self.cur_cost
+    }
+
+    /// Cost of the best state seen so far.
+    pub(crate) fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
+
+    /// The shared base temperature (before the ladder multiplier).
+    pub(crate) fn base_temp(&self) -> f64 {
+        self.temp
+    }
+
+    /// This replica's ladder multiplier.
+    pub(crate) fn ladder(&self) -> f64 {
+        self.ladder
+    }
+
+    /// Reassigns the ladder multiplier (a tempering swap).
+    pub(crate) fn set_ladder(&mut self, ladder: f64) {
+        self.ladder = ladder;
+    }
+
+    /// Packs the best state seen into a finished floorplan.
+    pub(crate) fn build_best(&self) -> Floorplan {
+        self.best_sp.pack(self.blocks, &self.best_rot)
+    }
 }
 
 /// The annealing cost of a packed placement — the same terms as the

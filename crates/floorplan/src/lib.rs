@@ -17,6 +17,27 @@
 //!    switch displacement from the ideal spot is penalized — reproduces the
 //!    unpredictable-quality baseline of Figs. 18–20.
 //!
+//! # `anneal` vs `anneal_tempered`
+//!
+//! [`anneal`] runs one simulated-annealing chain; it is cheap and fully
+//! deterministic per seed, and remains the right tool for small block
+//! sets. [`anneal_tempered`] runs N exchange-coupled chains ("replicas")
+//! at staggered temperatures on scoped threads — the standard SA scale-up
+//! for large floorplans, spending an `N×` aggregate move budget in
+//! roughly the wall-clock of one chain. Each replica owns its RNG
+//! (seeded `rng_seed + replica_index`) and its own incremental
+//! pack/net-cache state; every `swap_interval` iterations the replicas
+//! meet at a barrier and adjacent temperature rungs attempt to swap.
+//!
+//! The determinism contract for swap rounds: swaps are a
+//! barrier-synchronized reduction over the replicas' published energies,
+//! evaluated by a single coordinator in ladder order with its own
+//! seed-derived RNG. The final floorplan is therefore a pure function of
+//! the [`TemperConfig`] (which includes the replica count) — bit-for-bit
+//! independent of thread count and OS scheduling, and with one replica it
+//! equals the serial [`anneal`] result exactly. See [`tempering`](anneal_tempered)
+//! for details.
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +61,7 @@ mod annealer;
 mod geometry;
 mod insertion;
 mod seqpair;
+mod tempering;
 
 pub use annealer::{
     anneal, anneal_constrained, anneal_toward, AnnealConfig, ConstrainedInput, IdealTarget,
@@ -47,3 +69,7 @@ pub use annealer::{
 pub use geometry::{Block, Floorplan, Net, PlacedBlock, Rect};
 pub use insertion::{insert_components, InsertRequest, InsertionResult};
 pub use seqpair::{PackScratch, SequencePair};
+pub use tempering::{
+    anneal_tempered, anneal_tempered_constrained, anneal_tempered_constrained_with_stats,
+    anneal_tempered_with_stats, TemperConfig, TemperStats,
+};

@@ -5,7 +5,10 @@
 use sunfloor_benchmarks::{media26, pipeline_seeded, tvopd_seeded};
 use sunfloor_core::spec::MessageType;
 use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine, SynthesisOutcome};
-use sunfloor_floorplan::{anneal, AnnealConfig, Block, Floorplan, Net};
+use sunfloor_floorplan::{
+    anneal, anneal_tempered, anneal_tempered_with_stats, AnnealConfig, Block, Floorplan, Net,
+    TemperConfig,
+};
 
 fn run(cfg: SynthesisConfig) -> SynthesisOutcome {
     let bench = media26();
@@ -257,6 +260,20 @@ fn golden_seeded_pipeline_is_reproducible_and_no_worse_than_cold_start() {
 #[test]
 #[cfg_attr(not(all(target_arch = "x86_64", target_os = "linux")), ignore = "golden hashes captured on x86_64-linux; libm last-ulp differences flip SA decisions elsewhere")]
 fn golden_annealer_is_bit_identical_to_pre_optimization() {
+    let (blocks, nets) = golden_blocks_and_nets();
+    let cfg = AnnealConfig::default().with_iterations(5000).with_seed(42);
+    let plan = anneal(&blocks, &nets, &cfg);
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    fingerprint_floorplan(&mut h, &plan);
+    assert_eq!(
+        h,
+        0xd863_862b_0991_c7f2,
+        "annealed floorplan drifted from the pre-optimization implementation"
+    );
+}
+
+/// The 10-block roster and nets shared by the annealer golden tests.
+fn golden_blocks_and_nets() -> (Vec<Block>, Vec<Net>) {
     let blocks: Vec<Block> = (0..10)
         .map(|i| {
             let b = Block::new(
@@ -277,15 +294,74 @@ fn golden_annealer_is_bit_identical_to_pre_optimization() {
         Net { pins: vec![1, 4, 8], weight: 2.0 },
         Net { pins: vec![3, 6, 9, 0], weight: 0.8 },
     ];
-    let cfg = AnnealConfig::default().with_iterations(5000).with_seed(42);
-    let plan = anneal(&blocks, &nets, &cfg);
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    fingerprint_floorplan(&mut h, &plan);
-    assert_eq!(
-        h,
-        0xd863_862b_0991_c7f2,
-        "annealed floorplan drifted from the pre-optimization implementation"
+    (blocks, nets)
+}
+
+/// Golden regression for the parallel-tempering annealer: the 4-replica
+/// exchange run is a pure function of `(TemperConfig, replica count)` —
+/// this pins its floorplan bit-for-bit so any drift in the swap-round
+/// reduction, the replica RNG streams or the ladder arithmetic fails
+/// loudly. The thread count must not appear anywhere in the result, so the
+/// same fingerprint is asserted across thread counts.
+#[test]
+#[cfg_attr(not(all(target_arch = "x86_64", target_os = "linux")), ignore = "golden hashes captured on x86_64-linux; libm last-ulp differences flip SA decisions elsewhere")]
+fn golden_tempered_annealer_is_pinned_and_thread_count_free() {
+    let (blocks, nets) = golden_blocks_and_nets();
+    for threads in [0usize, 1, 3] {
+        let cfg = TemperConfig {
+            base: AnnealConfig::default().with_iterations(5000).with_seed(42),
+            replicas: 4,
+            threads,
+            ..TemperConfig::default()
+        };
+        let plan = anneal_tempered(&blocks, &nets, &cfg);
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        fingerprint_floorplan(&mut h, &plan);
+        assert_eq!(
+            h,
+            0x756f_44ce_4c13_9147,
+            "tempered floorplan drifted from the pinned result (threads={threads})"
+        );
+    }
+}
+
+/// Quality anchor on the 65-block pipeline-style design: at an equal
+/// per-replica iteration budget, the 4-replica tempered run must end no
+/// worse than the serial chain (replicas=1 is bit-identical to [`anneal`]),
+/// since the exchange moves only ever adopt the coldest rung's best state.
+#[test]
+fn tempered_cost_no_worse_than_serial_on_65_block_design() {
+    let blocks: Vec<Block> = (0..65)
+        .map(|i| {
+            Block::new(
+                format!("stage{i}"),
+                1.2 + f64::from(i % 5) * 0.3,
+                1.1 + f64::from(i % 7) * 0.2,
+            )
+            .rotatable()
+        })
+        .collect();
+    let mut nets = Vec::new();
+    for i in 0..64usize {
+        nets.push(Net::two_pin(i, i + 1, 1.0 + f64::from(i as u32 % 3) * 0.5));
+        if i % 4 == 0 && i + 2 < 65 {
+            nets.push(Net::two_pin(i, i + 2, 0.5));
+        }
+    }
+    let cfg = |replicas: usize| TemperConfig {
+        base: AnnealConfig::default().with_iterations(20_000).with_seed(0xF1A7),
+        replicas,
+        ..TemperConfig::default()
+    };
+    let (_, serial) = anneal_tempered_with_stats(&blocks, &nets, &cfg(1));
+    let (_, tempered) = anneal_tempered_with_stats(&blocks, &nets, &cfg(4));
+    assert!(
+        tempered.best_cost <= serial.best_cost + 1e-9,
+        "tempered best cost {} must not lose to the serial chain {} at equal per-replica budget",
+        tempered.best_cost,
+        serial.best_cost
     );
+    assert!(tempered.swap_attempts > 0, "the exchange schedule must actually run");
 }
 
 /// Two identical engine runs on `media26` produce identical outcomes: the
