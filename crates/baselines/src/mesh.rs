@@ -50,17 +50,17 @@ pub struct MeshResult {
 
 /// Maps `bench` onto an optimized mesh and evaluates it with the shared
 /// component models.
-///
-/// # Panics
-///
-/// Panics if the benchmark has no cores (generators never produce one).
 #[must_use]
 pub fn optimized_mesh(bench: &Benchmark, lib: &NocLibrary, cfg: &MeshConfig) -> MeshResult {
     let soc = &bench.soc;
     let layers = soc.layers as usize;
-    let per_layer_max =
-        (0..soc.layers).map(|l| soc.cores_in_layer(l).len()).max().expect("cores exist");
-    assert!(per_layer_max > 0, "benchmark has no cores");
+    // Spec validation guarantees at least one core; the `.max(1)` keeps the
+    // grid arithmetic well-defined even for a degenerate hand-built spec.
+    let per_layer_max = (0..soc.layers)
+        .map(|l| soc.cores_in_layer(l).len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let cols = (per_layer_max as f64).sqrt().ceil() as usize;
     let rows = per_layer_max.div_ceil(cols);
     let tiles_per_layer = cols * rows;

@@ -26,7 +26,9 @@ pub use yield_curve::fig1;
 
 use sunfloor_benchmarks::Benchmark;
 use sunfloor_core::spec::{CommSpec, SocSpec};
-use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine, SynthesisMode, SynthesisOutcome};
+use sunfloor_core::synthesis::{
+    Parallelism, SynthesisConfig, SynthesisEngine, SynthesisMode, SynthesisOutcome,
+};
 
 /// All experiment ids, in paper order (plus the repo's own `bench`
 /// hot-path baseline).
@@ -98,14 +100,17 @@ pub(crate) fn cfg_3d(bench: &Benchmark, mode: SynthesisMode, effort: Effort) -> 
         }
     };
     let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    SynthesisConfig::builder()
-        .mode(mode)
-        .max_ill(25)
-        .switch_count_range(1, hi)
-        .switch_count_step(step)
-        .jobs(jobs)
-        .build()
-        .expect("experiment config is valid")
+    // Struct-update construction over the validated defaults: every field
+    // set here is valid by inspection, so there is no fallible `build()`
+    // step to fail.
+    SynthesisConfig {
+        mode,
+        max_ill: 25,
+        switch_count_range: Some((1, hi)),
+        switch_count_step: step,
+        parallelism: if jobs <= 1 { Parallelism::Serial } else { Parallelism::Jobs(jobs) },
+        ..SynthesisConfig::default()
+    }
 }
 
 /// Shared configuration for the 2-D comparison flow (same sweep effort).
@@ -120,6 +125,7 @@ pub(crate) fn run_engine(
     comm: &CommSpec,
     cfg: SynthesisConfig,
 ) -> SynthesisOutcome {
+    // sf-allow(panic-in-lib): in-tree benchmark specs and cfg_3d configs are valid by construction; a failure here is a generator bug, not a recoverable state
     SynthesisEngine::new(soc, comm, cfg).expect("valid benchmark").run()
 }
 

@@ -19,7 +19,10 @@ pub fn tab1(effort: Effort) -> Artifact {
     let mut rows = Vec::new();
     for bench in &benches {
         let b2 = flatten_to_2d(bench);
-        let out2 = synthesize_2d(&b2, &cfg_2d(&b2, effort)).expect("valid 2-D benchmark");
+        let Ok(out2) = synthesize_2d(&b2, &cfg_2d(&b2, effort)) else {
+            rows.push(vec![bench.name.clone(), "2-D flow rejected the spec".into()]);
+            continue;
+        };
         let out3 =
             run_engine(&bench.soc, &bench.comm, cfg_3d(bench, SynthesisMode::Auto, effort));
         let (Some(p2), Some(p3)) = (out2.best_power(), out3.best_power()) else {

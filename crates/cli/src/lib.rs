@@ -371,12 +371,118 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Parsed `sunfloor3d fuzz` subcommand line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzOptions {
+    /// Number of adversarial cases to run.
+    pub cases: u64,
+    /// Master fuzz seed.
+    pub seed: u64,
+    /// Where the minimized repro file is written on failure.
+    pub repro_file: PathBuf,
+}
+
+impl FuzzOptions {
+    /// Parses the arguments *after* the `fuzz` subcommand word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on unknown flags or bad values.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut cases = 1000u64;
+        let mut seed = 0u64;
+        let mut repro_file = PathBuf::from("fuzz-repro.txt");
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> Result<&String, CliError> {
+                it.next().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            match arg.as_str() {
+                "--cases" => {
+                    cases = value("--cases")?.parse().map_err(|_| {
+                        CliError::Usage("--cases expects an unsigned integer".into())
+                    })?;
+                }
+                "--seed" => {
+                    seed = value("--seed")?.parse().map_err(|_| {
+                        CliError::Usage("--seed expects an unsigned 64-bit integer".into())
+                    })?;
+                }
+                "--repro-file" => repro_file = PathBuf::from(value("--repro-file")?),
+                other => {
+                    return Err(CliError::Usage(format!("unknown fuzz argument `{other}`")));
+                }
+            }
+        }
+        Ok(Self { cases, seed, repro_file })
+    }
+}
+
+/// Runs the adversarial fuzz campaign: every case must map to a typed
+/// error or a feasible outcome, bit-identically across schedules. Returns
+/// the rendered report; a broken contract is a [`CliError::Run`] (exit 1)
+/// after the minimized repro file is written.
+///
+/// # Errors
+///
+/// Returns [`CliError::Run`] when any case violates the robustness
+/// contract.
+pub fn run_fuzz(opts: &FuzzOptions) -> Result<String, CliError> {
+    let cfg = sunfloor_fuzz::FuzzConfig {
+        cases: opts.cases,
+        seed: opts.seed,
+        repro_path: opts.repro_file.clone(),
+        max_failures: 1,
+    };
+    let report = sunfloor_fuzz::run_fuzz(&cfg);
+    if report.passed() {
+        Ok(report.to_string())
+    } else {
+        Err(CliError::Run(report.to_string().into()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn fuzz_options_defaults_and_full_flag_set() {
+        let o = FuzzOptions::parse(&args(&[])).unwrap();
+        assert_eq!(o.cases, 1000);
+        assert_eq!(o.seed, 0);
+        assert_eq!(o.repro_file, PathBuf::from("fuzz-repro.txt"));
+        let o = FuzzOptions::parse(&args(&[
+            "--cases", "64", "--seed", "9", "--repro-file", "min.txt",
+        ]))
+        .unwrap();
+        assert_eq!(o.cases, 64);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.repro_file, PathBuf::from("min.txt"));
+    }
+
+    #[test]
+    fn fuzz_options_reject_unknown_flags_and_bad_values() {
+        let err = FuzzOptions::parse(&args(&["--bogus"])).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+        assert_eq!(err.exit_code(), 2);
+        let err = FuzzOptions::parse(&args(&["--cases", "lots"])).unwrap_err();
+        assert!(err.to_string().contains("--cases"));
+    }
+
+    #[test]
+    fn a_tiny_fuzz_run_passes_end_to_end() {
+        let opts = FuzzOptions {
+            cases: 40,
+            seed: 9,
+            repro_file: std::env::temp_dir().join("sunfloor-cli-fuzz-test-repro.txt"),
+        };
+        let report = run_fuzz(&opts).expect("40-case campaign must pass");
+        assert!(report.contains("contract: OK"));
     }
 
     #[test]

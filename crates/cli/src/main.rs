@@ -1,12 +1,17 @@
 //! `sunfloor3d` — synthesize an application-specific 3-D NoC from spec
-//! files. See `sunfloor_cli` for the flag reference.
+//! files, or fuzz the pipeline (`sunfloor3d fuzz`). See `sunfloor_cli` for
+//! the flag reference.
 
 use std::process::ExitCode;
-use sunfloor_cli::{run, CliError, Options};
+use sunfloor_cli::{run, run_fuzz, CliError, FuzzOptions, Options};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match Options::parse(&args).and_then(|o| run(&o)) {
+    let result = match args.first().map(String::as_str) {
+        Some("fuzz") => FuzzOptions::parse(&args[1..]).and_then(|o| run_fuzz(&o)),
+        _ => Options::parse(&args).and_then(|o| run(&o)),
+    };
+    match result {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS
@@ -18,7 +23,8 @@ fn main() -> ExitCode {
                     "usage: sunfloor3d --cores <file> --comm <file> [--max-ill N] \
                      [--frequency MHZ[,MHZ..]] [--alpha A] [--mode auto|phase1|phase2] \
                      [--switches lo..hi] [--step N] [--jobs N] \
-                     [--anneal-replicas N] [--seed U64] [--no-layout] [--out DIR]"
+                     [--anneal-replicas N] [--seed U64] [--no-layout] [--out DIR]\n\
+                     \x20      sunfloor3d fuzz [--cases N] [--seed U64] [--repro-file PATH]"
                 );
             }
             ExitCode::from(e.exit_code())

@@ -75,6 +75,22 @@ impl DesignMetrics {
     pub fn max_inter_layer_links(&self) -> u32 {
         self.inter_layer_links.iter().copied().max().unwrap_or(0)
     }
+
+    /// Whether every floating-point figure is finite. Extreme spec numbers
+    /// (e.g. a bandwidth near `f64::MAX`) can overflow the power model to
+    /// `inf`/`NaN`; such a design must not be reported as feasible, not
+    /// least because a NaN anywhere breaks `PartialEq` self-equality of
+    /// the outcome.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.power.switch_mw.is_finite()
+            && self.power.switch_link_mw.is_finite()
+            && self.power.core_link_mw.is_finite()
+            && self.power.ni_mw.is_finite()
+            && self.avg_latency_cycles.is_finite()
+            && self.worst_latency_violation.is_finite()
+            && self.wire_lengths_mm.iter().all(|w| w.is_finite())
+    }
 }
 
 /// Planar Manhattan length (mm) of the link between two planar positions.

@@ -91,10 +91,28 @@ impl SocSpec {
         if self.layers == 0 {
             return Err(SpecError::ZeroLayers);
         }
+        // Every layer of the stack needs at least one core somewhere below
+        // it in the roster; otherwise a hostile `layers 4000000000` line
+        // would make every per-layer loop downstream effectively unbounded.
+        if self.layers as usize > self.cores.len() {
+            return Err(SpecError::TooManyLayers {
+                layers: self.layers,
+                cores: self.cores.len(),
+            });
+        }
         let mut seen = BTreeMap::new();
         for (i, c) in self.cores.iter().enumerate() {
-            if c.width <= 0.0 || c.height <= 0.0 {
+            if c.name.is_empty() || c.name.contains(|ch: char| ch.is_whitespace() || ch == '#') {
+                return Err(SpecError::BadCoreName { name: c.name.clone() });
+            }
+            // NaN fails every `>` comparison, so the finite check must be
+            // explicit — `width <= 0.0` alone would wave NaN through.
+            if !(c.width.is_finite() && c.height.is_finite() && c.width > 0.0 && c.height > 0.0)
+            {
                 return Err(SpecError::BadGeometry { core: c.name.clone() });
+            }
+            if !(c.x.is_finite() && c.y.is_finite()) {
+                return Err(SpecError::NonFinitePosition { core: c.name.clone() });
             }
             if c.layer >= self.layers {
                 return Err(SpecError::LayerOutOfRange {
@@ -166,6 +184,9 @@ impl SocSpec {
                         .next()
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| parse_err("expected `layers <n>`"))?;
+                    if it.next().is_some() {
+                        return Err(parse_err("trailing tokens after `layers <n>`"));
+                    }
                 }
                 Some("core") => {
                     let name = it.next().ok_or_else(|| parse_err("missing core name"))?;
@@ -178,7 +199,15 @@ impl SocSpec {
                     let height = num("missing height")?;
                     let x = num("missing x")?;
                     let y = num("missing y")?;
-                    let layer = num("missing layer")? as u32;
+                    // Parsed as `u32` directly — an f64-then-cast would
+                    // silently truncate `3.7` or saturate `-1`/`1e99`.
+                    let layer: u32 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| parse_err("missing or non-integer layer"))?;
+                    if it.next().is_some() {
+                        return Err(parse_err("trailing tokens after core definition"));
+                    }
                     cores.push(Core { name: name.to_string(), width, height, x, y, layer });
                 }
                 Some(tok) => {
@@ -272,7 +301,11 @@ impl CommSpec {
             if f.src == f.dst {
                 return Err(SpecError::SelfFlow { flow: i });
             }
-            if f.bandwidth_mbs <= 0.0 || f.max_latency_cycles <= 0.0 {
+            if !(f.bandwidth_mbs.is_finite()
+                && f.max_latency_cycles.is_finite()
+                && f.bandwidth_mbs > 0.0
+                && f.max_latency_cycles > 0.0)
+            {
                 return Err(SpecError::BadFlowNumbers { flow: i });
             }
         }
@@ -341,6 +374,9 @@ impl CommSpec {
                             return Err(parse_err(&format!("unknown message type `{other}`")))
                         }
                     };
+                    if it.next().is_some() {
+                        return Err(parse_err("trailing tokens after flow definition"));
+                    }
                     flows.push(Flow { src, dst, bandwidth_mbs, max_latency_cycles, message_type });
                 }
                 Some(tok) => return Err(parse_err(&format!("unknown directive `{tok}`"))),
@@ -358,13 +394,32 @@ pub enum SpecError {
     EmptyDesign,
     /// `layers` was zero.
     ZeroLayers,
+    /// More layers than cores: at least one layer would be empty, and
+    /// per-layer sweeps would iterate an absurd range.
+    TooManyLayers {
+        /// Requested layer count.
+        layers: u32,
+        /// Number of cores in the design.
+        cores: usize,
+    },
     /// Two cores share a name.
     DuplicateCore {
         /// The duplicated name.
         name: String,
     },
-    /// A core has non-positive width or height.
+    /// A core name is empty or contains whitespace/`#`, which would not
+    /// survive a `to_text` → `parse` roundtrip.
+    BadCoreName {
+        /// The offending name.
+        name: String,
+    },
+    /// A core has non-positive or non-finite width or height.
     BadGeometry {
+        /// Core name.
+        core: String,
+    },
+    /// A core position is NaN or infinite.
+    NonFinitePosition {
         /// Core name.
         core: String,
     },
@@ -406,9 +461,18 @@ impl fmt::Display for SpecError {
         match self {
             Self::EmptyDesign => write!(f, "design contains no cores"),
             Self::ZeroLayers => write!(f, "design must have at least one layer"),
+            Self::TooManyLayers { layers, cores } => {
+                write!(f, "{layers} layers requested but only {cores} cores exist")
+            }
             Self::DuplicateCore { name } => write!(f, "duplicate core name `{name}`"),
+            Self::BadCoreName { name } => {
+                write!(f, "core name `{name}` is empty or contains whitespace/`#`")
+            }
             Self::BadGeometry { core } => {
-                write!(f, "core `{core}` has non-positive dimensions")
+                write!(f, "core `{core}` has non-positive or non-finite dimensions")
+            }
+            Self::NonFinitePosition { core } => {
+                write!(f, "core `{core}` has a non-finite position")
             }
             Self::LayerOutOfRange { core, layer, layers } => {
                 write!(f, "core `{core}` assigned to layer {layer} of {layers}")
@@ -492,7 +556,7 @@ mod tests {
 
     #[test]
     fn layer_out_of_range_rejected() {
-        let err = SocSpec::parse("layers 2\ncore a 1 1 0 0 5\n").unwrap_err();
+        let err = SocSpec::parse("layers 2\ncore a 1 1 0 0 0\ncore b 1 1 2 0 5\n").unwrap_err();
         assert!(matches!(err, SpecError::LayerOutOfRange { layer: 5, layers: 2, .. }));
     }
 
@@ -542,5 +606,67 @@ mod tests {
         let flat = tiny_soc().flattened();
         assert_eq!(flat.layers, 1);
         assert!(flat.cores.iter().all(|c| c.layer == 0));
+    }
+
+    #[test]
+    fn non_finite_geometry_rejected() {
+        for bad in ["nan", "inf", "-inf"] {
+            let err = SocSpec::parse(&format!("core a {bad} 1 0 0 0\n")).unwrap_err();
+            assert_eq!(err, SpecError::BadGeometry { core: "a".into() }, "width {bad}");
+        }
+        let err = SocSpec::parse("core a 1 1 nan 0 0\n").unwrap_err();
+        assert_eq!(err, SpecError::NonFinitePosition { core: "a".into() });
+    }
+
+    #[test]
+    fn non_finite_flow_numbers_rejected() {
+        let soc = tiny_soc();
+        for bad in ["nan", "inf"] {
+            let err = CommSpec::parse(&format!("flow cpu mem {bad} 5\n"), &soc).unwrap_err();
+            assert_eq!(err, SpecError::BadFlowNumbers { flow: 0 }, "bandwidth {bad}");
+            let err = CommSpec::parse(&format!("flow cpu mem 10 {bad}\n"), &soc).unwrap_err();
+            assert_eq!(err, SpecError::BadFlowNumbers { flow: 0 }, "latency {bad}");
+        }
+    }
+
+    #[test]
+    fn fractional_or_negative_layer_field_rejected() {
+        for bad in ["3.7", "-1", "1e99", "x"] {
+            let err = SocSpec::parse(&format!("core a 1 1 0 0 {bad}\n")).unwrap_err();
+            assert!(matches!(err, SpecError::Parse { line: 1, .. }), "layer {bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn more_layers_than_cores_rejected() {
+        let err = SocSpec::parse("layers 4000000000\ncore a 1 1 0 0 0\n").unwrap_err();
+        assert_eq!(err, SpecError::TooManyLayers { layers: 4_000_000_000, cores: 1 });
+    }
+
+    #[test]
+    fn bad_core_names_rejected_at_construction() {
+        for bad in ["", "a#b"] {
+            let err = SocSpec::new(
+                vec![Core {
+                    name: bad.into(),
+                    width: 1.0,
+                    height: 1.0,
+                    x: 0.0,
+                    y: 0.0,
+                    layer: 0,
+                }],
+                1,
+            )
+            .unwrap_err();
+            assert_eq!(err, SpecError::BadCoreName { name: bad.into() }, "name {bad:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(SocSpec::parse("layers 1 extra\ncore a 1 1 0 0 0\n").is_err());
+        assert!(SocSpec::parse("core a 1 1 0 0 0 extra\n").is_err());
+        let soc = tiny_soc();
+        assert!(CommSpec::parse("flow cpu mem 10 5 request extra\n", &soc).is_err());
     }
 }

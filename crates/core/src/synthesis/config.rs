@@ -153,20 +153,23 @@ impl SynthesisConfig {
             return Err(ConfigError::NoFrequencies);
         }
         for &f in &self.frequencies_mhz {
-            if f.is_nan() || f <= 0.0 {
+            if !f.is_finite() || f <= 0.0 {
                 return Err(ConfigError::NonPositiveFrequency(f));
             }
         }
         if !(0.0..=1.0).contains(&self.alpha) {
             return Err(ConfigError::AlphaOutOfRange(self.alpha));
         }
-        if self.theta_min.is_nan() || self.theta_max.is_nan() || self.theta_min > self.theta_max {
+        if !self.theta_min.is_finite()
+            || !self.theta_max.is_finite()
+            || self.theta_min > self.theta_max
+        {
             return Err(ConfigError::InvalidThetaRange {
                 min: self.theta_min,
                 max: self.theta_max,
             });
         }
-        if self.theta_step.is_nan() || self.theta_step <= 0.0 {
+        if !self.theta_step.is_finite() || self.theta_step <= 0.0 {
             return Err(ConfigError::NonPositiveThetaStep(self.theta_step));
         }
         if let Some((lo, hi)) = self.switch_count_range {
@@ -177,7 +180,7 @@ impl SynthesisConfig {
         if self.switch_count_step == 0 {
             return Err(ConfigError::ZeroSwitchStep);
         }
-        if self.layout_search_radius_mm.is_nan() || self.layout_search_radius_mm <= 0.0 {
+        if !self.layout_search_radius_mm.is_finite() || self.layout_search_radius_mm <= 0.0 {
             return Err(ConfigError::NonPositiveSearchRadius(self.layout_search_radius_mm));
         }
         Ok(())
@@ -190,18 +193,18 @@ impl SynthesisConfig {
 pub enum ConfigError {
     /// The frequency sweep is empty.
     NoFrequencies,
-    /// A frequency in the sweep is zero, negative or NaN.
+    /// A frequency in the sweep is zero, negative, NaN or infinite.
     NonPositiveFrequency(f64),
     /// `alpha` falls outside `[0, 1]`.
     AlphaOutOfRange(f64),
-    /// `theta_min > theta_max` (or either is NaN).
+    /// `theta_min > theta_max` (or either is NaN or infinite).
     InvalidThetaRange {
         /// Configured `theta_min`.
         min: f64,
         /// Configured `theta_max`.
         max: f64,
     },
-    /// `theta_step` is zero, negative or NaN.
+    /// `theta_step` is zero, negative or non-finite.
     NonPositiveThetaStep(f64),
     /// `switch_count_range` has `lo > hi`.
     InvertedSwitchRange {
@@ -212,7 +215,7 @@ pub enum ConfigError {
     },
     /// `switch_count_step` is zero.
     ZeroSwitchStep,
-    /// `layout_search_radius_mm` is zero, negative or NaN.
+    /// `layout_search_radius_mm` is zero, negative or non-finite.
     NonPositiveSearchRadius(f64),
 }
 
@@ -221,7 +224,7 @@ impl fmt::Display for ConfigError {
         match self {
             Self::NoFrequencies => write!(f, "the frequency sweep is empty"),
             Self::NonPositiveFrequency(v) => {
-                write!(f, "frequency {v} MHz is not positive")
+                write!(f, "frequency {v} MHz is not positive and finite")
             }
             Self::AlphaOutOfRange(a) => write!(f, "alpha {a} is outside [0, 1]"),
             Self::InvalidThetaRange { min, max } => {
@@ -404,7 +407,7 @@ mod tests {
 
     #[test]
     fn builder_rejects_non_positive_frequencies() {
-        for bad in [0.0, -400.0, f64::NAN] {
+        for bad in [0.0, -400.0, f64::NAN, f64::INFINITY] {
             let err = SynthesisConfig::builder()
                 .frequencies_mhz([400.0, bad])
                 .build()
@@ -433,8 +436,18 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_unbounded_theta_window() {
+        // An infinite theta_max would make the escalation loop unbounded.
+        let err = SynthesisConfig::builder()
+            .theta_schedule(1.0, f64::INFINITY, 3.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidThetaRange { .. }));
+    }
+
+    #[test]
     fn builder_rejects_non_positive_theta_step() {
-        for bad in [0.0, -3.0, f64::NAN] {
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
             let err =
                 SynthesisConfig::builder().theta_schedule(1.0, 15.0, bad).build().unwrap_err();
             assert!(matches!(err, ConfigError::NonPositiveThetaStep(_)), "{bad} accepted");

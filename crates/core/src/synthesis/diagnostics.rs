@@ -73,6 +73,12 @@ pub enum RejectReason {
         /// Worst violation, cycles.
         excess_cycles: f64,
     },
+    /// Evaluating the finished design overflowed the analytical models:
+    /// at least one metric came back `inf` or `NaN` (possible with
+    /// extreme but parseable spec numbers, e.g. bandwidths near
+    /// `f64::MAX`). Such a design cannot be meaningfully compared, so it
+    /// is screened out instead of reported as feasible.
+    NonFiniteMetrics,
     /// The min-cut partitioner could not produce the requested split.
     Partition(PartitionError),
     /// The switch-placement LP broke down.
@@ -94,6 +100,7 @@ impl RejectReason {
             Self::IllExceeded { .. } => "ill-exceeded",
             Self::SwitchTooLarge { .. } => "switch-too-large",
             Self::LatencyViolated { .. } => "latency-violated",
+            Self::NonFiniteMetrics => "non-finite-metrics",
             Self::Partition(_) => "partition",
             Self::Placement(_) => "placement",
             Self::RoutingFailed => "routing-failed",
@@ -123,6 +130,9 @@ impl fmt::Display for RejectReason {
             ),
             Self::LatencyViolated { excess_cycles } => {
                 write!(f, "latency constraint violated by {excess_cycles:.2} cycles")
+            }
+            Self::NonFiniteMetrics => {
+                write!(f, "design metrics overflowed to a non-finite value")
             }
             Self::Partition(e) => write!(f, "{e}"),
             Self::Placement(e) => write!(f, "placement LP: {e}"),
@@ -296,6 +306,10 @@ mod tests {
                 "latency constraint violated by 2.35 cycles",
             ),
             (
+                RejectReason::NonFiniteMetrics,
+                "design metrics overflowed to a non-finite value",
+            ),
+            (
                 RejectReason::Partition(PartitionError::TooManyParts {
                     parts: 9,
                     vertices: 4,
@@ -339,6 +353,7 @@ mod tests {
             RejectReason::IllExceeded { got: 0, limit: 0 },
             RejectReason::SwitchTooLarge { switch: 0, ports: 0, limit: 0, frequency_mhz: 0.0 },
             RejectReason::LatencyViolated { excess_cycles: 0.0 },
+            RejectReason::NonFiniteMetrics,
             RejectReason::Partition(PartitionError::ZeroParts),
             RejectReason::Placement(SolveError::Unbounded),
             RejectReason::RoutingFailed,

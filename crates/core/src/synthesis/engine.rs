@@ -775,7 +775,13 @@ impl<'a> SynthesisEngine<'a> {
         };
         let metrics = evaluate(&topo, soc, &self.graph, &cfg.library, freq);
 
-        // Final constraint screening (Fig. 3's last step).
+        // Final constraint screening (Fig. 3's last step). The finiteness
+        // check comes first: with overflowed metrics the remaining
+        // comparisons (notably the NaN-poisoned latency slack) are
+        // meaningless.
+        if !metrics.is_finite() {
+            return Err(RejectReason::NonFiniteMetrics);
+        }
         if metrics.max_inter_layer_links() > cfg.max_ill {
             return Err(RejectReason::IllExceeded {
                 got: metrics.max_inter_layer_links(),

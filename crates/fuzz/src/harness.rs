@@ -1,0 +1,360 @@
+//! The differential harness: runs one case through the full pipeline and
+//! checks the robustness contract.
+//!
+//! Contract, per case:
+//!
+//! 1. **No panic** — parsing, configuration, engine construction and the
+//!    sweep itself must map every hostile input to a typed
+//!    [`sunfloor_core::spec::SpecError`] /
+//!    [`sunfloor_core::synthesis::ConfigError`] /
+//!    [`sunfloor_core::synthesis::RejectReason`].
+//! 2. **Schedule independence** — the serial sweep and a
+//!    `Parallelism::Jobs(3)` sweep (and, on tempered recipes, 1- vs
+//!    2-worker tempered runs) must produce bit-identical outcomes.
+//! 3. **Classified outcomes** — a run that yields no feasible point must
+//!    leave a typed rejection trail (or have no candidates at all).
+//! 4. **Fault tolerance** — `StopPolicy::Deadline(ZERO)` and
+//!    `StopPolicy::PointBudget(1)` stop promptly with well-formed partial
+//!    outcomes, and the observer event stream stays well-formed even when
+//!    a policy cancels the sweep mid-stream.
+
+use crate::generator::FuzzCase;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::synthesis::{
+    StopPolicy, SweepEvent, SynthesisEngine, SynthesisOutcome,
+};
+
+/// How far through the pipeline a case travelled — every terminal state is
+/// a *typed* rejection or a successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseClass {
+    /// `SocSpec::parse` / `CommSpec::parse` returned a typed `SpecError`.
+    SpecRejected,
+    /// The configuration recipe returned a typed `ConfigError`.
+    ConfigRejected,
+    /// `SynthesisEngine::new` returned a typed `SynthesisError`.
+    EngineRejected,
+    /// The sweep ran; every candidate was rejected with a typed reason.
+    NoFeasiblePoint,
+    /// The sweep ran and produced feasible points.
+    Feasible,
+}
+
+/// Which part of the contract a failing case broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Something panicked.
+    Panic,
+    /// Serial and parallel (or tempered 1- vs 2-worker) outcomes differ.
+    Divergence,
+    /// A no-point outcome carries no typed rejection trail.
+    Unclassified,
+    /// The observer event stream violated its grouping contract.
+    ObserverContract,
+    /// A fault-injected run returned a malformed partial outcome.
+    FaultInjection,
+}
+
+impl FailureKind {
+    /// Stable label for reports and repro files.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Panic => "panic",
+            Self::Divergence => "divergence",
+            Self::Unclassified => "unclassified",
+            Self::ObserverContract => "observer-contract",
+            Self::FaultInjection => "fault-injection",
+        }
+    }
+}
+
+/// A broken contract, with everything needed to reproduce it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Failure {
+    /// Case index within the run.
+    pub index: u64,
+    /// Which contract clause broke.
+    pub kind: FailureKind,
+    /// Human-readable description (panic payload, divergence site, …).
+    pub detail: String,
+    /// The case that broke it (possibly shrunk).
+    pub case: FuzzCase,
+}
+
+/// Runs `case` through the whole contract.
+///
+/// # Errors
+///
+/// Returns the [`Failure`] describing the first broken contract clause.
+#[allow(clippy::result_large_err)] // Err is the rare path and carries the whole repro case by design
+pub fn run_case(case: &FuzzCase) -> Result<CaseClass, Failure> {
+    let fail = |kind: FailureKind, detail: String| Failure {
+        index: case.index,
+        kind,
+        detail,
+        case: case.clone(),
+    };
+
+    // 1. Parse. A typed SpecError is a *pass* (the input was classified).
+    let soc = match guard(|| SocSpec::parse(&case.soc_text)) {
+        Err(payload) => return Err(fail(FailureKind::Panic, format!("SocSpec::parse: {payload}"))),
+        Ok(Err(_)) => return Ok(CaseClass::SpecRejected),
+        Ok(Ok(soc)) => soc,
+    };
+    let comm = match guard(|| CommSpec::parse(&case.comm_text, &soc)) {
+        Err(payload) => {
+            return Err(fail(FailureKind::Panic, format!("CommSpec::parse: {payload}")))
+        }
+        Ok(Err(_)) => return Ok(CaseClass::SpecRejected),
+        Ok(Ok(comm)) => comm,
+    };
+
+    // 2. Configuration. Degenerate recipes must yield a typed ConfigError.
+    let cfg = match guard(|| case.recipe.build(1)) {
+        Err(payload) => return Err(fail(FailureKind::Panic, format!("config build: {payload}"))),
+        Ok(Err(_)) => return Ok(CaseClass::ConfigRejected),
+        Ok(Ok(cfg)) => cfg,
+    };
+
+    // 3. Engine construction (re-validates spec/config coupling).
+    let serial = match guard(|| SynthesisEngine::new(&soc, &comm, cfg)) {
+        Err(payload) => {
+            return Err(fail(FailureKind::Panic, format!("SynthesisEngine::new: {payload}")))
+        }
+        Ok(Err(_)) => return Ok(CaseClass::EngineRejected),
+        Ok(Ok(engine)) => engine,
+    };
+    let n_candidates = serial.candidates().len();
+
+    // 4. Serial sweep with an observing event recorder.
+    let mut events: Vec<SweepEvent> = Vec::new();
+    let outcome = match guard(AssertUnwindSafe(|| {
+        let mut obs = |e: &SweepEvent| events.push(e.clone());
+        serial.run_with_observer(&mut obs)
+    })) {
+        Err(payload) => return Err(fail(FailureKind::Panic, format!("serial run: {payload}"))),
+        Ok(outcome) => outcome,
+    };
+    if let Err(detail) = check_event_stream(&events, &outcome) {
+        return Err(fail(FailureKind::ObserverContract, detail));
+    }
+    if outcome.points.is_empty() && outcome.rejected.is_empty() && n_candidates > 0 {
+        return Err(fail(
+            FailureKind::Unclassified,
+            format!("{n_candidates} candidates produced neither points nor typed rejections"),
+        ));
+    }
+
+    // 5. Parallel differential: Jobs(3) must be bit-identical.
+    let jobs = if case.recipe.is_valid() { 3 } else { 1 };
+    if let Ok(cfg_par) = case.recipe.build(jobs) {
+        let parallel = match guard(AssertUnwindSafe(|| {
+            SynthesisEngine::new(&soc, &comm, cfg_par).map(|e| e.run())
+        })) {
+            Err(payload) => {
+                return Err(fail(FailureKind::Panic, format!("parallel run: {payload}")))
+            }
+            Ok(Err(_)) => return Ok(CaseClass::EngineRejected),
+            Ok(Ok(out)) => out,
+        };
+        if parallel != outcome {
+            return Err(fail(FailureKind::Divergence, divergence_detail(&outcome, &parallel)));
+        }
+    }
+
+    // 6. Fault injection, subsampled (cases where it is cheap enough to
+    //    run everywhere would bias coverage toward trivial inputs).
+    if case.index.is_multiple_of(4) {
+        check_fault_injection(case, &serial, &outcome)?;
+    }
+
+    if outcome.points.is_empty() {
+        Ok(CaseClass::NoFeasiblePoint)
+    } else {
+        Ok(CaseClass::Feasible)
+    }
+}
+
+/// Catches panics, rendering the payload.
+fn guard<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string())),
+    }
+}
+
+/// The observer contract: events arrive in per-candidate groups —
+/// `CandidateStarted`, any `ThetaEscalated`, then exactly one terminal
+/// event — and accepted point indices walk `0..points.len()`.
+fn check_event_stream(events: &[SweepEvent], outcome: &SynthesisOutcome) -> Result<(), String> {
+    let mut open: Option<String> = None;
+    let mut accepted = 0usize;
+    for e in events {
+        match e {
+            SweepEvent::CandidateStarted { candidate } => {
+                if let Some(prev) = &open {
+                    return Err(format!("candidate `{prev}` never got a terminal event"));
+                }
+                open = Some(candidate.to_string());
+            }
+            SweepEvent::ThetaEscalated { candidate, .. } => {
+                if open.as_deref() != Some(candidate.to_string().as_str()) {
+                    return Err(format!("theta escalation outside `{candidate}`'s group"));
+                }
+            }
+            SweepEvent::CandidateAccepted { candidate, point_index } => {
+                if open.as_deref() != Some(candidate.to_string().as_str()) {
+                    return Err(format!("acceptance outside `{candidate}`'s group"));
+                }
+                if *point_index != accepted {
+                    return Err(format!(
+                        "point index {point_index} out of order (expected {accepted})"
+                    ));
+                }
+                accepted += 1;
+                open = None;
+            }
+            SweepEvent::CandidateRejected { candidate, .. } => {
+                if open.as_deref() != Some(candidate.to_string().as_str()) {
+                    return Err(format!("rejection outside `{candidate}`'s group"));
+                }
+                open = None;
+            }
+        }
+    }
+    if let Some(prev) = open {
+        return Err(format!("candidate `{prev}` never got a terminal event"));
+    }
+    if accepted != outcome.points.len() {
+        return Err(format!(
+            "{accepted} accepted events vs {} committed points",
+            outcome.points.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Injected faults: the zero deadline stops before any candidate, the
+/// 1-point budget truncates deterministically (so serial == parallel), and
+/// an observer attached to the cancelled sweep still sees a well-formed
+/// stream.
+#[allow(clippy::result_large_err)] // Err is the rare path and carries the whole repro case by design
+fn check_fault_injection(
+    case: &FuzzCase,
+    engine: &SynthesisEngine<'_>,
+    full: &SynthesisOutcome,
+) -> Result<(), Failure> {
+    let fail = |kind: FailureKind, detail: String| Failure {
+        index: case.index,
+        kind,
+        detail,
+        case: case.clone(),
+    };
+
+    // Zero deadline: met before the first candidate, so nothing runs.
+    let zero = match guard(AssertUnwindSafe(|| {
+        engine.run_with_policy(StopPolicy::Deadline(Duration::ZERO))
+    })) {
+        Err(payload) => {
+            return Err(fail(FailureKind::Panic, format!("zero-deadline run: {payload}")))
+        }
+        Ok(out) => out,
+    };
+    if !zero.points.is_empty() || !zero.rejected.is_empty() {
+        return Err(fail(
+            FailureKind::FaultInjection,
+            format!(
+                "zero deadline still evaluated candidates ({} points, {} rejections)",
+                zero.points.len(),
+                zero.rejected.len()
+            ),
+        ));
+    }
+
+    // 1-point budget under a cancelled observer stream: prompt, truncated,
+    // well-formed, and a prefix of the exhaustive outcome.
+    let mut events: Vec<SweepEvent> = Vec::new();
+    let budget = match guard(AssertUnwindSafe(|| {
+        let mut obs = |e: &SweepEvent| events.push(e.clone());
+        engine.run_with(StopPolicy::PointBudget(1), &mut obs)
+    })) {
+        Err(payload) => {
+            return Err(fail(FailureKind::Panic, format!("point-budget run: {payload}")))
+        }
+        Ok(out) => out,
+    };
+    if budget.points.len() > 1 {
+        return Err(fail(
+            FailureKind::FaultInjection,
+            format!("PointBudget(1) collected {} points", budget.points.len()),
+        ));
+    }
+    if let Err(detail) = check_event_stream(&events, &budget) {
+        return Err(fail(FailureKind::ObserverContract, format!("cancelled sweep: {detail}")));
+    }
+    if !budget.points.is_empty() && full.points.first() != budget.points.first() {
+        return Err(fail(
+            FailureKind::FaultInjection,
+            "PointBudget(1) found a different first point than the exhaustive run".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn divergence_detail(serial: &SynthesisOutcome, parallel: &SynthesisOutcome) -> String {
+    if serial.points.len() != parallel.points.len() {
+        return format!(
+            "serial found {} points, parallel {}",
+            serial.points.len(),
+            parallel.points.len()
+        );
+    }
+    if serial.rejected.len() != parallel.rejected.len() {
+        return format!(
+            "serial rejected {} attempts, parallel {}",
+            serial.rejected.len(),
+            parallel.rejected.len()
+        );
+    }
+    "outcomes differ bit-for-bit (same counts, different contents)".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_case, ConfigRecipe};
+
+    #[test]
+    fn a_valid_case_classifies_and_matches_across_schedules() {
+        // Find an unmutated Standard-recipe case and push it through.
+        let case = (0..400u64)
+            .map(|i| generate_case(1, i))
+            .find(|c| c.mutations.is_empty() && c.recipe == ConfigRecipe::Standard)
+            .expect("an unmutated standard case exists in 400 draws");
+        let class = run_case(&case).expect("valid case must satisfy the contract");
+        assert!(matches!(class, CaseClass::Feasible | CaseClass::NoFeasiblePoint));
+    }
+
+    #[test]
+    fn hostile_texts_map_to_spec_rejection() {
+        let mut case = generate_case(2, 0);
+        case.soc_text = "core a nan 1 0 0 0\n".to_string();
+        assert_eq!(run_case(&case), Ok(CaseClass::SpecRejected));
+    }
+
+    #[test]
+    fn degenerate_config_maps_to_config_rejection() {
+        let case = (0..400u64)
+            .map(|i| generate_case(3, i))
+            .find(|c| c.mutations.is_empty() && !c.recipe.is_valid())
+            .expect("a degenerate-config case exists in 400 draws");
+        assert_eq!(run_case(&case), Ok(CaseClass::ConfigRejected));
+    }
+}

@@ -1,0 +1,280 @@
+//! Mutation passes that corrupt a valid spec pair into hostile input.
+//!
+//! Mutations operate on the *text* of the spec files — exactly the attack
+//! surface a hostile input file has — so they compose freely and can
+//! produce anything from a single poisoned number to structurally broken
+//! files. Every pass is deterministic under the case RNG and records its
+//! name so repro files explain what was done.
+
+use crate::generator::FuzzCase;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+type Mutation = (&'static str, fn(&mut FuzzCase, &mut StdRng));
+
+/// The mutation catalogue. Names are stable identifiers used in repro
+/// files; keep them unique.
+pub const MUTATIONS: &[Mutation] = &[
+    ("nan-number", nan_number),
+    ("zero-area-core", zero_area_core),
+    ("negative-number", negative_number),
+    ("huge-number", huge_number),
+    ("duplicate-core-line", duplicate_core_line),
+    ("duplicate-name", duplicate_name),
+    ("out-of-range-layer", out_of_range_layer),
+    ("zero-layers", zero_layers),
+    ("huge-layers", huge_layers),
+    ("self-loop-flow", self_loop_flow),
+    ("zero-bandwidth", zero_bandwidth),
+    ("drop-token", drop_token),
+    ("trailing-token", trailing_token),
+    ("garbage-line", garbage_line),
+    ("garbage-bytes", garbage_bytes),
+    ("truncate", truncate),
+    ("swap-files", swap_files),
+    ("empty-soc", empty_soc),
+];
+
+/// Applies 1–3 randomly chosen mutations to `case`, recording their names.
+pub fn apply_random_mutations(case: &mut FuzzCase, rng: &mut StdRng) {
+    let count = rng.gen_range(1..=3usize);
+    for _ in 0..count {
+        let (name, f) = MUTATIONS[rng.gen_range(0..MUTATIONS.len())];
+        f(case, rng);
+        case.mutations.push(name);
+    }
+}
+
+// --- helpers ---------------------------------------------------------------
+
+/// Picks a random non-comment line index starting with `prefix`, if any.
+fn pick_line(text: &str, prefix: &str, rng: &mut StdRng) -> Option<usize> {
+    let hits: Vec<usize> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.trim_start().starts_with(prefix))
+        .map(|(i, _)| i)
+        .collect();
+    if hits.is_empty() {
+        None
+    } else {
+        hits.get(rng.gen_range(0..hits.len())).copied()
+    }
+}
+
+/// Rewrites line `idx` of `text` through `f`.
+fn edit_line(text: &mut String, idx: usize, f: impl FnOnce(&str) -> String) {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    if let Some(line) = lines.get_mut(idx) {
+        *line = f(line);
+    }
+    *text = lines.join("\n");
+    text.push('\n');
+}
+
+/// Replaces whitespace token `tok` of a line (0-based) with `value`.
+fn set_token(line: &str, tok: usize, value: &str) -> String {
+    let mut parts: Vec<&str> = line.split_whitespace().collect();
+    if let Some(slot) = parts.get_mut(tok) {
+        *slot = value;
+    }
+    parts.join(" ")
+}
+
+/// A random numeric token slot on a `core` (1..=6) or `flow` (3..=4) line.
+fn numeric_slot(prefix: &str, rng: &mut StdRng) -> usize {
+    if prefix == "core" {
+        rng.gen_range(2..=6usize)
+    } else {
+        rng.gen_range(3..=4usize)
+    }
+}
+
+/// Applies `value` to one random numeric field of one random core or flow
+/// line (whichever file has such a line).
+fn poison_number(case: &mut FuzzCase, rng: &mut StdRng, value: &str) {
+    let on_soc = rng.gen_bool(0.5);
+    let (text, prefix) =
+        if on_soc { (&mut case.soc_text, "core") } else { (&mut case.comm_text, "flow") };
+    if let Some(idx) = pick_line(text, prefix, rng) {
+        let slot = numeric_slot(prefix, rng);
+        edit_line(text, idx, |l| set_token(l, slot, value));
+    }
+}
+
+// --- mutations -------------------------------------------------------------
+
+fn nan_number(case: &mut FuzzCase, rng: &mut StdRng) {
+    let value = ["nan", "inf", "-inf", "NaN"][rng.gen_range(0..4usize)];
+    poison_number(case, rng, value);
+}
+
+fn zero_area_core(case: &mut FuzzCase, rng: &mut StdRng) {
+    if let Some(idx) = pick_line(&case.soc_text, "core", rng) {
+        edit_line(&mut case.soc_text, idx, |l| set_token(&set_token(l, 2, "0"), 3, "0"));
+    }
+}
+
+fn negative_number(case: &mut FuzzCase, rng: &mut StdRng) {
+    poison_number(case, rng, "-2.5");
+}
+
+fn huge_number(case: &mut FuzzCase, rng: &mut StdRng) {
+    let value = ["1e308", "1e999", "4000000000", "179769313486231570000000000000"]
+        [rng.gen_range(0..4usize)];
+    poison_number(case, rng, value);
+}
+
+fn duplicate_core_line(case: &mut FuzzCase, rng: &mut StdRng) {
+    if let Some(idx) = pick_line(&case.soc_text, "core", rng) {
+        let line = case.soc_text.lines().nth(idx).map(str::to_string);
+        if let Some(line) = line {
+            case.soc_text.push_str(&line);
+            case.soc_text.push('\n');
+        }
+    }
+}
+
+fn duplicate_name(case: &mut FuzzCase, rng: &mut StdRng) {
+    let names: Vec<String> = case
+        .soc_text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("core"))
+        .filter_map(|l| l.split_whitespace().nth(1).map(str::to_string))
+        .collect();
+    if names.len() < 2 {
+        return;
+    }
+    let donor = names[rng.gen_range(0..names.len())].clone();
+    if let Some(idx) = pick_line(&case.soc_text, "core", rng) {
+        edit_line(&mut case.soc_text, idx, |l| set_token(l, 1, &donor));
+    }
+}
+
+fn out_of_range_layer(case: &mut FuzzCase, rng: &mut StdRng) {
+    if let Some(idx) = pick_line(&case.soc_text, "core", rng) {
+        edit_line(&mut case.soc_text, idx, |l| set_token(l, 6, "99"));
+    }
+}
+
+fn zero_layers(case: &mut FuzzCase, rng: &mut StdRng) {
+    match pick_line(&case.soc_text, "layers", rng) {
+        Some(idx) => edit_line(&mut case.soc_text, idx, |l| set_token(l, 1, "0")),
+        None => case.soc_text.insert_str(0, "layers 0\n"),
+    }
+}
+
+fn huge_layers(case: &mut FuzzCase, rng: &mut StdRng) {
+    if let Some(idx) = pick_line(&case.soc_text, "layers", rng) {
+        edit_line(&mut case.soc_text, idx, |l| set_token(l, 1, "4000000000"));
+    }
+}
+
+fn self_loop_flow(case: &mut FuzzCase, rng: &mut StdRng) {
+    if let Some(idx) = pick_line(&case.comm_text, "flow", rng) {
+        edit_line(&mut case.comm_text, idx, |l| {
+            let src = l.split_whitespace().nth(1).unwrap_or("c0").to_string();
+            set_token(l, 2, &src)
+        });
+    }
+}
+
+fn zero_bandwidth(case: &mut FuzzCase, rng: &mut StdRng) {
+    if let Some(idx) = pick_line(&case.comm_text, "flow", rng) {
+        edit_line(&mut case.comm_text, idx, |l| set_token(l, 3, "0"));
+    }
+}
+
+fn drop_token(case: &mut FuzzCase, rng: &mut StdRng) {
+    let on_soc = rng.gen_bool(0.5);
+    let (text, prefix) =
+        if on_soc { (&mut case.soc_text, "core") } else { (&mut case.comm_text, "flow") };
+    if let Some(idx) = pick_line(text, prefix, rng) {
+        edit_line(text, idx, |l| {
+            let parts: Vec<&str> = l.split_whitespace().collect();
+            let keep = parts.len().saturating_sub(1);
+            parts.get(..keep).unwrap_or(&[]).join(" ")
+        });
+    }
+}
+
+fn trailing_token(case: &mut FuzzCase, rng: &mut StdRng) {
+    let on_soc = rng.gen_bool(0.5);
+    let (text, prefix) =
+        if on_soc { (&mut case.soc_text, "core") } else { (&mut case.comm_text, "flow") };
+    if let Some(idx) = pick_line(text, prefix, rng) {
+        edit_line(text, idx, |l| format!("{l} surplus"));
+    }
+}
+
+fn garbage_line(case: &mut FuzzCase, rng: &mut StdRng) {
+    let junk = ["widget 1 2 3", "core", "flow c0", "layers", "\u{2603} snowman"]
+        [rng.gen_range(0..5usize)];
+    if rng.gen_bool(0.5) {
+        case.soc_text.push_str(junk);
+        case.soc_text.push('\n');
+    } else {
+        case.comm_text.push_str(junk);
+        case.comm_text.push('\n');
+    }
+}
+
+fn garbage_bytes(case: &mut FuzzCase, rng: &mut StdRng) {
+    let noise = ['#', '\t', '\u{0}', '\u{FFFD}', '\u{1F980}', '-', '.'][rng.gen_range(0..7usize)];
+    let text = if rng.gen_bool(0.5) { &mut case.soc_text } else { &mut case.comm_text };
+    if text.is_empty() {
+        text.push(noise);
+        return;
+    }
+    // Insertion points must be char boundaries; collect them first.
+    let boundaries: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+    let at = boundaries[rng.gen_range(0..boundaries.len())];
+    text.insert(at, noise);
+}
+
+fn truncate(case: &mut FuzzCase, rng: &mut StdRng) {
+    let text = if rng.gen_bool(0.5) { &mut case.soc_text } else { &mut case.comm_text };
+    if text.is_empty() {
+        return;
+    }
+    let boundaries: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+    let at = boundaries[rng.gen_range(0..boundaries.len())];
+    text.truncate(at);
+}
+
+fn swap_files(case: &mut FuzzCase, _rng: &mut StdRng) {
+    std::mem::swap(&mut case.soc_text, &mut case.comm_text);
+}
+
+fn empty_soc(case: &mut FuzzCase, _rng: &mut StdRng) {
+    case.soc_text.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_case;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_mutation_is_total_on_every_case_shape() {
+        // Apply each mutation to a spread of generated cases (including
+        // already-mutated ones); none may panic or produce non-UTF8 glue.
+        for index in 0..40u64 {
+            for (name, f) in MUTATIONS {
+                let mut case = generate_case(11, index);
+                let mut rng = StdRng::seed_from_u64(index ^ 0xABCD);
+                f(&mut case, &mut rng);
+                assert!(case.soc_text.len() < 1 << 20, "{name} exploded the text");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_names_are_unique() {
+        let mut names: Vec<&str> = MUTATIONS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MUTATIONS.len());
+    }
+}

@@ -1,0 +1,55 @@
+//! Shrunk repros of real fuzzer finds, pinned as regression tests.
+//!
+//! Each test reproduces a minimized case that `sunfloor3d fuzz` once
+//! flagged, and asserts the hardened pipeline now handles it: a typed
+//! rejection (or a well-formed feasible point), identical outcomes across
+//! schedules, and no panic.
+
+use sunfloor_core::spec::{CommSpec, SocSpec};
+use sunfloor_core::synthesis::{RejectReason, SynthesisConfig, SynthesisEngine};
+
+/// Find #1 (seed 9, case 809): a parseable `1e308` MB/s flow overflowed
+/// the power model to `inf`/`NaN` on a two-switch candidate whose flow
+/// never traverses a link, so no capacity check fired. The NaN-poisoned
+/// metrics broke `PartialEq` self-equality of the outcome, which the
+/// differential harness reported as a cross-schedule divergence. The fix
+/// screens non-finite metrics into `RejectReason::NonFiniteMetrics`.
+#[test]
+fn huge_bandwidth_overflow_is_screened_not_accepted() {
+    let soc = SocSpec::parse(concat!(
+        "layers 3\n",
+        "core c1 1 1 1 1 1\n",
+        "core c3 1 1 1 1 1\n",
+        "core c7 1 1 1 1 1\n",
+    ))
+    .expect("repro soc spec parses");
+    let comm = CommSpec::parse("flow c1 c3 1e308 1 request\n", &soc).expect("repro comm parses");
+    let cfg = |jobs: usize| {
+        SynthesisConfig::builder()
+            .jobs(jobs)
+            .run_layout(false)
+            .switch_count_range(2, 4)
+            .build()
+            .expect("repro config is valid")
+    };
+
+    let serial = SynthesisEngine::new(&soc, &comm, cfg(1)).expect("engine accepts repro").run();
+
+    // No point with overflowed metrics may be reported feasible, and the
+    // overflow must surface as the dedicated typed reason.
+    for p in &serial.points {
+        assert!(p.metrics.is_finite(), "accepted point carries non-finite metrics");
+    }
+    assert!(
+        serial.rejected.iter().any(|r| matches!(r.reason, RejectReason::NonFiniteMetrics)),
+        "expected at least one non-finite-metrics rejection, got {:?}",
+        serial.rejected.iter().map(|r| r.reason.kind()).collect::<Vec<_>>()
+    );
+
+    // Outcome must equal itself (no NaN anywhere) and match the parallel
+    // schedule bit-for-bit.
+    let replay = serial.clone();
+    assert_eq!(replay, serial, "outcome is not self-equal: NaN leaked into it");
+    let parallel = SynthesisEngine::new(&soc, &comm, cfg(3)).expect("engine accepts repro").run();
+    assert_eq!(serial, parallel, "serial and parallel schedules diverge");
+}

@@ -1,0 +1,109 @@
+//! Fault injection on the most machinery-heavy configuration: a tempered
+//! (4-replica annealer) layout sweep cut short by a zero deadline or a
+//! one-point budget must terminate promptly with a *well-formed* partial
+//! outcome — every candidate either absent or fully classified, the
+//! observer stream grouped, and serial/parallel schedules identical.
+
+use std::time::Duration;
+use sunfloor_benchmarks::pipeline_seeded;
+use sunfloor_core::synthesis::{
+    StopPolicy, SweepEvent, SynthesisConfig, SynthesisEngine, SynthesisOutcome,
+};
+
+fn tempered_cfg(jobs: usize) -> SynthesisConfig {
+    SynthesisConfig::builder()
+        .jobs(jobs)
+        .run_layout(true)
+        .anneal_replicas(4)
+        .switch_count_range(1, 4)
+        .build()
+        .expect("tempered test config is valid")
+}
+
+fn engine(bench: &sunfloor_benchmarks::Benchmark, jobs: usize) -> SynthesisEngine<'_> {
+    SynthesisEngine::new(&bench.soc, &bench.comm, tempered_cfg(jobs)).expect("valid benchmark")
+}
+
+/// Every candidate in the stream must appear as a complete group:
+/// `CandidateStarted`, optional `ThetaEscalated`s, then exactly one
+/// terminal — even when the run was cut off mid-sweep.
+fn assert_stream_well_formed(events: &[SweepEvent], outcome: &SynthesisOutcome) {
+    let mut open = false;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for ev in events {
+        match ev {
+            SweepEvent::CandidateStarted { .. } => {
+                assert!(!open, "CandidateStarted while previous group still open");
+                open = true;
+            }
+            SweepEvent::ThetaEscalated { .. } => {
+                assert!(open, "ThetaEscalated outside a candidate group");
+            }
+            SweepEvent::CandidateAccepted { point_index, .. } => {
+                assert!(open, "CandidateAccepted outside a candidate group");
+                assert_eq!(*point_index, accepted, "accepted point indices must be sequential");
+                accepted += 1;
+                open = false;
+            }
+            SweepEvent::CandidateRejected { .. } => {
+                assert!(open, "CandidateRejected outside a candidate group");
+                rejected += 1;
+                open = false;
+            }
+        }
+    }
+    assert!(!open, "stream ended with an unterminated candidate group");
+    assert_eq!(accepted, outcome.points.len(), "accepted events must match reported points");
+    // Each rejected *candidate* contributes >= 1 rejected *attempt*.
+    assert!(
+        outcome.rejected.len() >= rejected,
+        "rejected attempts ({}) cannot undercut rejected candidates ({rejected})",
+        outcome.rejected.len()
+    );
+}
+
+#[test]
+fn zero_deadline_on_tempered_config_yields_empty_well_formed_outcome() {
+    let bench = pipeline_seeded(8, 0xFA01);
+    for jobs in [1usize, 3] {
+        let mut events = Vec::new();
+        let outcome = engine(&bench, jobs)
+            .run_with(StopPolicy::Deadline(Duration::ZERO), &mut |ev: &SweepEvent| {
+                events.push(ev.clone());
+            });
+        // The deadline expired before the first candidate could commit, so
+        // the outcome must be empty — not truncated mid-candidate.
+        assert!(outcome.points.is_empty(), "jobs={jobs}: no point may beat a zero deadline");
+        assert!(outcome.rejected.is_empty(), "jobs={jobs}: no rejection may beat a zero deadline");
+        assert_stream_well_formed(&events, &outcome);
+        let replay = outcome.clone();
+        assert_eq!(replay, outcome, "jobs={jobs}: outcome must be self-equal (no NaN)");
+    }
+}
+
+#[test]
+fn one_point_budget_on_tempered_config_stops_early_and_matches_exhaustive_prefix() {
+    let bench = pipeline_seeded(8, 0xFA01);
+    let exhaustive = engine(&bench, 1).run();
+    assert!(!exhaustive.points.is_empty(), "pipeline benchmark must be feasible");
+
+    for jobs in [1usize, 3] {
+        let mut events = Vec::new();
+        let outcome = engine(&bench, jobs)
+            .run_with(StopPolicy::PointBudget(1), &mut |ev: &SweepEvent| {
+                events.push(ev.clone());
+            });
+        assert_eq!(outcome.points.len(), 1, "jobs={jobs}: budget of one point must hold");
+        assert_stream_well_formed(&events, &outcome);
+        // Budgeted stops are deterministic: the surviving point is the
+        // exhaustive run's first point, bit for bit, on every schedule.
+        assert_eq!(
+            outcome.points[0], exhaustive.points[0],
+            "jobs={jobs}: budgeted first point diverged from the exhaustive sweep"
+        );
+        for r in &outcome.rejected {
+            assert!(!r.reason.kind().is_empty(), "every rejection carries a typed reason");
+        }
+    }
+}

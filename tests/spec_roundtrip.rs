@@ -44,3 +44,65 @@ fn truncated_flow_line_is_rejected() {
     let err = CommSpec::parse("flow arm dsp1\n", &b.soc).unwrap_err();
     assert!(matches!(err, SpecError::Parse { line: 1, .. }));
 }
+
+// ---------------------------------------------------------------------------
+// Property tests: the parsers must be total (no panic on any input) and the
+// parse -> to_text -> parse loop must be the identity on everything that
+// parses at all.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use sunfloor_fuzz::generate_case;
+
+/// Arbitrary Unicode text, including control characters, surrogate-adjacent
+/// code points, and no structure whatsoever.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x11_0000u32, 0..400)
+        .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `SocSpec::parse` is total: any string yields `Ok` or a typed
+    /// `SpecError`, never a panic.
+    #[test]
+    fn soc_parse_never_panics_on_arbitrary_text(text in arb_garbage()) {
+        let _ = SocSpec::parse(&text);
+    }
+
+    /// `CommSpec::parse` is total against a small valid SoC.
+    #[test]
+    fn comm_parse_never_panics_on_arbitrary_text(text in arb_garbage()) {
+        let soc = SocSpec::parse("layers 2\ncore a 1 1 0 0 0\ncore b 1 1 1 0 1\n")
+            .expect("reference soc parses");
+        let _ = CommSpec::parse(&text, &soc);
+    }
+}
+
+/// Every adversarial spec the fuzzer generates (valid or mutated) that
+/// parses at all must survive a `to_text` round trip: reparsing the
+/// canonical text reproduces the same in-memory spec.
+#[test]
+fn fuzz_generated_specs_roundtrip_through_text() {
+    let mut parsed_socs = 0u32;
+    let mut parsed_comms = 0u32;
+    for index in 0..300u64 {
+        let case = generate_case(0x5EED_2026, index);
+        let Ok(soc) = SocSpec::parse(&case.soc_text) else { continue };
+        parsed_socs += 1;
+        let re_soc = SocSpec::parse(&soc.to_text())
+            .unwrap_or_else(|e| panic!("case {index}: canonical soc text failed to reparse: {e}"));
+        assert_eq!(re_soc, soc, "case {index}: soc spec drifted through to_text");
+        let Ok(comm) = CommSpec::parse(&case.comm_text, &soc) else { continue };
+        parsed_comms += 1;
+        let re_comm = CommSpec::parse(&comm.to_text(&soc), &soc)
+            .unwrap_or_else(|e| panic!("case {index}: canonical comm text failed to reparse: {e}"));
+        assert_eq!(re_comm, comm, "case {index}: comm spec drifted through to_text");
+    }
+    // The generator starts from valid specs, so a healthy share must parse;
+    // if these trip, the mutation mix drifted and the property tests above
+    // lost their subject matter.
+    assert!(parsed_socs >= 50, "only {parsed_socs}/300 generated soc specs parsed");
+    assert!(parsed_comms >= 25, "only {parsed_comms}/300 generated comm specs parsed");
+}
