@@ -10,8 +10,8 @@
 //! `target/experiments/`.
 //!
 //! `--gate` (with the `bench` experiment) diffs the freshly written
-//! `BENCH_phase6.json` against the committed previous-phase baseline
-//! (`BENCH_phase5.json`) and exits non-zero when any tracked metric
+//! `BENCH_phase7.json` against the committed previous-phase baseline
+//! (`BENCH_phase6.json`) and exits non-zero when any tracked metric
 //! regresses by more than the tolerance (default 30%; override with
 //! `--gate-tolerance=<fraction>`). This is the CI bench-regression gate.
 

@@ -1,7 +1,7 @@
 //! The `bench` experiment: wall-clock measurements of the synthesis hot
-//! paths, written as a `BENCH_phase6.json` artifact so the repository's
+//! paths, written as a `BENCH_phase7.json` artifact so the repository's
 //! performance trajectory is tracked in-tree. The committed
-//! `BENCH_phase5.json` is the previous phase's baseline; the `--gate`
+//! `BENCH_phase6.json` is the previous phase's baseline; the `--gate`
 //! flag of the `experiments` binary diffs a fresh artifact against it
 //! (see [`crate::gate`]).
 //!
@@ -19,18 +19,26 @@
 //!   adjacent-switch-count chain step through the `PartitionCache` —
 //!   PG built once, partitioner warm-started from the k=7 assignment.
 //!   The from-scratch cold path phase 3 measured is kept as
-//!   `partition_phase1_k8_cold_s`, and the θ-escalation step on the much
-//!   denser SPG as `partition_phase1_k8_theta_spg_s`.
+//!   `partition_phase1_k8_cold_s`, and the θ-escalation step — now the
+//!   sparse group-attraction fold instead of a materialized dense SPG —
+//!   as `partition_phase1_k8_theta_sparse_s` (renamed from
+//!   `partition_phase1_k8_theta_spg_s` with the phase-7 sparsification;
+//!   the gate skips renamed metrics rather than failing on them).
 //! * one flow-routing pass through the indexed [`PathAllocator`] core
-//!   (reported as flows routed per second),
+//!   (reported as flows routed per second), plus the phase-7
+//!   class-decomposed form (`routing.class_parallel_per_pass_s`): the
+//!   request and response CDG passes routed on two threads and merged
+//!   back into the interleaved creation order,
 //! * the switch-placement LP, cold (`placement_lp_k8_s`: the first
 //!   placement of a candidate, through a chain-cut [`PlacementSolver`])
 //!   and warm (`placement_lp_warm_k8_s`: a re-placement through the
 //!   retained solver state — the cost a θ-escalation retry pays after
 //!   phase 5's warm-started solver subsystem), plus the whole k ∈ {2..8}
 //!   candidate chain both ways (`placement_lp_chain`) and the
-//!   `lp_cold_solves` / `lp_warm_solves` / `lp_iters_saved` counters of a
-//!   full serial sweep,
+//!   `lp_cold_solves` / `lp_warm_solves` / `lp_iters_saved` /
+//!   `lp_cross_candidate_warm_solves` counters of a full serial sweep
+//!   (the last one counts placements served by the phase-7
+//!   cross-candidate seed bank),
 //! * a 20-block simulated-annealing floorplanning run (reported as SA
 //!   iterations per second; the annealer's inner loop is now the
 //!   Tang/Wong O(n log n) LCS packer),
@@ -64,10 +72,10 @@ use sunfloor_models::NocLibrary;
 
 /// File the measurements are persisted to (repo root when run via
 /// `cargo run -p sunfloor-bench --bin experiments -- bench`).
-pub const BENCH_ARTIFACT_PATH: &str = "BENCH_phase6.json";
+pub const BENCH_ARTIFACT_PATH: &str = "BENCH_phase7.json";
 
 /// The committed previous-phase baseline the gate diffs against.
-pub const BENCH_BASELINE_PATH: &str = "BENCH_phase5.json";
+pub const BENCH_BASELINE_PATH: &str = "BENCH_phase6.json";
 
 /// Times `f` over `reps` repetitions (after one warm-up call) and returns
 /// seconds per repetition.
@@ -86,11 +94,11 @@ fn time_per_rep<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
 /// unroutable benchmark) surface as an error artifact rather than a
 /// panic, so a bench run can never take the experiments binary down.
 #[must_use]
-pub fn bench_phase6(effort: Effort) -> Artifact {
-    match try_bench_phase6(effort) {
+pub fn bench_phase7(effort: Effort) -> Artifact {
+    match try_bench_phase7(effort) {
         Ok(artifact) => artifact,
         Err(e) => Artifact::Text {
-            id: "bench_phase6".to_string(),
+            id: "bench_phase7".to_string(),
             title: "Hot-path wall-clock baseline (media26)".to_string(),
             body: format!("{{\n  \"error\": \"{e}\"\n}}\n"),
         },
@@ -98,7 +106,7 @@ pub fn bench_phase6(effort: Effort) -> Artifact {
 }
 
 #[allow(clippy::too_many_lines)]
-fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
+fn try_bench_phase7(effort: Effort) -> Result<Artifact, String> {
     let (sweep_reps, route_reps, sa_iters, sa_reps) = match effort {
         Effort::Quick => (1u32, 20u32, 5_000u32, 3u32),
         Effort::Full => (3, 200, 30_000, 5),
@@ -149,7 +157,8 @@ fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
     // step through the cache (PG built once, partitioner warm-started
     // from the k=7 assignment and FM-polished against a reduced cold
     // restart budget). The from-scratch cold form phase 3 tracked stays
-    // alongside, plus the θ-escalation step on the (much denser) SPG.
+    // alongside, plus the θ-escalation step, whose attraction terms are
+    // now folded per group instead of materialized as a dense SPG.
     let seed = 0xC0FFEE_u64;
     // Validated once by the `?` on `conn` below; the timed closures only
     // repeat calls that have already succeeded.
@@ -226,6 +235,27 @@ fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
     });
     let flows = graph.edge_list().len();
     let flows_per_s = flows as f64 / route_s;
+    // The class-decomposed form of the same pass (the phase-7 tentpole):
+    // request and response CDGs routed as independent passes on two
+    // threads, links merged back into the interleaved creation order.
+    // Bit-identical to `compute_paths`; the delta against `per_pass_s`
+    // is the thread + merge overhead vs the two-way concurrency win.
+    let class_route_s = time_per_rep(route_reps, || {
+        alloc
+            .compute_paths_classed(
+                &graph,
+                &conn.core_attach,
+                &conn.switch_layer,
+                &conn.est_positions,
+                &core_layers,
+                bench.soc.layers,
+                &lib,
+                &path_cfg,
+                0.6,
+                true,
+            )
+            .ok()
+    });
 
     // Switch-placement LP on routed topologies for the k ∈ {2..8} chain
     // the acceptance gate tracks. Cold = the first placement of a
@@ -407,7 +437,7 @@ fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
         .collect();
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"phase\": 6,");
+    let _ = writeln!(json, "  \"phase\": 7,");
     let _ = writeln!(json, "  \"benchmark\": \"media26\",");
     let _ = writeln!(
         json,
@@ -423,7 +453,7 @@ fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"partition_phase1_k8_s\": {partition_warm_s:.9},");
     let _ = writeln!(json, "  \"partition_phase1_k8_cold_s\": {partition_cold_s:.9},");
-    let _ = writeln!(json, "  \"partition_phase1_k8_theta_spg_s\": {partition_theta_s:.9},");
+    let _ = writeln!(json, "  \"partition_phase1_k8_theta_sparse_s\": {partition_theta_s:.9},");
     let _ = writeln!(json, "  \"partition_cache_hits\": {{");
     let _ = writeln!(json, "    \"base_cache_hits\": {},", stats.base_cache_hits);
     let _ = writeln!(json, "    \"warm_partitions\": {},", stats.warm_partitions);
@@ -434,6 +464,7 @@ fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
     let _ = writeln!(json, "  \"routing\": {{");
     let _ = writeln!(json, "    \"flows\": {flows},");
     let _ = writeln!(json, "    \"per_pass_s\": {route_s:.9},");
+    let _ = writeln!(json, "    \"class_parallel_per_pass_s\": {class_route_s:.9},");
     let _ = writeln!(json, "    \"flows_per_s\": {flows_per_s:.1}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"placement_lp_k8_s\": {place_cold_s:.9},");
@@ -447,6 +478,11 @@ fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
     let _ = writeln!(json, "  \"lp_cold_solves\": {},", lp_stats.cold_solves);
     let _ = writeln!(json, "  \"lp_warm_solves\": {},", lp_stats.warm_solves);
     let _ = writeln!(json, "  \"lp_iters_saved\": {},", lp_stats.iterations_saved);
+    let _ = writeln!(
+        json,
+        "  \"lp_cross_candidate_warm_solves\": {},",
+        lp_stats.cross_candidate_warm_solves
+    );
     let _ = writeln!(json, "  \"annealer\": {{");
     let _ = writeln!(json, "    \"iterations\": {sa_iters},");
     let _ = writeln!(json, "    \"per_run_s\": {sa_s:.6},");
@@ -499,7 +535,7 @@ fn try_bench_phase6(effort: Effort) -> Result<Artifact, String> {
     }
 
     Ok(Artifact::Text {
-        id: "bench_phase6".to_string(),
+        id: "bench_phase7".to_string(),
         title: "Hot-path wall-clock baseline (media26)".to_string(),
         body: json,
     })

@@ -66,6 +66,23 @@ pub fn connectivity(
 /// implementation).
 const WARM_RESTARTS: u32 = 4;
 
+/// Cold restart budget of a warm-started **θ-escalation** step. A θ-step
+/// re-partitions an assignment that was already good at the previous θ on
+/// a mildly rescaled objective, so the warm refinement wins essentially
+/// always and the cold restarts are mostly insurance in the hottest
+/// Phase-1 loop. Two restarts at seed stride [`THETA_SEED_STRIDE`]
+/// (seeds +0 and +2) sample the same seed span four consecutive restarts
+/// would, and on every in-tree benchmark trajectory they select the exact
+/// partition the four-restart budget selects — consecutive seeds cluster
+/// in the same greedy-growth basin, so spreading the draw is worth more
+/// than adding draws. The θ-replay and sparse-θ anchor tests
+/// (`tests/partition_warm.rs`) gate this budget against the full
+/// cold-start partitioner.
+const THETA_WARM_RESTARTS: u32 = 2;
+
+/// Seed spacing of a θ-step's cold restarts (see [`THETA_WARM_RESTARTS`]).
+const THETA_SEED_STRIDE: u32 = 2;
+
 /// [`connectivity`] through a [`PartitionCache`]: the PG is built once per
 /// cache, SPGs are derived by rescaling the cached template in place, and
 /// an optional `initial` assignment warm-starts the partitioner (FM-style
@@ -101,7 +118,12 @@ pub fn connectivity_cached(
     let mut cfg = PartitionConfig::k_way(switches).with_seed(seed);
     if let Some(init) = initial {
         cfg = cfg.with_initial(init.to_vec());
-        cfg.restarts = WARM_RESTARTS;
+        if theta.is_some() {
+            cfg.restarts = THETA_WARM_RESTARTS;
+            cfg.seed_stride = THETA_SEED_STRIDE;
+        } else {
+            cfg.restarts = WARM_RESTARTS;
+        }
         cache.stats.warm_partitions += 1;
     } else {
         cache.stats.cold_partitions += 1;

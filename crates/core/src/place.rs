@@ -25,11 +25,29 @@
 //! candidate the chain is deterministic, and the [`LpStats`] counters are
 //! accumulated per candidate so serial and parallel sweeps report
 //! identical totals.
+//!
+//! # Cross-candidate seeds
+//!
+//! Cutting every chain at candidate boundaries leaves the *first*
+//! placement of every candidate cold, even though candidates at the same
+//! switch count solve near-identical LPs. A shared, read-only
+//! [`PlacementSeeds`] bank closes that gap without giving up the
+//! determinism contract: the synthesis engine runs a serial warm-up once
+//! per run (one placement per swept switch count, mirroring its Phase-1
+//! seed chain), exports each optimal basis pair, and installs the bank
+//! into every worker's solver with [`PlacementSolver::install_seeds`].
+//! [`PlacementSolver::begin_candidate`] then *re-seeds* each state from
+//! the bank instead of merely clearing it — every candidate still starts
+//! from the same fixed basis regardless of which worker evaluates it, so
+//! serial and parallel sweeps stay bit-for-bit identical, but the base
+//! attempt re-enters the simplex warm. Seed-served re-entries are counted
+//! in [`LpStats::cross_candidate_warm_solves`].
 
 use crate::graph::CommGraph;
 use crate::spec::SocSpec;
 use crate::topology::Topology;
-use sunfloor_lp::{PlacementProblem, PlacementState, SolveError, SolveReport};
+use std::sync::Arc;
+use sunfloor_lp::{PlacementProblem, PlacementSeed, PlacementState, SolveError, SolveReport};
 
 /// Accumulated traffic between every core and its switch, and between switch
 /// pairs — the `bw_sw2core` / `bw_sw2sw` weights of equation (4).
@@ -116,6 +134,10 @@ pub struct LpStats {
     /// Estimated pivots avoided by the warm re-entries, measured against
     /// each solver state's most recent cold solve.
     pub iterations_saved: u64,
+    /// Warm re-entries served by a cross-candidate [`PlacementSeeds`]
+    /// basis (the engine's serial warm-up bank) rather than by a
+    /// within-candidate chain. A subset of [`LpStats::warm_solves`].
+    pub cross_candidate_warm_solves: u64,
 }
 
 impl LpStats {
@@ -142,6 +164,7 @@ impl std::ops::AddAssign for LpStats {
         self.warm_solves += rhs.warm_solves;
         self.simplex_iterations += rhs.simplex_iterations;
         self.iterations_saved += rhs.iterations_saved;
+        self.cross_candidate_warm_solves += rhs.cross_candidate_warm_solves;
     }
 }
 
@@ -154,7 +177,55 @@ impl std::ops::Sub for LpStats {
             warm_solves: self.warm_solves - rhs.warm_solves,
             simplex_iterations: self.simplex_iterations - rhs.simplex_iterations,
             iterations_saved: self.iterations_saved - rhs.iterations_saved,
+            cross_candidate_warm_solves: self.cross_candidate_warm_solves
+                - rhs.cross_candidate_warm_solves,
         }
+    }
+}
+
+/// A read-only bank of cross-candidate placement seeds, keyed by switch
+/// count: one exported [`PlacementSeed`] per swept count, captured by the
+/// synthesis engine's serial warm-up and shared (behind an [`Arc`]) by
+/// every sweep worker's [`PlacementSolver`]. Because the bank is fixed
+/// before the sweep starts and identical for all workers, seeding from it
+/// is scheduling-invariant — the determinism contract of
+/// [`PlacementSolver::begin_candidate`] is preserved.
+#[derive(Debug, Default)]
+pub struct PlacementSeeds {
+    seeds: Vec<(usize, PlacementSeed)>,
+}
+
+impl PlacementSeeds {
+    /// An empty bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) the seed for `switches` switches.
+    pub fn insert(&mut self, switches: usize, seed: PlacementSeed) {
+        match self.seeds.iter_mut().find(|(k, _)| *k == switches) {
+            Some((_, existing)) => *existing = seed,
+            None => self.seeds.push((switches, seed)),
+        }
+    }
+
+    /// The seed for `switches` switches, if one was captured.
+    #[must_use]
+    pub fn get(&self, switches: usize) -> Option<&PlacementSeed> {
+        self.seeds.iter().find(|(k, _)| *k == switches).map(|(_, s)| s)
+    }
+
+    /// Number of switch counts with a captured seed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the bank holds no seeds at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
     }
 }
 
@@ -169,8 +240,23 @@ pub struct PlacementSolver {
     weights: PlacementWeights,
     /// Warm-start states keyed by switch count (indirect-switch rounds
     /// grow the count mid-candidate, so one candidate can touch several).
-    states: Vec<(usize, PlacementState)>,
+    states: Vec<StateSlot>,
+    /// The shared cross-candidate seed bank, when the engine installed
+    /// one (see the [module docs](self)).
+    seeds: Option<Arc<PlacementSeeds>>,
     stats: LpStats,
+}
+
+/// One warm-start state plus its seeding bookkeeping.
+#[derive(Debug)]
+struct StateSlot {
+    switches: usize,
+    state: PlacementState,
+    /// Whether the next placement through this slot starts from a freshly
+    /// installed cross-candidate seed (set when the seed is installed,
+    /// cleared by the first placement — which is the only one whose warm
+    /// re-entries count as seed-served).
+    seeded: bool,
 }
 
 impl PlacementSolver {
@@ -180,18 +266,48 @@ impl PlacementSolver {
         Self::default()
     }
 
-    /// Cuts the warm chain: forgets every saved basis (keeping all
-    /// buffers), so the next placement at any switch count solves cold.
+    /// Installs the shared cross-candidate seed bank: from the next
+    /// [`PlacementSolver::begin_candidate`] on (and for states created
+    /// mid-candidate), states whose switch count has a banked seed start
+    /// from that basis instead of cold.
+    pub fn install_seeds(&mut self, seeds: Arc<PlacementSeeds>) {
+        self.seeds = Some(seeds);
+    }
+
+    /// Cuts the warm chain at a candidate boundary: every state forgets
+    /// its basis — and re-seeds from the shared cross-candidate bank when
+    /// one is installed and covers its switch count — so the next
+    /// placement at any switch count starts from a fixed, candidate-
+    /// independent basis (the banked seed, or cold).
     ///
     /// The engine calls this at the start of each candidate evaluation.
     /// Warm chains *within* a candidate are deterministic; chains *across*
     /// candidates would depend on which worker happened to evaluate which
     /// candidate previously, breaking the serial == parallel bit-for-bit
-    /// guarantee.
+    /// guarantee. The banked seeds are fixed before the sweep starts, so
+    /// re-seeding keeps that guarantee while skipping the cold re-entry.
     pub fn begin_candidate(&mut self) {
-        for (_, state) in &mut self.states {
-            state.clear_warm();
+        let seeds = self.seeds.as_deref();
+        for slot in &mut self.states {
+            match seeds.and_then(|s| s.get(slot.switches)) {
+                Some(seed) => {
+                    slot.state.seed_from(seed);
+                    slot.seeded = true;
+                }
+                None => {
+                    slot.state.clear_warm();
+                    slot.seeded = false;
+                }
+            }
         }
+    }
+
+    /// Exports the optimal basis pair of the state at `switches`, if that
+    /// state has completed a placement. The engine's warm-up uses this to
+    /// build the shared [`PlacementSeeds`] bank.
+    #[must_use]
+    pub fn export_seed(&self, switches: usize) -> Option<PlacementSeed> {
+        self.states.iter().find(|s| s.switches == switches)?.state.export_seed()
     }
 
     /// Cumulative counters of every solve this solver served.
@@ -223,18 +339,38 @@ impl PlacementSolver {
         }
 
         let key = topo.switch_count();
-        let slot = match self.states.iter().position(|(k, _)| *k == key) {
+        let slot = match self.states.iter().position(|s| s.switches == key) {
             Some(i) => i,
             None => {
-                self.states.push((key, PlacementState::new()));
+                // A switch count this solver has never placed: start its
+                // state from the banked seed when one exists, exactly as
+                // `begin_candidate` would have.
+                let mut state = PlacementState::new();
+                let seeded = match self.seeds.as_deref().and_then(|s| s.get(key)) {
+                    Some(seed) => {
+                        state.seed_from(seed);
+                        true
+                    }
+                    None => false,
+                };
+                self.states.push(StateSlot { switches: key, state, seeded });
                 self.states.len() - 1
             }
         };
-        let state = &mut self.states[slot].1;
-        let positions = self.problem.solve_with(state)?;
-        let (rx, ry) = state.reports();
+        let slot = &mut self.states[slot];
+        let positions = self.problem.solve_with(&mut slot.state)?;
+        let (rx, ry) = slot.state.reports();
         self.stats.record(rx);
         self.stats.record(ry);
+        if slot.seeded {
+            slot.seeded = false;
+            // The x axis never adopts a basis mid-solve, so a warm x on a
+            // freshly seeded slot means the banked seed replayed; the y
+            // axis then warmed from the seed too (not from an x adoption).
+            if rx.warm {
+                self.stats.cross_candidate_warm_solves += 1 + u64::from(ry.warm);
+            }
+        }
 
         let objective = self.problem.objective(&positions);
         topo.switch_pos = positions;
@@ -363,6 +499,71 @@ mod tests {
         );
         // A fresh solver produces the same positions: the chain cut makes
         // the per-candidate results history-independent.
+        let mut fresh = topo.clone();
+        PlacementSolver::new().place(&mut fresh, &soc, &graph).unwrap();
+        assert_eq!(b.switch_pos, fresh.switch_pos);
+    }
+
+    /// Builds a seed bank from one warm-up placement of `topo`.
+    fn bank_from(topo: &Topology, soc: &SocSpec, graph: &CommGraph) -> Arc<PlacementSeeds> {
+        let mut warmup = PlacementSolver::new();
+        let mut t = topo.clone();
+        warmup.place(&mut t, soc, graph).unwrap();
+        let mut bank = PlacementSeeds::new();
+        bank.insert(topo.switch_count(), warmup.export_seed(topo.switch_count()).unwrap());
+        Arc::new(bank)
+    }
+
+    #[test]
+    fn banked_seed_warms_the_first_placement_of_a_candidate() {
+        let (soc, graph, topo) = setup();
+        let bank = bank_from(&topo, &soc, &graph);
+        assert_eq!(bank.len(), 1);
+
+        let mut solver = PlacementSolver::new();
+        solver.install_seeds(Arc::clone(&bank));
+        let mut seeded = topo.clone();
+        solver.place(&mut seeded, &soc, &graph).unwrap();
+        let first = solver.stats();
+        assert_eq!(first.cold_solves, 0, "the banked basis must replace the cold solve");
+        assert_eq!(first.warm_solves, 2);
+        assert_eq!(first.cross_candidate_warm_solves, 2);
+
+        // And crucially: the seeded placement reproduces the unseeded
+        // vertex bit-for-bit (the seed is the same problem's optimal
+        // basis, so the warm re-entry replays it with zero pivots).
+        let mut cold = topo.clone();
+        PlacementSolver::new().place(&mut cold, &soc, &graph).unwrap();
+        assert_eq!(seeded.switch_pos, cold.switch_pos);
+
+        // The next candidate re-seeds from the bank: warm again, and the
+        // same vertex again.
+        solver.begin_candidate();
+        let before = solver.stats();
+        let mut again = topo.clone();
+        solver.place(&mut again, &soc, &graph).unwrap();
+        let delta = solver.stats() - before;
+        assert_eq!(delta.cold_solves, 0);
+        assert_eq!(delta.cross_candidate_warm_solves, 2);
+        assert_eq!(again.switch_pos, cold.switch_pos);
+    }
+
+    #[test]
+    fn seed_bank_misses_fall_back_to_cold() {
+        let (soc, graph, topo) = setup();
+        // A bank that covers some other switch count only.
+        let mut bank = PlacementSeeds::new();
+        let mut warmup = PlacementSolver::new();
+        let mut t = topo.clone();
+        warmup.place(&mut t, &soc, &graph).unwrap();
+        bank.insert(topo.switch_count() + 7, warmup.export_seed(topo.switch_count()).unwrap());
+
+        let mut solver = PlacementSolver::new();
+        solver.install_seeds(Arc::new(bank));
+        let mut b = topo.clone();
+        solver.place(&mut b, &soc, &graph).unwrap();
+        assert_eq!(solver.stats().cold_solves, 1, "bank miss must behave exactly unseeded");
+        assert_eq!(solver.stats().cross_candidate_warm_solves, 0);
         let mut fresh = topo.clone();
         PlacementSolver::new().place(&mut fresh, &soc, &graph).unwrap();
         assert_eq!(b.switch_pos, fresh.switch_pos);

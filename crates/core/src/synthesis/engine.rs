@@ -9,14 +9,14 @@ use super::outcome::{DesignPoint, PhaseKind, RejectedPoint, SynthesisOutcome};
 use crate::eval::evaluate;
 use crate::graph::{CommGraph, PartitionCache, PartitionStats};
 use crate::layout::{layout_design, layout_design_tempered, AnnealStats};
-use crate::paths::{PathAllocator, PathConfig, PathError};
+use crate::paths::{PathAllocator, PathConfig, PathError, RoutingStats};
 use crate::phase1::{self, Connectivity};
 use crate::phase2;
-use crate::place::{LpStats, PlacementSolver};
+use crate::place::{LpStats, PlacementSeeds, PlacementSolver};
 use crate::spec::{CommSpec, SocSpec};
 use crate::topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 use sunfloor_partition::PartitionError;
@@ -80,6 +80,10 @@ struct CandidateEvaluation {
     /// Tempered-layout counters this candidate accrued (same per-candidate
     /// determinism contract as `stats`).
     anneal_stats: AnnealStats,
+    /// Routing counters this candidate accrued (same per-candidate
+    /// determinism contract as `stats`; class-threaded and sequential
+    /// routing produce identical deltas).
+    routing_stats: RoutingStats,
 }
 
 impl CandidateEvaluation {
@@ -92,6 +96,7 @@ impl CandidateEvaluation {
             stats: PartitionStats::default(),
             lp_stats: LpStats::default(),
             anneal_stats: AnnealStats::default(),
+            routing_stats: RoutingStats::default(),
         }
     }
 }
@@ -122,6 +127,25 @@ impl Phase1Seeds {
     fn get(&self, count: usize) -> Option<&Result<Phase1Seed, PartitionError>> {
         self.seeds.iter().find(|(k, _)| *k == count).map(|(_, seed)| seed)
     }
+}
+
+/// The precomputed cross-candidate placement seeds: one optimal LP basis
+/// pair per swept switch count, captured by a serial warm-up that routes
+/// and places each Phase-1 seed connectivity once at the first usable
+/// frequency — the placement-LP analogue of [`Phase1Seeds`].
+///
+/// The bank is computed once per engine and shared read-only (behind an
+/// [`Arc`]) by every sweep worker's [`PlacementSolver`], so seeding from
+/// it is scheduling-invariant: a candidate's base placement starts from
+/// the same fixed basis whether the sweep runs serially or fanned out.
+/// The counters the warm-up itself accrued are added to the outcome once
+/// per run, like the Phase-1 seed chain's partition counters.
+struct PlacementWarmup {
+    seeds: Arc<PlacementSeeds>,
+    /// Placement-LP counters the warm-up accrued (its cold solves).
+    lp_stats: LpStats,
+    /// Routing counters the warm-up accrued (one pass per seeded count).
+    routing_stats: RoutingStats,
 }
 
 /// The redesigned synthesis driver (paper Fig. 3).
@@ -165,6 +189,9 @@ pub struct SynthesisEngine<'a> {
     /// Lazily computed warm-chained Phase-1 base partitions (shared by all
     /// sweep workers; stable across repeated `run` calls).
     phase1_seeds: OnceLock<Phase1Seeds>,
+    /// Lazily computed cross-candidate placement seed bank (same sharing
+    /// and stability contract as `phase1_seeds`).
+    placement_warmup: OnceLock<PlacementWarmup>,
 }
 
 impl<'a> SynthesisEngine<'a> {
@@ -195,7 +222,14 @@ impl<'a> SynthesisEngine<'a> {
             return Err(SynthesisError::NoUsableFrequency);
         }
         let graph = CommGraph::new(soc, comm);
-        Ok(Self { soc, graph, cfg, frequencies, phase1_seeds: OnceLock::new() })
+        Ok(Self {
+            soc,
+            graph,
+            cfg,
+            frequencies,
+            phase1_seeds: OnceLock::new(),
+            placement_warmup: OnceLock::new(),
+        })
     }
 
     /// The warm-chained Phase-1 base partitions, computed once per engine.
@@ -236,6 +270,65 @@ impl<'a> SynthesisEngine<'a> {
                 }
             }
             Phase1Seeds { seeds, stats: cache.stats }
+        })
+    }
+
+    /// The cross-candidate placement seed bank, computed once per engine:
+    /// each Phase-1 seed connectivity is routed and placed once — serially,
+    /// in ascending switch-count order, at the first usable frequency — and
+    /// the optimal basis pair exported. Counts whose warm-up fails to route
+    /// simply stay unseeded (those candidates place cold, as before).
+    fn placement_warmup(&self) -> &PlacementWarmup {
+        self.placement_warmup.get_or_init(|| {
+            let cfg = &self.cfg;
+            let mut seeds = PlacementSeeds::new();
+            let mut alloc = PathAllocator::new();
+            let mut placement = PlacementSolver::new();
+            let Some(&freq) = self.frequencies.first() else {
+                return PlacementWarmup {
+                    seeds: Arc::new(seeds),
+                    lp_stats: LpStats::default(),
+                    routing_stats: RoutingStats::default(),
+                };
+            };
+            let core_layers: Vec<u32> = self.soc.cores.iter().map(|c| c.layer).collect();
+            let path_cfg = PathConfig {
+                max_ill: cfg.max_ill,
+                soft_ill_margin: cfg.soft_ill_margin,
+                max_switch_size: cfg.library.switch.max_size_for_frequency(freq),
+                soft_switch_margin: cfg.soft_switch_margin,
+                adjacent_layers_only: false,
+                frequency_mhz: freq,
+                deadlock_retries: 24,
+            };
+            let class_threads = cfg.parallelism.effective_jobs() <= 1;
+            for (count, seed) in &self.phase1_seeds().seeds {
+                let Ok(seed) = seed else { continue };
+                let Ok(mut topo) = alloc.compute_paths_classed(
+                    &self.graph,
+                    &seed.conn.core_attach,
+                    &seed.conn.switch_layer,
+                    &seed.conn.est_positions,
+                    &core_layers,
+                    self.soc.layers,
+                    &cfg.library,
+                    &path_cfg,
+                    cfg.alpha,
+                    class_threads,
+                ) else {
+                    continue;
+                };
+                if placement.place(&mut topo, self.soc, &self.graph).is_ok() {
+                    if let Some(s) = placement.export_seed(topo.switch_count()) {
+                        seeds.insert(*count, s);
+                    }
+                }
+            }
+            PlacementWarmup {
+                seeds: Arc::new(seeds),
+                lp_stats: placement.stats(),
+                routing_stats: alloc.stats(),
+            }
         })
     }
 
@@ -303,9 +396,13 @@ impl<'a> SynthesisEngine<'a> {
         let started = Instant::now(); // sf-allow(nondet-source): the Deadline StopPolicy is wall-clock by design; results stay deterministic, only the cut-off point varies
         let mut outcome = SynthesisOutcome::default();
         if self.cfg.mode != SynthesisMode::Phase2Only {
-            // The shared warm-chained base partitions (computed on first
-            // run) count towards this run's cache diagnostics.
+            // The shared warm-chained base partitions and the placement
+            // seed bank (computed on first run) count towards this run's
+            // diagnostics.
             outcome.partition_stats += self.phase1_seeds().stats;
+            let warmup = self.placement_warmup();
+            outcome.lp_stats += warmup.lp_stats;
+            outcome.routing_stats += warmup.routing_stats;
         }
         for &freq in &self.frequencies {
             let primary = self.primary_candidates(freq);
@@ -345,12 +442,24 @@ impl<'a> SynthesisEngine<'a> {
         started: Instant,
     ) -> bool {
         let jobs = self.cfg.parallelism.effective_jobs().min(candidates.len());
+        // Every solver (serial or per worker) seeds candidates from the
+        // same shared bank, so which worker draws which candidate cannot
+        // influence any placement's starting basis.
+        let seed_bank = (self.cfg.mode != SynthesisMode::Phase2Only)
+            .then(|| Arc::clone(&self.placement_warmup().seeds));
+        let new_solver = || {
+            let mut placement = PlacementSolver::new();
+            if let Some(bank) = &seed_bank {
+                placement.install_seeds(Arc::clone(bank));
+            }
+            placement
+        };
         if jobs <= 1 {
             // One reusable routing workspace, partition cache and placement
             // solver for the whole serial sweep.
             let mut alloc = PathAllocator::new();
             let mut cache = PartitionCache::new();
-            let mut placement = PlacementSolver::new();
+            let mut placement = new_solver();
             for &candidate in candidates {
                 if policy.met(outcome, started) {
                     return true;
@@ -373,11 +482,12 @@ impl<'a> SynthesisEngine<'a> {
                     // Per-worker routing workspace, partition cache and
                     // placement solver, reused across every candidate this
                     // worker claims. The placement solver's warm chains are
-                    // cut per candidate, so the reuse never leaks results
-                    // between the candidates a worker happens to draw.
+                    // cut (and re-seeded from the shared bank) per
+                    // candidate, so the reuse never leaks results between
+                    // the candidates a worker happens to draw.
                     let mut alloc = PathAllocator::new();
                     let mut cache = PartitionCache::new();
-                    let mut placement = PlacementSolver::new();
+                    let mut placement = new_solver();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -452,6 +562,7 @@ impl<'a> SynthesisEngine<'a> {
         outcome.partition_stats += ev.stats;
         outcome.lp_stats += ev.lp_stats;
         outcome.anneal_stats += ev.anneal_stats;
+        outcome.routing_stats += ev.routing_stats;
         outcome.rejected.extend(ev.attempts);
         match ev.point {
             Some(point) => {
@@ -489,6 +600,7 @@ impl<'a> SynthesisEngine<'a> {
         placement.begin_candidate();
         let before = cache.stats;
         let lp_before = placement.stats();
+        let routing_before = alloc.stats();
         let mut ev = match candidate.sweep {
             SweepParam::SwitchCount(k) => {
                 self.evaluate_phase1(candidate, k, alloc, cache, placement)
@@ -497,6 +609,7 @@ impl<'a> SynthesisEngine<'a> {
         };
         ev.stats += cache.stats - before;
         ev.lp_stats += placement.stats() - lp_before;
+        ev.routing_stats += alloc.stats() - routing_before;
         ev
     }
 
@@ -696,8 +809,14 @@ impl<'a> SynthesisEngine<'a> {
         let mut topo: Option<Topology> = None;
         let mut last_err: Option<PathError> = None;
 
+        // Class-threaded routing follows the tempered annealer's
+        // thread-collapse pattern: a parallel sweep already saturates the
+        // machine with candidate workers, so the two class passes then run
+        // sequentially on the worker's thread (the result is identical
+        // either way — the threads only schedule the passes).
+        let class_threads = cfg.parallelism.effective_jobs() <= 1;
         for round in 0..=cfg.indirect_switch_rounds {
-            match alloc.compute_paths(
+            match alloc.compute_paths_classed(
                 &self.graph,
                 &conn.core_attach,
                 &switch_layer,
@@ -707,6 +826,7 @@ impl<'a> SynthesisEngine<'a> {
                 &cfg.library,
                 &path_cfg,
                 cfg.alpha,
+                class_threads,
             ) {
                 Ok(mut t) => {
                     t.indirect_switches = indirect.clone();

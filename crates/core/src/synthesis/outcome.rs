@@ -6,6 +6,7 @@ use super::diagnostics::RejectReason;
 use crate::eval::DesignMetrics;
 use crate::graph::PartitionStats;
 use crate::layout::{AnnealStats, Layout};
+use crate::paths::RoutingStats;
 use crate::place::LpStats;
 use crate::topology::Topology;
 use std::fmt;
@@ -89,6 +90,12 @@ pub struct SynthesisOutcome {
     /// layout through it. Counted per candidate like the other stats, so
     /// the totals are scheduling-independent.
     pub anneal_stats: AnnealStats,
+    /// How the flow routing work was served (flows routed, links created,
+    /// deadlock rollbacks, per-class merges vs interleaved fallbacks).
+    /// Counted per candidate like the other stats, so serial sweeps,
+    /// parallel sweeps and class-threaded routing all report identical
+    /// totals.
+    pub routing_stats: RoutingStats,
 }
 
 impl SynthesisOutcome {

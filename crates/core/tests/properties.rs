@@ -2,8 +2,9 @@
 //! always produce structurally consistent graphs, routes and metrics.
 
 use proptest::prelude::*;
+use sunfloor_core::eval::evaluate;
 use sunfloor_core::graph::CommGraph;
-use sunfloor_core::paths::{compute_paths, PathConfig};
+use sunfloor_core::paths::{compute_paths, PathAllocator, PathConfig};
 use sunfloor_core::spec::{CommSpec, Core, Flow, MessageType, SocSpec};
 use sunfloor_core::synthesis::{SynthesisConfig, SynthesisEngine};
 use sunfloor_models::NocLibrary;
@@ -125,6 +126,69 @@ proptest! {
                 prop_assert_eq!(g.edge_list()[fi].class, l.class);
             }
         }
+    }
+
+    /// The class-decomposed routing pass is bit-identical to the legacy
+    /// interleaved pass on arbitrary fuzz-generated specs — with the
+    /// request/response passes run sequentially and on two threads — in
+    /// links, CDG (link creation) order, flow paths and the power the
+    /// routed topology evaluates to, and thread scheduling never leaks
+    /// into the routing diagnostics.
+    #[test]
+    fn classed_routing_matches_interleaved_bit_for_bit((soc, comm) in arb_design()) {
+        let g = CommGraph::new(&soc, &comm);
+        let layers = soc.layers;
+        let mut switch_of_layer = vec![usize::MAX; layers as usize];
+        let mut switch_layer = Vec::new();
+        for l in 0..layers {
+            if !soc.cores_in_layer(l).is_empty() {
+                switch_of_layer[l as usize] = switch_layer.len();
+                switch_layer.push(l);
+            }
+        }
+        let core_attach: Vec<usize> =
+            soc.cores.iter().map(|c| switch_of_layer[c.layer as usize]).collect();
+        let est: Vec<(f64, f64)> = switch_layer.iter().map(|_| (2.0, 2.0)).collect();
+        let core_layers: Vec<u32> = soc.cores.iter().map(|c| c.layer).collect();
+        let lib = NocLibrary::lp65();
+        let cfg = PathConfig::new(200, 64, 400.0);
+
+        let mut legacy = PathAllocator::new();
+        let base = legacy.compute_paths(
+            &g, &core_attach, &switch_layer, &est, &core_layers, layers, &lib, &cfg, 1.0,
+        ).unwrap();
+        let route_classed = |threaded: bool| {
+            let mut alloc = PathAllocator::new();
+            let topo = alloc.compute_paths_classed(
+                &g, &core_attach, &switch_layer, &est, &core_layers, layers, &lib, &cfg,
+                1.0, threaded,
+            ).unwrap();
+            (topo, alloc.stats())
+        };
+        let (serial, serial_stats) = route_classed(false);
+        let (threaded, threaded_stats) = route_classed(true);
+
+        prop_assert_eq!(&serial, &base, "serial class passes diverged from interleaved");
+        prop_assert_eq!(&threaded, &base, "two-thread class passes diverged from interleaved");
+        prop_assert_eq!(
+            threaded_stats, serial_stats,
+            "worker scheduling leaked into the routing diagnostics"
+        );
+        // Link order is the interleaved creation order — the CDG the
+        // deadlock checks and the goldens depend on.
+        for (a, b) in base.links.iter().zip(threaded.links.iter()) {
+            prop_assert_eq!(a.class, b.class);
+            prop_assert_eq!(&a.flows, &b.flows);
+        }
+        let (pb, pt) = (
+            evaluate(&base, &soc, &g, &lib, 400.0),
+            evaluate(&threaded, &soc, &g, &lib, 400.0),
+        );
+        prop_assert_eq!(
+            pb.power.total_mw().to_bits(),
+            pt.power.total_mw().to_bits(),
+            "routed power must agree bit for bit"
+        );
     }
 
     /// Full synthesis (thin sweep) on random designs: every reported point

@@ -56,5 +56,7 @@
 mod manhattan;
 mod solver;
 
-pub use manhattan::{PlacementProblem, PlacementState};
-pub use solver::{ConstraintOp, Problem, Solution, SolveError, SolveReport, SolverState};
+pub use manhattan::{PlacementProblem, PlacementSeed, PlacementState};
+pub use solver::{
+    BasisSnapshot, ConstraintOp, Problem, Solution, SolveError, SolveReport, SolverState,
+};

@@ -1,6 +1,6 @@
 //! Bandwidth-weighted Manhattan-distance placement objective.
 
-use crate::solver::{ConstraintOp, Problem, SolveError, SolveReport, SolverState};
+use crate::solver::{BasisSnapshot, ConstraintOp, Problem, SolveError, SolveReport, SolverState};
 
 /// Builder and solver for the switch-placement problem of paper §VII:
 /// place `n` free points (switches) so that the sum of *weighted Manhattan
@@ -67,11 +67,38 @@ pub struct PlacementState {
     reports: (SolveReport, SolveReport),
 }
 
+/// A detached pair of per-axis [`BasisSnapshot`]s exported from a solved
+/// [`PlacementState`]: the portable form of "how this placement's simplex
+/// ended", installable into any number of other states with
+/// [`PlacementState::seed_from`] so their next shape-compatible placement
+/// re-enters warm instead of solving two-phase from scratch.
+#[derive(Debug, Clone)]
+pub struct PlacementSeed {
+    x: BasisSnapshot,
+    y: BasisSnapshot,
+}
+
 impl PlacementState {
     /// A fresh state; the first placement through it solves cold.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Exports both axes' optimal bases as a detached [`PlacementSeed`],
+    /// or `None` unless *both* axes hold a replayable basis (i.e. the
+    /// state has completed at least one successful placement).
+    #[must_use]
+    pub fn export_seed(&self) -> Option<PlacementSeed> {
+        Some(PlacementSeed { x: self.x.export_basis()?, y: self.y.export_basis()? })
+    }
+
+    /// Installs an exported seed into both axes: the next placement of a
+    /// shape-compatible problem warm-starts from it (a shape mismatch
+    /// falls back to the cold path as usual).
+    pub fn seed_from(&mut self, seed: &PlacementSeed) {
+        self.x.import_basis(&seed.x);
+        self.y.import_basis(&seed.y);
     }
 
     /// What the most recent [`PlacementProblem::solve_with`] did, per axis:
@@ -473,6 +500,28 @@ mod tests {
         assert!(rx.warm && ry.warm);
         assert_eq!(first, second);
         assert!((p.objective(&first) - p.objective(&p.solve().unwrap())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exported_seed_warms_a_fresh_state_to_the_same_vertex() {
+        let mut p = PlacementProblem::new(3);
+        p.attract_to_fixed(0, (0.0, 1.0), 2.0);
+        p.attract_to_fixed(1, (8.0, 3.0), 1.0);
+        p.attract_to_fixed(2, (4.0, 9.0), 1.5);
+        p.attract_pair(0, 1, 0.5);
+        p.attract_pair(1, 2, 0.25);
+        let mut donor = PlacementState::new();
+        assert!(donor.export_seed().is_none(), "unsolved state has no seed");
+        let cold = p.solve_with(&mut donor).unwrap();
+        let seed = donor.export_seed().expect("solved state exports a seed");
+        // A freshly seeded state re-solves the same problem warm on both
+        // axes and lands on the exact same vertex.
+        let mut seeded = PlacementState::new();
+        seeded.seed_from(&seed);
+        let warm = p.solve_with(&mut seeded).unwrap();
+        let (rx, ry) = seeded.reports();
+        assert!(rx.warm && ry.warm, "both axes must re-enter warm from the seed");
+        assert_eq!(cold, warm);
     }
 
     #[test]

@@ -67,6 +67,11 @@ impl SavedBasis {
         self.valid = false;
     }
 
+    /// Whether the snapshot currently holds a replayable basis.
+    pub(crate) fn is_valid(&self) -> bool {
+        self.valid
+    }
+
     /// Whether the snapshot's shape matches `p`, i.e. replay is
     /// structurally possible.
     pub(crate) fn matches(&self, p: &Problem) -> bool {

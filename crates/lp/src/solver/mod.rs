@@ -16,7 +16,7 @@ pub(crate) mod pricing;
 pub(crate) mod tableau;
 pub(crate) mod warm;
 
-pub use warm::{SolveReport, SolverState};
+pub use warm::{BasisSnapshot, SolveReport, SolverState};
 
 use std::error::Error;
 use std::fmt;

@@ -44,6 +44,27 @@ pub struct SolveReport {
     pub iterations_saved: u32,
 }
 
+/// An exported optimal-basis snapshot, detached from the [`SolverState`]
+/// that produced it.
+///
+/// A snapshot is an opaque value: the only things to do with it are
+/// [`SolverState::import_basis`] (install it into another state, so that
+/// state's next shape-compatible solve warm-starts from it) and cloning.
+/// It carries the donor state's cold-pivot baseline along, so
+/// [`SolveReport::iterations_saved`] stays a meaningful estimate in the
+/// importing state.
+///
+/// Snapshots let warm starts cross ownership boundaries that
+/// [`SolverState::adopt_basis_from`] cannot: the donor state can be
+/// dropped, and one snapshot can seed many states (the synthesis engine
+/// captures one per switch count during a serial warm-up and seeds every
+/// sweep worker's placement solver from the shared set).
+#[derive(Debug, Clone, Default)]
+pub struct BasisSnapshot {
+    saved: SavedBasis,
+    cold_iterations: u32,
+}
+
 /// Persistent, reusable solver state for [`Problem::solve_from`]: owns the
 /// tableau and pricing buffers (so repeated solves allocate nothing) and
 /// the previous solve's optimal basis (so a structurally matching next
@@ -106,6 +127,28 @@ impl SolverState {
     pub fn adopt_basis_from(&mut self, other: &SolverState) {
         self.saved.clone_from_other(&other.saved);
         self.last_cold_iterations = other.last_cold_iterations;
+    }
+
+    /// Exports the saved optimal basis as a detached [`BasisSnapshot`], or
+    /// `None` when the state holds no replayable basis (it never solved,
+    /// its last solve failed, or the basis was cleared).
+    #[must_use]
+    pub fn export_basis(&self) -> Option<BasisSnapshot> {
+        if !self.saved.is_valid() {
+            return None;
+        }
+        Some(BasisSnapshot {
+            saved: self.saved.clone(),
+            cold_iterations: self.last_cold_iterations,
+        })
+    }
+
+    /// Installs an exported snapshot: the next solve of a shape-compatible
+    /// problem warm-starts from it exactly as if this state had produced
+    /// the basis itself (a shape mismatch falls back to cold as usual).
+    pub fn import_basis(&mut self, snapshot: &BasisSnapshot) {
+        self.saved.clone_from_other(&snapshot.saved);
+        self.last_cold_iterations = snapshot.cold_iterations;
     }
 
     pub(crate) fn solve(&mut self, p: &Problem) -> Result<Solution, SolveError> {
@@ -362,6 +405,36 @@ mod tests {
         assert!(!state.has_basis_for(&p));
         p.solve_from(&mut state).unwrap();
         assert!(!state.last_report().warm);
+    }
+
+    #[test]
+    fn exported_snapshot_seeds_a_detached_state() {
+        let mut donor = SolverState::new();
+        let p = sweep_problem(4.0, 1.0);
+        p.solve_from(&mut donor).unwrap();
+        let snapshot = donor.export_basis().expect("solved state exports a basis");
+        drop(donor);
+        let mut fresh = SolverState::new();
+        assert!(!fresh.has_basis_for(&p));
+        fresh.import_basis(&snapshot);
+        assert!(fresh.has_basis_for(&p));
+        let warm = p.solve_from(&mut fresh).unwrap();
+        assert!(fresh.last_report().warm);
+        // Re-solving the donor's exact problem replays its optimal basis:
+        // zero pivots, and the saved-iterations estimate carries over.
+        assert_eq!(fresh.last_report().iterations, 0);
+        assert!(fresh.last_report().iterations_saved > 0);
+        assert_eq!(warm.values(), p.solve().unwrap().values());
+    }
+
+    #[test]
+    fn unsolved_state_exports_nothing() {
+        let state = SolverState::new();
+        assert!(state.export_basis().is_none());
+        let mut cleared = SolverState::new();
+        sweep_problem(4.0, 1.0).solve_from(&mut cleared).unwrap();
+        cleared.clear_warm();
+        assert!(cleared.export_basis().is_none());
     }
 
     #[test]

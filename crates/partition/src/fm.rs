@@ -9,8 +9,16 @@
 //! it is arithmetic-order-preserving: the moves taken, the RNG consumption
 //! and every float operation match the original allocating implementation
 //! bit for bit.
+//!
+//! Graphs may carry a [`GroupAttraction`] — an implicit complete graph per
+//! vertex group with one uniform weight. Every pass accounts for it
+//! analytically from per-(group, side/block) member counts: a move's
+//! attraction gain is `weight · (cnt_to − (cnt_from − 1))`, an `O(1)`
+//! lookup, so the term never costs the `O(n²)` edge scans a materialized
+//! dense graph would. On graphs without an attraction every code path below
+//! is bit-identical to the attraction-free implementation.
 
-use crate::graph::WeightedGraph;
+use crate::graph::{GroupAttraction, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -18,9 +26,10 @@ use rand::Rng;
 /// One FM candidate in the gain heaps: max-gain first, lowest subset
 /// index on ties — exactly the vertex the original ascending linear scan
 /// (with its strict `>` comparison) selected. Gains here are conn-value
-/// differences of finite non-negative weights, so they are never NaN and
-/// never −0.0, making `total_cmp` agree with the numeric comparison the
-/// scan performed.
+/// differences of finite weights (negative values are possible on
+/// attraction-compensated graphs, but −0.0 is never produced by
+/// adding/subtracting finite sums), so `total_cmp` agrees with the numeric
+/// comparison the scan performed.
 #[derive(Clone, Copy, PartialEq)]
 struct GainEntry {
     gain: f64,
@@ -56,18 +65,24 @@ pub(crate) struct Workspace {
     order: Vec<usize>,
     /// `conn[i][s]` = weight from subset vertex `i` to side `s`.
     conn: Vec<[f64; 2]>,
-    /// Cached FM gains (`conn[i][other] - conn[i][own]`).
+    /// Cached FM gains (`conn[i][other] - conn[i][own]`), edge part only.
     gain: Vec<f64>,
     /// FM lock flags.
     locked: Vec<bool>,
-    /// Lazy-invalidation gain heaps, one per side: stale entries (locked
-    /// vertex, superseded gain) are discarded at pop time.
-    heaps: [std::collections::BinaryHeap<GainEntry>; 2],
+    /// Lazy-invalidation gain heaps, one per (side, group) — `2 × 1` when
+    /// the graph has no attraction: stale entries (locked vertex,
+    /// superseded gain) are discarded at pop time. Entries hold *edge*
+    /// gains; the attraction part of a gain is uniform within one heap, so
+    /// it is added at selection time and never invalidates entries.
+    heaps: Vec<std::collections::BinaryHeap<GainEntry>>,
+    /// Subset member counts per (group, side): `gcnt[g * 2 + s]`, with the
+    /// `conn` side indexing (`side0 == true` → index 0).
+    gcnt: Vec<u32>,
     /// FM move log (subset indices, in order).
     moves: Vec<usize>,
     /// Spill buffer for the in-place subset split.
     spill: Vec<usize>,
-    /// Dense pair weights for the k-way swap polish.
+    /// Dense pair weights for the k-way swap polish (attraction included).
     wmat: Vec<f64>,
     /// Whether `wmat` has been filled for this graph yet.
     wmat_filled: bool,
@@ -85,7 +100,8 @@ impl Workspace {
             conn: Vec::new(),
             gain: Vec::new(),
             locked: Vec::new(),
-            heaps: [std::collections::BinaryHeap::new(), std::collections::BinaryHeap::new()],
+            heaps: Vec::new(),
+            gcnt: Vec::new(),
             moves: Vec::new(),
             spill: Vec::new(),
             wmat: vec![0.0; node_count * node_count],
@@ -108,6 +124,46 @@ impl Workspace {
         self.locked.clear();
         self.locked.resize(m, false);
     }
+}
+
+/// Fills the dense pair-weight matrix once per `partition` call: stored
+/// edge weights plus, when the graph carries a [`GroupAttraction`], the
+/// implicit same-group weight — the swap-gain correction term needs the
+/// *total* pair weight.
+fn fill_wmat(g: &WeightedGraph, ws: &mut Workspace) {
+    if ws.wmat_filled {
+        return;
+    }
+    let n = g.node_count();
+    for v in 0..n {
+        for &(u, w) in g.neighbors(v) {
+            ws.wmat[v * n + u as usize] = w;
+        }
+    }
+    if let Some(at) = g.attraction() {
+        for v in 0..n {
+            let gv = at.group_of()[v];
+            for u in 0..n {
+                if u != v && at.group_of()[u] == gv {
+                    ws.wmat[v * n + u] += at.weight();
+                }
+            }
+        }
+    }
+    ws.wmat_filled = true;
+}
+
+/// Attraction weight currently split by a subset's side assignment
+/// (0.0 without an attraction).
+fn subset_split_attraction(g: &WeightedGraph, vertices: &[usize], side0: &[bool]) -> f64 {
+    let Some(at) = g.attraction() else { return 0.0 };
+    let ng = at.group_count().max(1);
+    let mut cnt = vec![0u64; ng * 2];
+    for (i, &v) in vertices.iter().enumerate() {
+        cnt[at.group_of()[v] as usize * 2 + usize::from(!side0[i])] += 1;
+    }
+    let split: u64 = cnt.chunks(2).map(|c| c[0] * c[1]).sum();
+    at.weight() * split as f64
 }
 
 /// Recursively splits `vertices` into `parts` blocks, writing block labels
@@ -198,6 +254,7 @@ fn bisect(
             }
         }
     }
+    cut += subset_split_attraction(g, vertices, &ws.side0[..m]);
     // --- FM passes -------------------------------------------------------
     for _ in 0..max_passes {
         let improved = fm_pass(vertices, &mut cut, n1, g, ws);
@@ -214,7 +271,9 @@ fn bisect(
 }
 
 /// Grows side 0 greedily: start from a random seed, repeatedly absorb the
-/// unassigned vertex with the strongest connection to side 0.
+/// unassigned vertex with the strongest connection to side 0 (edge pull
+/// plus, with a [`GroupAttraction`], the implicit pull of its group's
+/// side-0 members).
 fn greedy_grow(
     g: &WeightedGraph,
     vertices: &[usize],
@@ -227,8 +286,17 @@ fn greedy_grow(
     ws.order.extend(0..m);
     ws.order.shuffle(rng);
 
+    let at = g.attraction();
+    let mut cnt0: Vec<u32> = match at {
+        Some(a) => vec![0; a.group_count().max(1)],
+        None => Vec::new(),
+    };
+
     let seed = rng.gen_range(0..m);
     ws.side0[seed] = true;
+    if let Some(a) = at {
+        cnt0[a.group_of()[vertices[seed]] as usize] += 1;
+    }
     let mut grown = 1;
     update_attraction(g, vertices, &ws.local, seed, &mut ws.attraction);
 
@@ -236,17 +304,31 @@ fn greedy_grow(
         let mut best = usize::MAX;
         let mut best_w = f64::NEG_INFINITY;
         for &i in &ws.order {
-            if !ws.side0[i] && ws.attraction[i] > best_w {
-                best_w = ws.attraction[i];
+            if ws.side0[i] {
+                continue;
+            }
+            let w = match at {
+                Some(a) => {
+                    ws.attraction[i]
+                        + a.weight() * f64::from(cnt0[a.group_of()[vertices[i]] as usize])
+                }
+                None => ws.attraction[i],
+            };
+            if w > best_w {
+                best_w = w;
                 best = i;
             }
         }
         ws.side0[best] = true;
+        if let Some(a) = at {
+            cnt0[a.group_of()[vertices[best]] as usize] += 1;
+        }
         grown += 1;
         update_attraction(g, vertices, &ws.local, best, &mut ws.attraction);
     }
 }
 
+// sf: hot-path
 fn update_attraction(
     g: &WeightedGraph,
     vertices: &[usize],
@@ -272,6 +354,14 @@ fn update_attraction(
 /// a side-0 vertex may move iff `size0 ≥ n1` and a side-1 vertex iff
 /// `size0 ≤ n1` — exactly the `|new_size0 − n1| ≤ 1` test the original
 /// per-vertex check performed.
+///
+/// With a [`GroupAttraction`], a move's full gain is its edge gain plus
+/// `weight · (cnt[g][other] − (cnt[g][own] − 1))`. The attraction part is
+/// uniform across one (side, group), so the heaps are split per
+/// (side, group), hold edge gains only, and the attraction offset joins at
+/// selection time — a move shifts the offsets of its own group through the
+/// count table instead of invalidating heap entries.
+// sf: hot-path
 fn fm_pass(
     vertices: &[usize],
     cut: &mut f64,
@@ -280,6 +370,9 @@ fn fm_pass(
     ws: &mut Workspace,
 ) -> bool {
     let m = vertices.len();
+    let at = g.attraction();
+    let ng = at.map_or(1, |a| a.group_count().max(1));
+    let grp = |i: usize| at.map_or(0, |a| a.group_of()[vertices[i]] as usize);
     let start_cut = *cut;
     ws.locked[..m].fill(false);
     let mut size0 = ws.side0[..m].iter().filter(|&&s| s).count();
@@ -288,25 +381,36 @@ fn fm_pass(
         let other = usize::from(ws.side0[i]);
         ws.gain[i] = ws.conn[i][other] - ws.conn[i][own];
     }
+    ws.gcnt.clear();
+    ws.gcnt.resize(ng * 2, 0);
+    for i in 0..m {
+        ws.gcnt[grp(i) * 2 + usize::from(!ws.side0[i])] += 1;
+    }
 
     ws.moves.clear();
     let mut running = *cut;
     let mut best_cut = *cut;
     let mut best_prefix = 0usize;
 
-    // Seed the per-side gain heaps; every gain update pushes a fresh
-    // entry, and pops discard entries whose vertex is locked or whose
-    // recorded gain is no longer current.
-    ws.heaps[0].clear();
-    ws.heaps[1].clear();
+    // Seed the per-(side, group) gain heaps; every edge-gain update pushes
+    // a fresh entry, and pops discard entries whose vertex is locked or
+    // whose recorded gain is no longer current.
+    if ws.heaps.len() < 2 * ng {
+        ws.heaps.resize_with(2 * ng, std::collections::BinaryHeap::new);
+    }
+    for h in &mut ws.heaps {
+        h.clear();
+    }
     for i in 0..m {
-        ws.heaps[usize::from(ws.side0[i])].push(GainEntry { gain: ws.gain[i], idx: i });
+        ws.heaps[usize::from(ws.side0[i]) * ng + grp(i)]
+            .push(GainEntry { gain: ws.gain[i], idx: i });
     }
 
     for _step in 0..m {
         // Pick the best-gain unlocked vertex whose move keeps |size0-n1|<=1:
         // the balance gate reduces to which *side* may donate, so the
-        // selection is the better of the allowed sides' heap tops.
+        // selection is the best of the allowed sides' heap tops (plus the
+        // per-group attraction offset).
         let allow_from0 = size0 >= n1;
         let allow_from1 = size0 <= n1;
         let mut best = usize::MAX;
@@ -315,18 +419,32 @@ fn fm_pass(
             if !allowed {
                 continue;
             }
-            // side index: heap 1 holds side-0 vertices (side0 == true).
-            while let Some(&top) = ws.heaps[side].peek() {
-                if ws.locked[top.idx] || ws.gain[top.idx] != top.gain {
-                    ws.heaps[side].pop();
-                    continue;
+            // side index: heaps `1*ng..2*ng` hold side-0 vertices
+            // (side0 == true).
+            for gi in 0..ng {
+                let h = side * ng + gi;
+                while let Some(&top) = ws.heaps[h].peek() {
+                    if ws.locked[top.idx] || ws.gain[top.idx] != top.gain {
+                        ws.heaps[h].pop();
+                        continue;
+                    }
+                    break;
                 }
-                break;
-            }
-            if let Some(&top) = ws.heaps[side].peek() {
-                if top.gain > best_gain || (top.gain == best_gain && top.idx < best) {
-                    best_gain = top.gain;
-                    best = top.idx;
+                if let Some(&top) = ws.heaps[h].peek() {
+                    let gain = match at {
+                        // A side-0 vertex (heap side 1) has conn side index
+                        // `own = 0`, i.e. `own = 1 - side`.
+                        Some(a) => {
+                            let own = ws.gcnt[gi * 2 + (1 - side)];
+                            let other = ws.gcnt[gi * 2 + side];
+                            top.gain + a.weight() * (f64::from(other) - f64::from(own - 1))
+                        }
+                        None => top.gain,
+                    };
+                    if gain > best_gain || (gain == best_gain && top.idx < best) {
+                        best_gain = gain;
+                        best = top.idx;
+                    }
                 }
             }
         }
@@ -341,8 +459,13 @@ fn fm_pass(
         running -= best_gain;
         ws.locked[best] = true;
         ws.moves.push(best);
+        if at.is_some() {
+            let gb = grp(best);
+            ws.gcnt[gb * 2 + usize::from(!from0)] -= 1;
+            ws.gcnt[gb * 2 + usize::from(from0)] += 1;
+        }
 
-        // Update neighbor connectivity and cached gains.
+        // Update neighbor connectivity and cached edge gains.
         for &(u, w) in g.neighbors(vertices[best]) {
             let lu = ws.local[u as usize];
             if lu == usize::MAX {
@@ -357,7 +480,7 @@ fn fm_pass(
             let other = usize::from(ws.side0[lu]);
             ws.gain[lu] = ws.conn[lu][other] - ws.conn[lu][own];
             if !ws.locked[lu] {
-                ws.heaps[usize::from(ws.side0[lu])]
+                ws.heaps[usize::from(ws.side0[lu]) * ng + grp(lu)]
                     .push(GainEntry { gain: ws.gain[lu], idx: lu });
             }
         }
@@ -368,7 +491,9 @@ fn fm_pass(
         }
     }
 
-    // Roll back everything after the best balanced prefix.
+    // Roll back everything after the best balanced prefix. (`gcnt` is
+    // rebuilt at the top of every pass, so only `side0`/`conn` need
+    // restoring.)
     for step in (best_prefix..ws.moves.len()).rev() {
         let i = ws.moves[step];
         let from0 = ws.side0[i];
@@ -417,6 +542,7 @@ pub(crate) fn warm_refine(
     kway_fm_refine(g, out, parts, max_passes, ws);
 }
 
+
 /// Relabels blocks densely as `0..used` (ascending original label order)
 /// and returns `used`.
 fn compact_labels(assignment: &mut [u32]) -> usize {
@@ -448,8 +574,9 @@ fn block_sizes(assignment: &[u32], used: usize) -> Vec<usize> {
 }
 
 /// Dissolves the smallest block into the block it is most strongly
-/// connected to, then relabels `used - 1` into the freed label so the
-/// labels stay dense. Ties break towards the lowest label.
+/// connected to (stored edges plus implicit attraction), then relabels
+/// `used - 1` into the freed label so the labels stay dense. Ties break
+/// towards the lowest label.
 fn merge_smallest_block(g: &WeightedGraph, assignment: &mut [u32], used: usize) {
     let sizes = block_sizes(assignment, used);
     let Some(victim) = sizes
@@ -469,6 +596,24 @@ fn merge_smallest_block(g: &WeightedGraph, assignment: &mut [u32], used: usize) 
             let t = assignment[u as usize];
             if t != victim {
                 conn_to[t as usize] += w;
+            }
+        }
+    }
+    if let Some(at) = g.attraction() {
+        let ng = at.group_count().max(1);
+        let mut cnt = vec![0u64; ng * used];
+        for (v, &a) in assignment.iter().enumerate() {
+            cnt[at.group_of()[v] as usize * used + a as usize] += 1;
+        }
+        for (v, &a) in assignment.iter().enumerate() {
+            if a != victim {
+                continue;
+            }
+            let row = at.group_of()[v] as usize * used;
+            for (t, c) in conn_to.iter_mut().enumerate() {
+                if t as u32 != victim {
+                    *c += at.weight() * cnt[row + t] as f64;
+                }
             }
         }
     }
@@ -511,13 +656,34 @@ fn bisect_members(
         ws.local[v] = i;
     }
 
+    let at = g.attraction();
+    // Same-group member count within the block, for the attraction part of
+    // internal connectivity.
+    let cntg: Vec<u32> = match at {
+        Some(a) => {
+            let mut cntg = vec![0u32; a.group_count().max(1)];
+            for &v in members {
+                cntg[a.group_of()[v] as usize] += 1;
+            }
+            cntg
+        }
+        None => Vec::new(),
+    };
+
     // Periphery seed: weakest internal connectivity, lowest index on ties.
     let internal = |i: usize, local: &[usize]| -> f64 {
-        g.neighbors(members[i])
+        let edge: f64 = g
+            .neighbors(members[i])
             .iter()
             .filter(|&&(u, _)| local[u as usize] != usize::MAX)
             .map(|&(_, w)| w)
-            .sum()
+            .sum();
+        match at {
+            Some(a) => {
+                edge + a.weight() * f64::from(cntg[a.group_of()[members[i]] as usize] - 1)
+            }
+            None => edge,
+        }
     };
     let Some(seed) = (0..m).min_by(|&a, &b| {
         internal(a, &ws.local).total_cmp(&internal(b, &ws.local)).then(a.cmp(&b))
@@ -534,14 +700,30 @@ fn bisect_members(
             }
         }
     };
+    let mut cnt0: Vec<u32> = match at {
+        Some(a) => vec![0; a.group_count().max(1)],
+        None => Vec::new(),
+    };
     absorb(seed, &ws.local, &mut ws.side0, &mut ws.attraction);
+    if let Some(a) = at {
+        cnt0[a.group_of()[members[seed]] as usize] += 1;
+    }
     for _ in 1..n1 {
+        let eff = |i: usize| match at {
+            Some(a) => {
+                ws.attraction[i] + a.weight() * f64::from(cnt0[a.group_of()[members[i]] as usize])
+            }
+            None => ws.attraction[i],
+        };
         let Some(next) = (0..m).filter(|&i| !ws.side0[i]).max_by(|&a, &b| {
-            ws.attraction[a].total_cmp(&ws.attraction[b]).then(b.cmp(&a))
+            eff(a).total_cmp(&eff(b)).then(b.cmp(&a))
         }) else {
             break; // every member already absorbed: growth is complete
         };
         absorb(next, &ws.local, &mut ws.side0, &mut ws.attraction);
+        if let Some(a) = at {
+            cnt0[a.group_of()[members[next]] as usize] += 1;
+        }
     }
 
     // Polish with the exact-balance FM passes of the cold path.
@@ -559,6 +741,7 @@ fn bisect_members(
             }
         }
     }
+    cut += subset_split_attraction(g, members, &ws.side0[..m]);
     if n1 >= 1 && n1 < m {
         for _ in 0..max_passes {
             if !fm_pass(members, &mut cut, n1, g, ws) {
@@ -645,25 +828,58 @@ fn rebalance(g: &WeightedGraph, assignment: &mut [u32], parts: usize) {
 }
 
 /// Per-vertex block connectivity, maintained incrementally across moves
-/// and swaps. `conn[v * parts + p]` is the weight from `v` into block `p`.
-struct Connectivity {
+/// and swaps. `conn[v * parts + p]` is the weight from `v` into block `p`
+/// — stored edges plus, with a [`GroupAttraction`], the implicit
+/// `weight · (members of v's group in p)` term, folded in so the hot gain
+/// evaluation stays a plain subtraction (a move's attraction gain is then
+/// the conn difference plus the constant `weight`, correcting for `v`
+/// counting itself in its source block).
+struct Connectivity<'a> {
     conn: Vec<f64>,
     parts: usize,
+    at: Option<&'a GroupAttraction>,
+    /// Vertices of each group (only with an attraction): a move shifts the
+    /// whole group's folded conn at the two touched columns.
+    members: Vec<Vec<u32>>,
 }
 
-impl Connectivity {
-    fn new(g: &WeightedGraph, assignment: &[u32], parts: usize) -> Self {
+impl<'a> Connectivity<'a> {
+    fn new(g: &'a WeightedGraph, assignment: &[u32], parts: usize) -> Self {
         let mut conn = vec![0.0f64; assignment.len() * parts];
         for (v, row) in conn.chunks_mut(parts).enumerate() {
             for &(u, w) in g.neighbors(v) {
                 row[assignment[u as usize] as usize] += w;
             }
         }
-        Self { conn, parts }
+        let at = g.attraction();
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        if let Some(a) = at {
+            let ng = a.group_count().max(1);
+            members = vec![Vec::new(); ng];
+            for (v, &gv) in a.group_of().iter().enumerate() {
+                members[gv as usize].push(v as u32);
+            }
+            let mut cnt = vec![0u32; ng * parts];
+            for (v, &b) in assignment.iter().enumerate() {
+                cnt[a.group_of()[v] as usize * parts + b as usize] += 1;
+            }
+            for (v, row) in conn.chunks_mut(parts).enumerate() {
+                let base = a.group_of()[v] as usize * parts;
+                for (p, c) in row.iter_mut().enumerate() {
+                    *c += a.weight() * f64::from(cnt[base + p]);
+                }
+            }
+        }
+        Self { conn, parts, at, members }
     }
 
     fn gain(&self, v: usize, from: u32, to: u32) -> f64 {
-        self.conn[v * self.parts + to as usize] - self.conn[v * self.parts + from as usize]
+        let d =
+            self.conn[v * self.parts + to as usize] - self.conn[v * self.parts + from as usize];
+        match self.at {
+            Some(a) => d + a.weight(),
+            None => d,
+        }
     }
 
     fn apply_move(
@@ -682,6 +898,14 @@ impl Connectivity {
             let row = u as usize * self.parts;
             self.conn[row + from as usize] -= w;
             self.conn[row + to as usize] += w;
+        }
+        if let Some(a) = self.at {
+            let w = a.weight();
+            for &x in &self.members[a.group_of()[v] as usize] {
+                let row = x as usize * self.parts;
+                self.conn[row + from as usize] -= w;
+                self.conn[row + to as usize] += w;
+            }
         }
     }
 }
@@ -719,19 +943,17 @@ fn kway_fm_refine(
 
     // Dense pair weights: the swap-gain correction term is looked up O(1)
     // instead of scanning adjacency lists in the inner loop.
-    if !ws.wmat_filled {
-        for v in 0..n {
-            for &(u, w) in g.neighbors(v) {
-                ws.wmat[v * n + u as usize] = w;
-            }
-        }
-        ws.wmat_filled = true;
-    }
+    fill_wmat(g, ws);
     let wmat = &ws.wmat;
 
     const EPS: f64 = 1e-12;
     for _ in 0..max_passes {
-        let mut locked = vec![false; n];
+        // Shrinking ascending roster of unlocked vertices: each action's
+        // O(|roster|²) rescan visits (v, u) pairs in the same ascending
+        // order the previous locked-flag scan did, so the selected action
+        // sequence is bit-identical while the scan cost drops from
+        // actions·n² to Σ m² as the pass locks vertices.
+        let mut unlocked: Vec<u32> = (0..n as u32).collect();
         let mut log: Vec<Action> = Vec::with_capacity(n);
         let mut running = 0.0f64;
         let mut best_total = 0.0f64;
@@ -742,10 +964,8 @@ fn kway_fm_refine(
             // the pass commits to exploration and the prefix cut decides.
             let mut best_gain = f64::NEG_INFINITY;
             let mut best_action: Option<Action> = None;
-            for v in 0..n {
-                if locked[v] {
-                    continue;
-                }
+            for (i, &v32) in unlocked.iter().enumerate() {
+                let v = v32 as usize;
                 let pv = assignment[v];
                 if sizes[pv as usize] == base + 1 {
                     for p in 0..parts as u32 {
@@ -758,10 +978,8 @@ fn kway_fm_refine(
                         }
                     }
                 }
-                for u in (v + 1)..n {
-                    if locked[u] {
-                        continue;
-                    }
+                for &u32v in &unlocked[i + 1..] {
+                    let u = u32v as usize;
                     let pu = assignment[u];
                     if pu == pv {
                         continue;
@@ -775,17 +993,22 @@ fn kway_fm_refine(
                 }
             }
             let Some(action) = best_action else { break };
+            let lock = |unlocked: &mut Vec<u32>, v: usize| {
+                if let Ok(pos) = unlocked.binary_search(&(v as u32)) {
+                    unlocked.remove(pos);
+                }
+            };
             match action {
                 Action::Move(v, _, to) => {
                     conn.apply_move(g, assignment, &mut sizes, v, to);
-                    locked[v] = true;
+                    lock(&mut unlocked, v);
                     log.push(action);
                 }
                 Action::Swap(v, pv, u, pu) => {
                     conn.apply_move(g, assignment, &mut sizes, v, pu);
                     conn.apply_move(g, assignment, &mut sizes, u, pv);
-                    locked[v] = true;
-                    locked[u] = true;
+                    lock(&mut unlocked, v);
+                    lock(&mut unlocked, u);
                     log.push(action);
                 }
             }
@@ -816,23 +1039,21 @@ fn kway_fm_refine(
 
 /// Greedy pairwise-swap refinement across all block pairs. Swapping keeps
 /// every block size unchanged, so balance is preserved exactly. The
-/// dense pair-weight matrix (filled once per `partition` call) replaces
-/// the adjacency-list `edge_weight` scan in the O(n²) inner loop.
+/// dense pair-weight matrix (filled once per `partition` call, attraction
+/// included) replaces the adjacency-list `edge_weight` scan in the O(n²)
+/// inner loop; the attraction part of each one-sided gain comes from the
+/// per-(group, block) member counts.
 pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32], ws: &mut Workspace) {
     let n = assignment.len();
     let parts = assignment.iter().copied().max().map_or(0, |p| p as usize + 1);
     if parts < 2 {
         return;
     }
-    if !ws.wmat_filled {
-        for v in 0..n {
-            for &(u, w) in g.neighbors(v) {
-                ws.wmat[v * n + u as usize] = w;
-            }
-        }
-        ws.wmat_filled = true;
-    }
-    // conn[v * parts + p] = weight from v into block p
+    fill_wmat(g, ws);
+    // conn[v * parts + p] = weight from v into block p — stored edges
+    // plus, with an attraction, the folded `weight · (group members in p)`
+    // term, exactly like `Connectivity`: the O(n²) pair scan then pays
+    // nothing per evaluation for the attraction.
     ws.connk.clear();
     ws.connk.resize(n * parts, 0.0);
     let conn = &mut ws.connk;
@@ -841,6 +1062,30 @@ pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32], ws: &m
             conn[v * parts + assignment[u as usize] as usize] += w;
         }
     }
+    let at = g.attraction();
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    if let Some(a) = at {
+        let ng = a.group_count().max(1);
+        members = vec![Vec::new(); ng];
+        for (v, &gv) in a.group_of().iter().enumerate() {
+            members[gv as usize].push(v as u32);
+        }
+        let mut cnt = vec![0u32; ng * parts];
+        for (v, &b) in assignment.iter().enumerate() {
+            cnt[a.group_of()[v] as usize * parts + b as usize] += 1;
+        }
+        for (v, row) in conn.chunks_mut(parts).enumerate() {
+            let base = a.group_of()[v] as usize * parts;
+            for (p, c) in row.iter_mut().enumerate() {
+                *c += a.weight() * f64::from(cnt[base + p]);
+            }
+        }
+    }
+    // Both one-sided folded gains undercount by `weight` (each endpoint
+    // counts itself in its source block), and `wmat` carries the pair's
+    // attraction, so the swap delta gains a flat `2·weight` bonus. Adding
+    // 0.0 on attraction-free graphs changes no comparison.
+    let swap_bonus = at.map_or(0.0, |a| 2.0 * a.weight());
 
     const MAX_ROUNDS: usize = 64;
     for _ in 0..MAX_ROUNDS {
@@ -855,7 +1100,7 @@ pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32], ws: &m
                 }
                 let du = conn[u * parts + pv] - conn[u * parts + pu];
                 let dv = conn[v * parts + pu] - conn[v * parts + pv];
-                let delta = du + dv - 2.0 * ws.wmat[u * n + v];
+                let delta = du + dv - 2.0 * ws.wmat[u * n + v] + swap_bonus;
                 if delta > best_delta {
                     best_delta = delta;
                     best_pair = Some((u, v));
@@ -876,6 +1121,23 @@ pub(crate) fn kway_swap_refine(g: &WeightedGraph, assignment: &mut [u32], ws: &m
             let t = t as usize;
             conn[t * parts + pv] -= w;
             conn[t * parts + pu] += w;
+        }
+        if let Some(a) = at {
+            let gu = a.group_of()[u] as usize;
+            let gv = a.group_of()[v] as usize;
+            if gu != gv {
+                let w = a.weight();
+                for &x in &members[gu] {
+                    let row = x as usize * parts;
+                    conn[row + pu] -= w;
+                    conn[row + pv] += w;
+                }
+                for &x in &members[gv] {
+                    let row = x as usize * parts;
+                    conn[row + pv] -= w;
+                    conn[row + pu] += w;
+                }
+            }
         }
     }
 }

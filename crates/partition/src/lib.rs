@@ -79,13 +79,27 @@ pub struct PartitionConfig {
     /// recursive-bisecting from scratch. An assignment of the wrong length
     /// is ignored.
     pub initial: Option<Vec<u32>>,
+    /// Spacing of the cold restart seed sequence: restart `r` seeds its RNG
+    /// with `rng_seed + r * seed_stride`. The default of 1 walks
+    /// consecutive seeds; a warm-started caller that trims `restarts` can
+    /// raise the stride so the reduced budget still samples the same seed
+    /// span the full budget draws from (restart diversity comes from the
+    /// seed spread, not the restart count).
+    pub seed_stride: u32,
 }
 
 impl PartitionConfig {
     /// A configuration producing `parts` blocks with default effort.
     #[must_use]
     pub fn k_way(parts: usize) -> Self {
-        Self { parts, restarts: 8, max_passes: 10, rng_seed: 0xC0FF_EE00, initial: None }
+        Self {
+            parts,
+            restarts: 8,
+            max_passes: 10,
+            rng_seed: 0xC0FF_EE00,
+            initial: None,
+            seed_stride: 1,
+        }
     }
 
     /// Overrides the RNG seed (builder style).
@@ -253,7 +267,9 @@ impl WeightedGraph {
         let cold_restarts = if best.is_some() { cfg.restarts } else { cfg.restarts.max(1) };
         let mut vertices: Vec<usize> = Vec::with_capacity(n);
         for restart in 0..cold_restarts {
-            let mut rng = StdRng::seed_from_u64(cfg.rng_seed.wrapping_add(u64::from(restart)));
+            let mut rng = StdRng::seed_from_u64(
+                cfg.rng_seed.wrapping_add(u64::from(restart) * u64::from(cfg.seed_stride)),
+            );
             let mut assignment = vec![0u32; n];
             vertices.clear();
             vertices.extend(0..n);

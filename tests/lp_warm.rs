@@ -115,12 +115,23 @@ fn engine_lp_stats_are_deterministic_and_warm_starts_fire() {
     let stats = serial.lp_stats;
     assert!(!serial.points.is_empty(), "media26 must stay feasible");
     assert_eq!(stats.total_solves() % 2, 0, "every placement solves one LP per axis");
-    assert!(stats.cold_solves > 0, "each candidate's first x-axis solve is cold");
+    assert!(
+        stats.cold_solves > 0,
+        "the serial warm-up's first x-axis solve per switch count is cold"
+    );
     assert!(
         stats.warm_solves > 0,
         "the y axis (and θ-retry placements) must warm-start: {stats:?}"
     );
     assert!(stats.iterations_saved > 0, "warm re-entries must skip pivots: {stats:?}");
+    assert!(
+        stats.cross_candidate_warm_solves > 0,
+        "candidate base placements must re-enter from the warm-up seed bank: {stats:?}"
+    );
+    assert!(
+        stats.cross_candidate_warm_solves <= stats.warm_solves,
+        "seed-served re-entries are a subset of all warm solves: {stats:?}"
+    );
 
     let again = run(1);
     assert_eq!(again.lp_stats, stats, "repeated serial sweeps must reproduce the counters");

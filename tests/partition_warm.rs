@@ -171,6 +171,50 @@ fn theta_escalation_warm_starts_are_deterministic_and_no_worse_than_cold() {
     }
 }
 
+/// Sparse-θ quality anchor (PR 10): the production θ-step — a warm-started
+/// partition of the sparse SPG, whose same-layer weak clique is folded into
+/// a uniform group attraction instead of materialized as `O(n²)` edges,
+/// seeded from the unchanged PG base
+/// assignment exactly as the engine escalates — must produce cuts no worse
+/// than the same warm-started step on the paper's literal dense SPG, judged
+/// on the **dense** graph (the true Definition-4 objective), on media26 and
+/// both seeded generators across the θ schedule.
+#[test]
+fn sparse_theta_partition_cut_is_no_worse_than_dense_on_the_dense_objective() {
+    for (name, bench) in benches() {
+        let graph = CommGraph::new(&bench.soc, &bench.comm);
+        for (k, base_assignment) in warm_chain(&graph, &bench) {
+            // Escalate θ exactly like the engine: each step warm-starts
+            // from the previous assignment, the first from the PG base
+            // (identical in both paths — sparsification only touches the
+            // SPG's weak edges).
+            let mut sparse_prev = base_assignment.clone();
+            let mut dense_prev = base_assignment;
+            for theta in [1.0, 4.0, 7.0, 10.0, 13.0] {
+                let warm = |initial: &[u32]| {
+                    PartitionConfig::k_way(k)
+                        .with_seed(SEED)
+                        .with_initial(initial.to_vec())
+                };
+                let sparse = graph.scaled_partitioning_graph(&bench.soc, ALPHA, theta, THETA_MAX);
+                let dense =
+                    graph.scaled_partitioning_graph_dense(&bench.soc, ALPHA, theta, THETA_MAX);
+                let sparse_parts = sparse.partition(&warm(&sparse_prev)).unwrap();
+                let dense_parts = dense.partition(&warm(&dense_prev)).unwrap();
+                let sparse_cut_on_dense = dense.cut_weight(sparse_parts.assignment());
+                assert!(
+                    sparse_cut_on_dense <= dense_parts.cut_weight + 1e-9,
+                    "{name} k={k} θ={theta}: sparse-θ cut {sparse_cut_on_dense} worse than \
+                     dense-θ cut {} on the dense objective",
+                    dense_parts.cut_weight
+                );
+                sparse_prev = sparse_parts.assignment().to_vec();
+                dense_prev = dense_parts.assignment().to_vec();
+            }
+        }
+    }
+}
+
 /// The engine's partition-cache diagnostics are deterministic and identical
 /// between serial and parallel sweeps, and the cache actually serves the
 /// sweep: every Phase-1 candidate's base partition is a cache hit.
